@@ -1,0 +1,78 @@
+"""Shared infrastructure for the per-figure benchmark harnesses.
+
+Every benchmark regenerates one table or figure of the paper: it runs
+the *real* kernels under pytest-benchmark for wall-clock numbers, and
+evaluates the device cost model for the GPU-shaped series. Each harness
+writes its reproduced rows/series to ``benchmarks/results/<exp>.txt``
+(and echoes them to stdout, visible with ``pytest -s``); EXPERIMENTS.md
+summarizes paper-vs-measured from those files.
+"""
+
+from __future__ import annotations
+
+from pathlib import Path
+
+import numpy as np
+
+from repro.data.registry import DATASETS, load_dataset
+
+RESULTS_DIR = Path(__file__).parent / "results"
+
+#: The four "small" datasets the paper uses for Figs 8, 9, 11.
+SMALL_DATASETS = ("NYX", "LETKF", "Miranda", "ISABEL")
+
+#: Bench-scale dims keep each harness in seconds, not minutes.
+BENCH_DIMS = {
+    "NYX": (32, 32, 32),
+    "LETKF": (16, 48, 48),
+    "Miranda": (24, 32, 32),
+    "ISABEL": (16, 40, 40),
+    "JHTDB": (32, 48, 48),
+}
+
+
+def bench_dataset(name: str, seed: int = 0) -> np.ndarray:
+    """Load a dataset at benchmark-scale dimensions."""
+    return load_dataset(name, dims=BENCH_DIMS[name], seed=seed)
+
+
+def write_result(exp_id: str, text: str) -> Path:
+    """Persist a reproduced table/figure and echo it."""
+    RESULTS_DIR.mkdir(exist_ok=True)
+    path = RESULTS_DIR / f"{exp_id}.txt"
+    path.write_text(text)
+    print(f"\n=== {exp_id} ===")
+    print(text)
+    return path
+
+
+def format_series(
+    title: str,
+    columns: list[str],
+    rows: list[tuple],
+    note: str = "",
+) -> str:
+    """Fixed-width table formatting shared by all harnesses."""
+    widths = [max(len(c), 12) for c in columns]
+    lines = [title, ""]
+    lines.append(" ".join(c.rjust(w) for c, w in zip(columns, widths)))
+    for row in rows:
+        cells = []
+        for value, w in zip(row, widths):
+            if isinstance(value, float):
+                cells.append(f"{value:>{w}.4g}")
+            else:
+                cells.append(str(value).rjust(w))
+        lines.append(" ".join(cells))
+    if note:
+        lines += ["", note]
+    return "\n".join(lines) + "\n"
+
+
+def hybrid_method_mix(groups) -> dict[str, int]:
+    """Bytes per lossless method actually chosen by Algorithm 2 —
+    feeds the cost model's emergent hybrid throughput."""
+    mix: dict[str, int] = {"huffman": 0, "rle": 0, "direct": 0}
+    for g in groups:
+        mix[g.method] += g.original_size
+    return mix

@@ -1,0 +1,198 @@
+"""Figure 11: HP-MDR vs state-of-the-art progressive retrieval
+frameworks — end-to-end throughput and additional-retrieval ratio.
+
+Baselines: MDR (CPU), and the multi-component framework with ZFP-GPU
+(fixed-rate), MGARD, SZ3, ZFP-CPU (fixed-accuracy) backends, all built
+in this repository.
+
+Methodology: retrieval *sizes* are measured from our real streams at
+bench scale; end-to-end *time* is modeled at the paper's data scale
+(fetch fractions carried over) as storage-read time plus kernel time —
+HP-MDR and M-ZFP-GPU on the H100 cost model, CPU baselines as
+multi-threaded passes at calibrated raw-data throughputs (one full
+pass per fetched component; the multi-component framework's structural
+cost). The additional-retrieval ratio is (fetched − best) / raw, the
+paper's normalization.
+
+Paper headline: HP-MDR ~11.9 GB/s average vs ~1.8 GB/s for the best
+baseline (M-MGARD), up to 6.61×; HP-MDR's extra retrieval is
+competitive but not the smallest (Miranda: 4.36% vs best 2.19%,
+baseline average 5.55%).
+"""
+
+import numpy as np
+import pytest
+
+from _helpers import (
+    SMALL_DATASETS,
+    bench_dataset,
+    format_series,
+    write_result,
+)
+from repro.baselines import (
+    MdrCpuBaseline,
+    MgardLossyCodec,
+    MultiComponentProgressive,
+    Sz3Codec,
+    ZfpCodec,
+)
+from repro.core import Reconstructor
+from repro.core.refactor import refactor
+from repro.gpu.costmodel import CostModel
+from repro.gpu.device import H100
+
+TOLERANCES = [1e-1, 1e-2, 1e-3, 1e-4, 1e-5, 1e-6]
+
+#: Virtual evaluation scale (the paper's NYX-class domain).
+VIRTUAL_ELEMENTS = 512 ** 3
+#: Parallel-filesystem read bandwidth for the end-to-end model.
+STORAGE_READ_GBPS = 3.0
+#: Host memory bandwidth charged for the multi-component framework's
+#: CPU-side residual accumulation (read+add+write per component).
+HOST_ACCUM_GBPS = 50.0
+
+#: Raw-data kernel throughput of one full decompression pass for the
+#: CPU backends (32 OpenMP threads, calibrated to published CPU codec
+#: rates); the multi-component framework pays one pass per component.
+CPU_PASS_GBPS = {
+    "MDR": 2.2,
+    "M-MGARD": 4.0,
+    "M-SZ3": 2.5,
+    "M-ZFP-CPU": 6.0,
+    "M-ZFP-GPU": 120.0,  # GPU backend: kernels fast, I/O dominates
+}
+
+
+def _hp_kernel_seconds(field, fetch_fraction: float) -> float:
+    """HP-MDR reconstruction kernels on H100 at virtual scale."""
+    model = CostModel(H100)
+    n = VIRTUAL_ELEMENTS
+    t = model.recompose(n, 4, 3, field.num_levels).seconds
+    t += model.bitplane_decode(n, 32, design="register_block").seconds
+    mix: dict[str, int] = {}
+    for lv in field.levels:
+        for g in lv.groups:
+            mix[g.method] = mix.get(g.method, 0) + g.original_size
+    total_planes = max(sum(mix.values()), 1)
+    scale = n * 4 * 33 / 32 / total_planes * fetch_fraction
+    mix = {k: int(v * scale) for k, v in mix.items()}
+    t += model.lossless_mix(mix, "decompress").seconds
+    return t
+
+
+def _end_to_end_gbps(kernel_s: float, fetch_fraction: float) -> float:
+    raw = VIRTUAL_ELEMENTS * 4
+    io_s = raw * fetch_fraction / (STORAGE_READ_GBPS * 1e9)
+    return raw / (kernel_s + io_s) / 1e9
+
+
+@pytest.fixture(scope="module")
+def setups():
+    out = {}
+    for ds in SMALL_DATASETS:
+        data = bench_dataset(ds).astype(np.float64)
+        rng = float(np.ptp(data))
+        hp = refactor(data, name=ds)
+        mdr = MdrCpuBaseline(data.shape)
+        mdr_field = mdr.refactor(data)
+        mc = {
+            "M-ZFP-GPU": MultiComponentProgressive(
+                ZfpCodec(mode="fixed_rate")),
+            "M-MGARD": MultiComponentProgressive(
+                MgardLossyCodec(), num_components=7),
+            "M-SZ3": MultiComponentProgressive(
+                Sz3Codec(), num_components=7),
+            "M-ZFP-CPU": MultiComponentProgressive(
+                ZfpCodec(mode="fixed_accuracy"), num_components=7),
+        }
+        streams = {}
+        for name, framework in mc.items():
+            if name == "M-ZFP-GPU":
+                streams[name] = framework.refactor(
+                    data.astype(np.float32),
+                    rate_schedule=[2, 4, 8, 12, 16, 24, 32])
+            else:
+                streams[name] = framework.refactor(data)
+        out[ds] = (data, rng, hp, mdr_field, mc, streams)
+    return out
+
+
+def test_fig11_comparison(benchmark, setups):
+    def compute():
+        rows = []
+        tp_all: dict[str, list] = {}
+        extra_all: dict[str, list] = {}
+        for ds, (data, rng, hp, mdr_field, mc, streams) in setups.items():
+            raw = data.nbytes
+            hp_recon = Reconstructor(hp)
+            mdr_recon = Reconstructor(mdr_field)
+            fetches: dict[str, list[float]] = {}
+            tps: dict[str, list[float]] = {}
+            for tol in TOLERANCES:
+                r = hp_recon.reconstruct(tolerance=tol, relative=True)
+                frac = r.fetched_bytes / raw
+                fetches.setdefault("HP-MDR", []).append(frac)
+                tps.setdefault("HP-MDR", []).append(
+                    _end_to_end_gbps(_hp_kernel_seconds(hp, frac), frac))
+
+                r = mdr_recon.reconstruct(tolerance=tol * rng)
+                frac = r.fetched_bytes / raw
+                kernel = VIRTUAL_ELEMENTS * 4 / (
+                    CPU_PASS_GBPS["MDR"] * 1e9)
+                fetches.setdefault("MDR", []).append(frac)
+                tps.setdefault("MDR", []).append(
+                    _end_to_end_gbps(kernel, frac))
+
+                for name, framework in mc.items():
+                    stream = streams[name]
+                    _, fetched, _ = framework.retrieve(stream, tol * rng)
+                    k = next(
+                        (i + 1 for i, c in enumerate(stream.components)
+                         if c.error_bound <= tol * rng),
+                        len(stream.components),
+                    )
+                    frac = fetched / raw
+                    virtual_raw = VIRTUAL_ELEMENTS * 4
+                    kernel = k * virtual_raw / (
+                        CPU_PASS_GBPS[name] * 1e9)
+                    # CPU-side residual accumulation: one read+add+write
+                    # sweep per component; GPU backends additionally
+                    # round-trip each component over the host link.
+                    kernel += k * virtual_raw * 3 / (HOST_ACCUM_GBPS * 1e9)
+                    if name == "M-ZFP-GPU":
+                        kernel += k * virtual_raw / (55.0 * 1e9)
+                    fetches.setdefault(name, []).append(frac)
+                    tps.setdefault(name, []).append(
+                        _end_to_end_gbps(kernel, frac))
+            best = [min(v[i] for v in fetches.values())
+                    for i in range(len(TOLERANCES))]
+            for approach in fetches:
+                extra = float(np.mean(
+                    [f - b for f, b in zip(fetches[approach], best)]))
+                mean_tp = float(np.mean(tps[approach]))
+                tp_all.setdefault(approach, []).append(mean_tp)
+                extra_all.setdefault(approach, []).append(extra)
+                rows.append((ds, approach, round(mean_tp, 2),
+                             round(100 * extra, 2)))
+        return rows, tp_all, extra_all
+
+    rows, tp_all, extra_all = benchmark.pedantic(compute, rounds=1,
+                                                 iterations=1)
+    text = format_series(
+        "Fig 11 — HP-MDR vs progressive baselines "
+        "(mean end-to-end GB/s modeled at 512^3 scale; "
+        "mean extra retrieval as % of raw)",
+        ["dataset", "approach", "mean GB/s", "extra % of raw"],
+        rows,
+        note="Paper: HP-MDR ~11.9 GB/s vs best baseline ~1.8 GB/s (up "
+             "to 6.61x); HP-MDR extra retrieval competitive, not "
+             "smallest (Miranda 4.36% vs best 2.19%, avg 5.55%).",
+    )
+    write_result("fig11_baselines", text)
+
+    hp_tp = float(np.mean(tp_all["HP-MDR"]))
+    best_other = max(float(np.mean(v)) for k, v in tp_all.items()
+                     if k != "HP-MDR")
+    assert hp_tp > 2.5 * best_other  # paper: up to 6.6x
+    # HP-MDR extra retrieval stays in the competitive few-percent band.
+    assert float(np.mean(extra_all["HP-MDR"])) < 0.25

@@ -1,0 +1,60 @@
+"""Figure 13: requested tolerance vs max estimated vs max actual
+V_total error during progressive retrieval (NYX-like and mini-JHTDB).
+
+Entirely real computation — the invariant the paper demonstrates is
+
+    max actual error  <  max estimated error  <=  requested tolerance
+
+at every tolerance, on both datasets.
+"""
+
+import numpy as np
+import pytest
+
+from _helpers import format_series, write_result
+from repro.core.refactor import refactor
+from repro.data import generators as gen
+from repro.qoi import actual_qoi_error, retrieve_qoi, v_total
+
+TOLERANCES = [1e-1, 1e-2, 1e-3, 1e-4, 1e-5]
+DIMS = (24, 24, 24)
+
+
+@pytest.fixture(scope="module")
+def datasets():
+    out = {}
+    for name, seed in (("NYX", 101), ("mini-JHTDB", 77)):
+        vx, vy, vz = gen.turbulence_velocity(DIMS, seed=seed,
+                                             dtype=np.float64)
+        original = {"vx": vx, "vy": vy, "vz": vz}
+        fields = {k: refactor(v, name=k) for k, v in original.items()}
+        out[name] = (original, fields)
+    return out
+
+
+def test_fig13_error_control(benchmark, datasets):
+    def compute():
+        rows = []
+        for ds_name, (original, fields) in datasets.items():
+            for tol in TOLERANCES:
+                result = retrieve_qoi(fields, v_total(), tol,
+                                      method="mape",
+                                      switch_threshold=10.0)
+                actual = actual_qoi_error(v_total(), original,
+                                          result.values)
+                rows.append((ds_name, tol, result.estimated_error,
+                             actual))
+        return rows
+
+    rows = benchmark.pedantic(compute, rounds=1, iterations=1)
+    text = format_series(
+        "Fig 13 — requested vs estimated vs actual V_total error (real)",
+        ["dataset", "requested", "max estimated", "max actual"],
+        rows,
+        note="Invariant: actual < estimated <= requested, at every "
+             "tolerance on both datasets (the paper's guarantee).",
+    )
+    write_result("fig13_qoi_error", text)
+
+    for _, requested, estimated, actual in rows:
+        assert actual <= estimated <= requested

@@ -1,0 +1,130 @@
+"""Figure 14: full-node QoI retrieval on JHTDB — 8 MI250X GCDs vs the
+64-core host CPU: kernel throughput and end-to-end retrieval time.
+
+Each GPU handles a 6 GB shard, each CPU core 0.75 GB (the paper's
+setup). GPU kernel times come from the MI250X cost model with the real
+fetch fraction and per-variable segment counts measured from a
+shard-scale run of our pipeline; the CPU runs the same MDR pipeline at
+the calibrated 64-core aggregate pass rate. End-to-end adds the
+storage model, where HP-MDR's many small segment files pay a
+metadata-server-serialized open latency — the overhead the paper
+identifies as the reason the ~10.4× kernel advantage shrinks to ~4.2×
+end to end.
+"""
+
+import numpy as np
+import pytest
+
+from _helpers import format_series, write_result
+from repro.core import Reconstructor
+from repro.core.refactor import refactor
+from repro.data.registry import load_velocity_fields
+from repro.gpu.costmodel import CostModel
+from repro.gpu.device import MI250X
+from repro.pipeline.multigpu import FRONTIER_NODE, effective_link_gbps
+
+DIMS = (24, 32, 32)
+PER_GPU_BYTES = 6 * 10 ** 9  # 6 GB shard per GCD (paper)
+NUM_GPUS = 8
+TOL = 1e-3
+
+#: 64-core EPYC aggregate throughput of one full MDR reconstruction
+#: pass (decompress + decode + recompose), calibrated to published
+#: multithreaded CPU-MDR rates.
+CPU_MDR_PASS_GBPS = 4.3
+
+#: Storage model: per-file open latency (serialized at the metadata
+#: server — why many small files hurt) + node-aggregate stream rate
+#: (Frontier's Orion delivers tens of GB/s to one node for large reads).
+FILE_OPEN_LATENCY_S = 6e-4
+STORAGE_READ_GBPS = 20.0
+SUBDOMAIN_BYTES = 512 * 10 ** 6
+GPU_ALLOC_OVERHEAD_S = 0.35  # the paper's "particular overhead in GPUs"
+
+
+@pytest.fixture(scope="module")
+def retrieval_stats():
+    """Real fetch fraction + fetched segments per variable-subdomain."""
+    vx, vy, vz = load_velocity_fields("JHTDB", dims=DIMS, seed=5)
+    fields = {k: refactor(v.astype(np.float64), name=k)
+              for k, v in (("vx", vx), ("vy", vy), ("vz", vz))}
+    fetched = 0
+    raw = 0
+    segment_counts = []
+    for f in fields.values():
+        recon = Reconstructor(f)
+        r = recon.reconstruct(tolerance=TOL, relative=True)
+        fetched += r.fetched_bytes
+        raw += int(np.prod(f.shape)) * 4
+        segment_counts.append(sum(r.plan.groups_per_level))
+    return fetched / raw, float(np.mean(segment_counts))
+
+
+def _gpu_kernel_seconds(model: CostModel, num_elements: int,
+                        fetch_fraction: float) -> float:
+    t = 3 * model.recompose(num_elements, 4, 3, 5).seconds
+    t += 3 * model.bitplane_decode(num_elements, 32,
+                                   design="register_block").seconds
+    plane_bytes = int(num_elements * 4 * fetch_fraction)
+    t += model.lossless(
+        "huffman", int(plane_bytes * 0.3), "decompress").seconds
+    t += model.lossless(
+        "direct", int(plane_bytes * 0.7), "decompress").seconds
+    t += model.qoi_error_estimate(num_elements, 3).seconds
+    return t
+
+
+def test_fig14_node_comparison(benchmark, retrieval_stats):
+    fetch_fraction, segments_per_var_subdomain = retrieval_stats
+
+    def compute():
+        total_bytes = PER_GPU_BYTES * NUM_GPUS  # 48 GB JHTDB
+        fetched = total_bytes * fetch_fraction
+
+        # --- kernels -------------------------------------------------
+        gpu_model = CostModel(MI250X)
+        gpu_kernel = _gpu_kernel_seconds(
+            gpu_model, PER_GPU_BYTES // 4, fetch_fraction)
+        cpu_kernel = total_bytes / (CPU_MDR_PASS_GBPS * 1e9)
+
+        # --- data movement --------------------------------------------
+        link = effective_link_gbps(FRONTIER_NODE, NUM_GPUS)
+        gpu_dma = PER_GPU_BYTES * fetch_fraction / (link * 1e9)
+
+        # --- storage ---------------------------------------------------
+        n_subdomains = total_bytes // 3 // SUBDOMAIN_BYTES
+        n_files = int(3 * n_subdomains * segments_per_var_subdomain)
+        io_gpu = (n_files * FILE_OPEN_LATENCY_S
+                  + fetched / (STORAGE_READ_GBPS * 1e9))
+        io_cpu = (64 * FILE_OPEN_LATENCY_S
+                  + fetched / (STORAGE_READ_GBPS * 1e9))
+
+        gpu_end = gpu_kernel + gpu_dma + io_gpu + GPU_ALLOC_OVERHEAD_S
+        cpu_end = cpu_kernel + io_cpu
+        gpu_tp = total_bytes / gpu_kernel / 1e9
+        cpu_tp = total_bytes / cpu_kernel / 1e9
+        return gpu_tp, cpu_tp, gpu_end, cpu_end, n_files
+
+    gpu_tp, cpu_tp, gpu_end, cpu_end, n_files = benchmark.pedantic(
+        compute, rounds=1, iterations=1)
+    kernel_speedup = gpu_tp / cpu_tp
+    end_speedup = cpu_end / gpu_end
+    rows = [
+        ("8x MI250X", round(gpu_tp, 1), round(gpu_end, 2)),
+        ("64-core CPU", round(cpu_tp, 1), round(cpu_end, 2)),
+        ("speedup", round(kernel_speedup, 2), round(end_speedup, 2)),
+    ]
+    text = format_series(
+        "Fig 14 — JHTDB (48 GB) full-node retrieval: kernel GB/s and "
+        "end-to-end seconds (modeled, real fetch stats; "
+        f"{n_files} segment files)",
+        ["configuration", "kernel GB/s", "end-to-end s"],
+        rows,
+        note="Paper: 10.36x kernel speedup shrinking to 4.18x end to "
+             "end (small-file I/O + GPU allocation overhead).",
+    )
+    write_result("fig14_multigpu", text)
+
+    assert 7.0 <= kernel_speedup <= 14.0  # paper: 10.36x
+    assert 2.5 <= end_speedup <= 6.5  # paper: 4.18x
+    assert end_speedup < kernel_speedup  # the gap the paper explains

@@ -1,0 +1,78 @@
+"""Figure 7: throughput of the three bitplane-encoding designs
+(locality block, register shuffling, register block) for encode and
+decode on both GPUs across input sizes.
+
+Real kernels are benchmarked for wall-clock; the figure series come
+from the cost model. Headline shape: register block ≈2.1× locality
+block encode (≈4.7×/8.3× decode on H100/MI250X); locality ≈1.4× the
+shuffle design on encode.
+"""
+
+import numpy as np
+import pytest
+
+from _helpers import format_series, write_result
+from repro.bitplane import DESIGNS, decode_bitplanes, encode_bitplanes
+from repro.gpu.costmodel import CostModel
+from repro.gpu.device import H100, MI250X
+
+SIZES = [1 << e for e in range(16, 27, 2)]
+
+
+@pytest.fixture(scope="module")
+def sample():
+    rng = np.random.default_rng(1)
+    return rng.standard_normal(1 << 20).astype(np.float32)
+
+
+@pytest.mark.parametrize("design", DESIGNS)
+def test_fig7_real_encode(benchmark, sample, design):
+    stream = benchmark(encode_bitplanes, sample, 32, design)
+    assert stream.num_elements == sample.size
+
+
+@pytest.mark.parametrize("design", DESIGNS)
+def test_fig7_real_decode(benchmark, sample, design):
+    stream = encode_bitplanes(sample, 32, design=design)
+    decoded = benchmark(decode_bitplanes, stream)
+    assert decoded.size == sample.size
+
+
+def test_fig7_modeled_series(benchmark):
+    def compute():
+        rows = []
+        for device in (H100, MI250X):
+            model = CostModel(device)
+            for design in DESIGNS:
+                for direction in ("encode", "decode"):
+                    fn = (model.bitplane_encode if direction == "encode"
+                          else model.bitplane_decode)
+                    tps = [fn(n, 32, design=design).throughput_gbps
+                           for n in SIZES]
+                    rows.append((device.name, design, direction,
+                                 *[round(t, 1) for t in tps]))
+        return rows
+
+    rows = benchmark.pedantic(compute, rounds=1, iterations=1)
+    text = format_series(
+        "Fig 7 — encoding-design throughput (GB/s, modeled)",
+        ["device", "design", "dir",
+         *[f"2^{int(np.log2(n))}" for n in SIZES]],
+        rows,
+        note="Paper ratios at saturation: register block / locality = "
+             "2.1x (enc), 4.7x (dec H100), 8.3x (dec MI250X); locality "
+             "/ shuffle = 1.4x (enc), 3.2x/6.6x (dec).",
+    )
+    write_result("fig7_encoding_designs", text)
+
+    big = SIZES[-1]
+    for device, dec_ratio in ((H100, 4.7), (MI250X, 8.3)):
+        model = CostModel(device)
+        rb_e = model.bitplane_encode(big, 32, design="register_block")
+        lb_e = model.bitplane_encode(big, 32, design="locality_block")
+        ratio_e = rb_e.throughput_gbps / lb_e.throughput_gbps
+        assert 2.1 * 0.65 <= ratio_e <= 2.1 * 1.35
+        rb_d = model.bitplane_decode(big, 32, design="register_block")
+        lb_d = model.bitplane_decode(big, 32, design="locality_block")
+        ratio_d = rb_d.throughput_gbps / lb_d.throughput_gbps
+        assert dec_ratio * 0.6 <= ratio_d <= dec_ratio * 1.4

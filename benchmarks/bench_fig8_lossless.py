@@ -1,0 +1,159 @@
+"""Figure 8: lossless strategies — (a) (de)compression throughput and
+(b) incremental retrieval size vs error tolerance.
+
+Strategies: Huffman on every group, RLE on every group, and the hybrid
+with rc ∈ {1.0, 2.0, 4.0}. Retrieval sizes (panel b) are *real* —
+measured from our refactored streams; throughput (panel a) combines
+real wall-clock with the modeled device throughput, where the hybrid's
+number emerges from the byte mix Algorithm 2 actually chose.
+"""
+
+import time
+
+import numpy as np
+import pytest
+
+from _helpers import (
+    SMALL_DATASETS,
+    bench_dataset,
+    format_series,
+    hybrid_method_mix,
+    write_result,
+)
+from repro.bitplane import encode_bitplanes
+from repro.core import Reconstructor
+from repro.core.refactor import RefactorConfig, refactor
+from repro.gpu.costmodel import CostModel
+from repro.gpu.device import H100
+from repro.lossless.hybrid import HybridConfig, compress_planes, decompress_groups
+
+TOLERANCES = [1e-1, 1e-2, 1e-3, 1e-4, 1e-5, 1e-6]
+
+STRATEGIES = {
+    "Huffman": HybridConfig(group_size=4, size_threshold=0,
+                            cr_threshold=1e-9),
+    "RLE": None,  # handled specially below (force RLE)
+    "Hybrid-1.0": HybridConfig(cr_threshold=1.0),
+    "Hybrid-2.0": HybridConfig(cr_threshold=2.0),
+    "Hybrid-4.0": HybridConfig(cr_threshold=4.0),
+}
+
+
+def _force_rle_groups(planes):
+    from repro.lossless.hybrid import CompressedGroup
+    from repro.lossless.rle import rle_encode
+
+    groups = []
+    for start in range(0, len(planes), 4):
+        members = planes[start:start + 4]
+        merged = np.concatenate([p.reshape(-1) for p in members])
+        groups.append(CompressedGroup(
+            method="rle", payload=rle_encode(merged),
+            plane_sizes=tuple(int(p.size) for p in members),
+            first_plane=start))
+    return groups
+
+
+@pytest.fixture(scope="module")
+def planes():
+    data = bench_dataset("NYX")
+    return encode_bitplanes(data.ravel(), 32).planes
+
+
+def test_fig8a_real_hybrid_compress(benchmark, planes):
+    groups = benchmark(compress_planes, planes, HybridConfig())
+    assert groups
+
+
+def test_fig8a_real_hybrid_decompress(benchmark, planes):
+    groups = compress_planes(planes, HybridConfig())
+    out = benchmark(decompress_groups, groups)
+    assert len(out) == len(planes)
+
+
+def test_fig8a_throughput_table(benchmark, planes):
+    def compute():
+        model = CostModel(H100)
+        total_bytes = sum(int(p.size) for p in planes)
+        rows = []
+        for name, config in STRATEGIES.items():
+            if name == "RLE":
+                groups = _force_rle_groups(planes)
+            else:
+                groups = compress_planes(planes, config)
+            mix = hybrid_method_mix(groups)
+            comp = model.lossless_mix(mix, "compress")
+            decomp = model.lossless_mix(mix, "decompress")
+            t0 = time.perf_counter()
+            decompress_groups(groups)
+            wall = time.perf_counter() - t0
+            rows.append((
+                name,
+                round(total_bytes / comp.seconds / 1e9, 1),
+                round(total_bytes / decomp.seconds / 1e9, 1),
+                round(total_bytes / wall / 1e6, 1),
+                round(sum(g.compressed_size for g in groups) / 1e6, 3),
+            ))
+        return rows
+
+    rows = benchmark.pedantic(compute, rounds=1, iterations=1)
+    text = format_series(
+        "Fig 8a — lossless strategy throughput "
+        "(modeled H100 GB/s; real decompress MB/s; compressed MB)",
+        ["strategy", "comp GB/s", "decomp GB/s", "real MB/s", "size MB"],
+        rows,
+        note="Paper (H100): Huffman 5.7/4.8 GB/s; RLE 44.4/6.4; hybrid "
+             "rc=1/2/4 -> 15.5/20.8/22.4 comp, 14.1/94.9/99.8 decomp.",
+    )
+    write_result("fig8a_lossless_throughput", text)
+    by_name = {r[0]: r for r in rows}
+    # Hybrid compresses faster than all-Huffman; looser rc is faster.
+    assert by_name["Hybrid-1.0"][1] > by_name["Huffman"][1]
+    assert by_name["Hybrid-4.0"][1] >= by_name["Hybrid-1.0"][1]
+
+
+def test_fig8b_retrieval_sizes(benchmark):
+    def compute():
+        rows = []
+        ratios = {}
+        for ds in SMALL_DATASETS:
+            data = bench_dataset(ds).astype(np.float64)
+            fields = {}
+            for name, config in STRATEGIES.items():
+                if name == "RLE":
+                    continue  # panel (b) uses the codable strategies
+                fields[name] = refactor(
+                    data, RefactorConfig(hybrid=config), name=ds
+                )
+            for name, field in fields.items():
+                recon = Reconstructor(field)
+                sizes = [
+                    recon.reconstruct(tolerance=t, relative=True)
+                    .incremental_bytes / 1e6
+                    for t in TOLERANCES
+                ]
+                total = recon.fetched_bytes
+                ratios.setdefault(name, []).append(total)
+                rows.append((ds, name, *[round(s, 4) for s in sizes]))
+        return rows, ratios
+
+    rows, ratios = benchmark.pedantic(compute, rounds=1, iterations=1)
+    text = format_series(
+        "Fig 8b — incremental retrieval size per tolerance (MB, real)",
+        ["dataset", "strategy", *[f"{t:.0e}" for t in TOLERANCES]],
+        rows,
+        note="Paper: hybrid rc=1.0 needs ~8% more retrieval than "
+             "all-Huffman on average; rc=2.0 ~70%, rc=4.0 ~93%.",
+    )
+    write_result("fig8b_retrieval_sizes", text)
+
+    huff = np.array(ratios["Huffman"], dtype=float)
+    overheads = []
+    for rc_name in ("Hybrid-1.0", "Hybrid-2.0", "Hybrid-4.0"):
+        hyb = np.array(ratios[rc_name], dtype=float)
+        overheads.append(float(np.mean(hyb / huff)) - 1.0)
+    # Retrieval overhead versus all-Huffman grows monotonically with
+    # the rc threshold (the paper's 8% / 70% / 93% ordering); absolute
+    # values depend on how compressible the deep planes are.
+    assert overheads[0] <= overheads[1] <= overheads[2]
+    assert overheads[0] >= -0.10

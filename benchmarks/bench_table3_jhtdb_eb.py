@@ -1,0 +1,74 @@
+"""Table 3: bitrate of the EB-estimation methods on mini-JHTDB.
+
+Same protocol as Table 2 on the JHTDB-like isotropic turbulence triple
+(the paper crops JHTDB to fit one GPU; we use the generator at a
+fit-in-CI size with the same k^-5/3 spectrum).
+"""
+
+import numpy as np
+import pytest
+
+from _helpers import BENCH_DIMS, format_series, write_result
+from repro.core.refactor import refactor
+from repro.data.registry import load_velocity_fields
+from repro.qoi import retrieve_qoi, v_total
+
+TOLERANCES = [1e-1, 5e-2, 1e-2, 5e-3, 1e-3, 5e-4, 1e-4, 5e-5, 1e-5]
+
+METHODS = [
+    ("CP", dict(method="cp")),
+    ("MA", dict(method="ma")),
+    ("MAPE(c=2)", dict(method="mape", switch_threshold=2.0)),
+    ("MAPE(c=10)", dict(method="mape", switch_threshold=10.0)),
+]
+
+
+@pytest.fixture(scope="module")
+def jhtdb_fields():
+    vx, vy, vz = load_velocity_fields("JHTDB", dims=(24, 32, 32), seed=7)
+    triple = {"vx": vx.astype(np.float64), "vy": vy.astype(np.float64),
+              "vz": vz.astype(np.float64)}
+    return {k: refactor(v, name=k) for k, v in triple.items()}
+
+
+def test_table3_bitrates(benchmark, jhtdb_fields):
+    def compute():
+        table = {}
+        iters = {}
+        for label, kwargs in METHODS:
+            bitrates, iterations = [], []
+            for tol in TOLERANCES:
+                result = retrieve_qoi(jhtdb_fields, v_total(), tol,
+                                      **kwargs)
+                assert result.estimated_error <= tol
+                bitrates.append(result.bitrate)
+                iterations.append(result.iterations)
+            table[label] = bitrates
+            iters[label] = iterations
+        return table, iters
+
+    table, iters = benchmark.pedantic(compute, rounds=1, iterations=1)
+    rows = [
+        (label, *[round(b, 2) for b in table[label]])
+        for label, _ in METHODS
+    ]
+    rows += [
+        (f"iters {label}", *iters[label]) for label, _ in METHODS
+    ]
+    text = format_series(
+        "Table 3 — bitrate (bits/point) of EB estimation methods, "
+        "mini-JHTDB (+ iteration counts)",
+        ["method", *[f"{t:.0e}" for t in TOLERANCES]],
+        rows,
+        note="Paper shape: MA best bitrates / most iterations; CP "
+             "fastest convergence / worst bitrates; MAPE(c=10) the "
+             "best tradeoff.",
+    )
+    write_result("table3_jhtdb_eb", text)
+
+    ma = np.array(table["MA"])
+    cp = np.array(table["CP"])
+    assert np.all(ma <= cp + 1e-9)
+    # Iteration ordering: CP converges in no more steps than MA.
+    assert np.mean(iters["CP"]) <= np.mean(iters["MA"])
+    assert np.mean(iters["MAPE(c=10)"]) <= np.mean(iters["MA"])

@@ -1,0 +1,74 @@
+#!/usr/bin/env python3
+"""Write-once / read-many-times workflow with a file-backed store.
+
+Models the paper's motivating scenario on a LETKF-like weather field:
+a simulation campaign refactors its output once into a directory of
+small segment files; later, different analyses retrieve at different
+precisions, each reading only the segments its tolerance requires.
+The I/O accounting shows the many-small-files effect the paper
+discusses in its Fig. 14 analysis.
+
+Run:  python examples/climate_store_workflow.py
+"""
+
+import tempfile
+from pathlib import Path
+
+import numpy as np
+
+from repro import Reconstructor, refactor
+from repro.core.store import DirectoryStore, load_field, store_field
+from repro.data.generators import letkf_field
+
+
+def main() -> None:
+    dims = (32, 96, 96)
+    print(f"Simulating a {dims} LETKF-like assimilation field ...")
+    data = letkf_field(dims, seed=3, dtype=np.float32)
+
+    with tempfile.TemporaryDirectory() as tmp:
+        root = Path(tmp) / "campaign"
+        store = DirectoryStore(root, file_open_latency_s=2e-4)
+
+        print("Refactoring and writing segments ...")
+        field = refactor(data, name="temperature")
+        store_field(store, field)
+        n_segments = len(store.keys()) - 1
+        print(f"  wrote {n_segments} segment files, "
+              f"{store.total_bytes() / 1e6:.2f} MB total")
+
+        # Three downstream consumers with different precision needs.
+        analyses = [
+            ("visualization", 1e-2),
+            ("feature tracking", 1e-4),
+            ("restart-grade", 1e-6),
+        ]
+        print(f"\n{'analysis':>18} {'tolerance':>10} {'segments':>9} "
+              f"{'bytes read':>11} {'modeled I/O':>12} {'max error':>10}")
+        for name, tol in analyses:
+            store.reads = store.bytes_read = 0
+            # Plan on metadata, then load only the needed groups.
+            probe = load_field(store, "temperature",
+                               groups_per_level=None)
+            recon = Reconstructor(probe)
+            result = recon.reconstruct(tolerance=tol, relative=True)
+            plan = result.plan
+            store.reads = store.bytes_read = 0
+            partial = load_field(store, "temperature",
+                                 groups_per_level=plan.groups_per_level)
+            out = Reconstructor(partial).reconstruct(plan=plan)
+            actual = float(np.max(np.abs(
+                out.data.astype(np.float64) - data.astype(np.float64))))
+            io_t = store.io_time_estimate(bandwidth_gbps=2.0)
+            print(f"{name:>18} {tol:>10.0e} {store.reads:>9} "
+                  f"{store.bytes_read / 1e6:>9.2f}MB {io_t * 1e3:>10.2f}ms "
+                  f"{actual:>10.2e}")
+            assert actual <= tol * probe.value_range
+
+        print("\nEach analysis read only what its precision demanded; "
+              "per-file open latency is the dominant I/O cost for the "
+              "coarse readers — the small-files effect of Fig. 14.")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,83 @@
+#!/usr/bin/env python3
+"""HP-MDR vs the multi-component progressive baselines (paper Fig. 11).
+
+Refactors a Miranda-like field with HP-MDR, the MDR baseline, and the
+multi-component framework over SZ3-like / MGARD / ZFP backends, then
+retrieves everything at a ladder of relative tolerances and compares
+the bytes each approach had to move.
+
+Run:  python examples/compare_baselines.py
+"""
+
+import numpy as np
+
+from repro import Reconstructor, refactor
+from repro.baselines import (
+    MdrCpuBaseline,
+    MultiComponentProgressive,
+    MgardLossyCodec,
+    Sz3Codec,
+    ZfpCodec,
+)
+from repro.data.generators import interface_field
+
+
+def main() -> None:
+    dims = (32, 48, 48)
+    print(f"Generating a {dims} Miranda-like interface field ...")
+    data = interface_field(dims, seed=5).astype(np.float64)
+    value_range = float(np.ptp(data))
+    tolerances = [1e-1, 1e-2, 1e-3, 1e-4]
+
+    print("Refactoring with every approach (write path) ...")
+    hp_field = refactor(data, name="density")
+    hp_recon = Reconstructor(hp_field)
+    mdr = MdrCpuBaseline(data.shape)
+    mdr_field = mdr.refactor(data)
+    multicomponent = {
+        "M-SZ3": MultiComponentProgressive(Sz3Codec(), num_components=7),
+        "M-MGARD": MultiComponentProgressive(MgardLossyCodec(),
+                                             num_components=7),
+        "M-ZFP-CPU": MultiComponentProgressive(
+            ZfpCodec(mode="fixed_accuracy"), num_components=7),
+    }
+    mc_streams = {
+        name: mc.refactor(data) for name, mc in multicomponent.items()
+    }
+
+    print(f"\nIncremental retrieval bytes (MB) per relative tolerance "
+          f"(raw data: {data.nbytes / 1e6:.2f} MB)\n")
+    header = f"{'approach':>12}" + "".join(
+        f"{t:>10.0e}" for t in tolerances)
+    print(header)
+
+    row = f"{'HP-MDR':>12}"
+    for tol in tolerances:
+        r = hp_recon.reconstruct(tolerance=tol, relative=True)
+        row += f"{r.fetched_bytes / 1e6:>10.3f}"
+    print(row)
+
+    row = f"{'MDR':>12}"
+    mdr_recon = Reconstructor(mdr_field)
+    for tol in tolerances:
+        r = mdr_recon.reconstruct(tolerance=tol * value_range)
+        row += f"{r.fetched_bytes / 1e6:>10.3f}"
+    print(row)
+
+    for name, mc in multicomponent.items():
+        row = f"{name:>12}"
+        for tol in tolerances:
+            _, fetched, achieved = mc.retrieve(
+                mc_streams[name], tol * value_range)
+            marker = "" if achieved <= tol * value_range else "*"
+            row += f"{fetched / 1e6:>9.3f}{marker or ' '}"
+        print(row)
+
+    print("\n(*) tolerance unreachable within the component stack — all "
+          "components fetched.\nThe multi-component baselines pay for "
+          "residual incompressibility at tight tolerances; the MDR-style "
+          "bitplane approaches reuse everything already fetched.")
+
+
+if __name__ == "__main__":
+    main()

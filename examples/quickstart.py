@@ -1,0 +1,51 @@
+#!/usr/bin/env python3
+"""Quickstart: refactor once, retrieve progressively at many precisions.
+
+Demonstrates the core HP-MDR workflow on a synthetic turbulence field:
+the data is refactored into a portable multi-precision stream, then
+reconstructed at a ladder of tolerances. Each step fetches only the
+*incremental* bitplane groups — the defining win of progressive
+retrieval over single-error-bound compression.
+
+Run:  python examples/quickstart.py
+"""
+
+import numpy as np
+
+from repro import Reconstructor, refactor
+from repro.data import generators as gen
+
+
+def main() -> None:
+    dims = (64, 64, 64)
+    print(f"Generating a {dims} Kolmogorov turbulence field ...")
+    data = gen.gaussian_random_field(dims, -5.0 / 3.0, seed=7,
+                                     dtype=np.float32)
+    raw_bytes = data.nbytes
+
+    print("Refactoring (decompose -> bitplanes -> hybrid lossless) ...")
+    field = refactor(data, name="velocity")
+    print(f"  stored size : {field.total_bytes() / 1e6:7.2f} MB "
+          f"({field.total_bytes() / raw_bytes:5.1%} of raw, near-lossless)")
+    print(f"  levels      : {len(field.levels)} "
+          f"(weights {['%.2f' % w for w in field.level_weights]})")
+
+    recon = Reconstructor(field)
+    tolerances = [1e-1, 1e-2, 1e-3, 1e-4, 1e-5]
+    print(f"\n{'tolerance':>10} {'bound':>10} {'actual':>10} "
+          f"{'incr. fetch':>12} {'cum. bitrate':>12}")
+    for tol in tolerances:
+        result = recon.reconstruct(tolerance=tol)
+        actual = float(np.max(np.abs(
+            result.data.astype(np.float64) - data.astype(np.float64))))
+        assert actual <= tol, "error-control guarantee violated!"
+        print(f"{tol:>10.0e} {result.error_bound:>10.2e} {actual:>10.2e} "
+              f"{result.incremental_bytes / 1e6:>10.2f}MB "
+              f"{result.bitrate:>10.2f}bpe")
+
+    print("\nEvery reconstruction met its requested tolerance, and each "
+          "refinement fetched only the increment.")
+
+
+if __name__ == "__main__":
+    main()

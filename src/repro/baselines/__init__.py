@@ -1,0 +1,41 @@
+"""Comparator implementations (paper Section 7.1.2).
+
+The paper's evaluation pits HP-MDR against the MDR CPU baseline and the
+multi-component progressive framework of Magri & Lindstrom backed by
+four error-bounded compressors. All comparators are built from scratch
+here in their real algorithmic families:
+
+* :mod:`~repro.baselines.zfp` — ZFP-like block-transform codec
+  (4³ blocks, per-block exponent alignment, invertible integer lifting,
+  negabinary bitplane truncation) with fixed-rate and fixed-accuracy
+  modes;
+* :mod:`~repro.baselines.sz3` — SZ3-like prediction codec with cuSZ's
+  dual-quantization Lorenzo (fully parallel, exact error bound) and
+  Huffman-coded quantization codes;
+* :mod:`~repro.baselines.mgard_lossy` — single-error-bound MGARD:
+  multilevel decomposition + level-aware quantization + Huffman;
+* :mod:`~repro.baselines.multicomponent` — the progressive framework:
+  iteratively compress residuals with decaying error bounds, fetch
+  components until the target tolerance holds;
+* :mod:`~repro.baselines.mdr_cpu` — the MDR baseline: the same
+  refactoring algorithms configured as the original CPU implementation
+  (per-plane entropy coding, no hybrid selection, no pipelining).
+"""
+
+from repro.baselines.mdr_cpu import MdrCpuBaseline
+from repro.baselines.mgard_lossy import MgardLossyCodec
+from repro.baselines.multicomponent import (
+    ComponentStream,
+    MultiComponentProgressive,
+)
+from repro.baselines.sz3 import Sz3Codec
+from repro.baselines.zfp import ZfpCodec
+
+__all__ = [
+    "ZfpCodec",
+    "Sz3Codec",
+    "MgardLossyCodec",
+    "MultiComponentProgressive",
+    "ComponentStream",
+    "MdrCpuBaseline",
+]

@@ -1,0 +1,100 @@
+"""Shared entropy coding of quantization-code integer arrays.
+
+SZ-family and MGARD-family compressors end in the same place: an array
+of small signed integers (quantization codes) with occasional large
+outliers. This module zigzag-maps them to unsigned and splits each code
+into low/high bytes coded as two Huffman streams (the high-byte stream
+is near-constant zero for well-predicted data and compresses to almost
+nothing); codes above 16 bits escape to a verbatim outlier table — the
+standard "codes + unpredictable values" layout.
+"""
+
+from __future__ import annotations
+
+import struct
+
+import numpy as np
+
+from repro.lossless.huffman import (
+    estimate_huffman_ratio,
+    huffman_decode,
+    huffman_encode,
+)
+from repro.lossless.rle import estimate_rle_ratio, rle_decode, rle_encode
+
+_MAGIC = b"INTC"
+_HEADER_FMT = "<4sQQQ"
+_ESCAPE16 = (1 << 16) - 1  # lo=0xFF, hi=0xFF marks an outlier
+
+
+def _encode_stream(data: np.ndarray) -> bytes:
+    """Code one byte stream with the better of Huffman and RLE.
+
+    High-byte streams are usually constant zero, where RLE costs a few
+    dozen bytes versus Huffman's 1-bit-per-symbol floor.
+    """
+    if estimate_rle_ratio(data) > estimate_huffman_ratio(data):
+        return b"R" + rle_encode(data)
+    return b"H" + huffman_encode(data)
+
+
+def _decode_stream(blob: bytes) -> np.ndarray:
+    tag, payload = blob[:1], blob[1:]
+    if tag == b"R":
+        return rle_decode(payload)
+    if tag == b"H":
+        return huffman_decode(payload)
+    raise ValueError(f"unknown int-codec stream tag {tag!r}")
+
+
+def zigzag_encode(values: np.ndarray) -> np.ndarray:
+    """Map signed to unsigned: 0,-1,1,-2,2 → 0,1,2,3,4."""
+    v = np.asarray(values, dtype=np.int64)
+    return ((v << 1) ^ (v >> 63)).astype(np.uint64)
+
+
+def zigzag_decode(codes: np.ndarray) -> np.ndarray:
+    """Inverse of :func:`zigzag_encode`."""
+    u = np.asarray(codes, dtype=np.uint64)
+    return ((u >> np.uint64(1)).astype(np.int64)
+            ^ -(u & np.uint64(1)).astype(np.int64))
+
+
+def encode_int_array(values: np.ndarray) -> bytes:
+    """Compress a signed integer array (quantization codes)."""
+    values = np.ascontiguousarray(values, dtype=np.int64).reshape(-1)
+    zz = zigzag_encode(values)
+    small = zz < _ESCAPE16
+    codes16 = np.where(small, zz, _ESCAPE16).astype(np.uint64)
+    lo = (codes16 & np.uint64(0xFF)).astype(np.uint8)
+    hi = (codes16 >> np.uint64(8)).astype(np.uint8)
+    outliers = values[~small]
+    lo_blob = _encode_stream(lo)
+    hi_blob = _encode_stream(hi)
+    header = struct.pack(
+        _HEADER_FMT, _MAGIC, values.size, outliers.size, len(lo_blob)
+    )
+    return (header + outliers.astype("<i8").tobytes() + lo_blob + hi_blob)
+
+
+def decode_int_array(blob: bytes) -> np.ndarray:
+    """Inverse of :func:`encode_int_array`."""
+    head = struct.calcsize(_HEADER_FMT)
+    if len(blob) < head:
+        raise ValueError("not an int-codec stream (truncated header)")
+    magic, n, n_out, lo_len = struct.unpack_from(_HEADER_FMT, blob, 0)
+    if magic != _MAGIC:
+        raise ValueError("not an int-codec stream")
+    outliers = np.frombuffer(blob, dtype="<i8", count=n_out, offset=head)
+    off = head + 8 * n_out
+    lo = _decode_stream(blob[off : off + lo_len])
+    hi = _decode_stream(blob[off + lo_len:])
+    if lo.size != n or hi.size != n:
+        raise ValueError("corrupt int-codec stream: size mismatch")
+    codes16 = lo.astype(np.uint64) | (hi.astype(np.uint64) << np.uint64(8))
+    values = zigzag_decode(codes16)
+    escaped = codes16 == _ESCAPE16
+    if int(np.count_nonzero(escaped)) != n_out:
+        raise ValueError("corrupt int-codec stream: outlier count mismatch")
+    values[escaped] = outliers
+    return values

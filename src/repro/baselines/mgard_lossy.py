@@ -1,0 +1,80 @@
+"""MGARD as a classic single-error-bound lossy compressor.
+
+Uses the same multilevel decomposition substrate as HP-MDR but follows
+the original MGARD pipeline: decompose, quantize each level uniformly
+with a level-aware bin width, entropy-code the quantization codes. The
+bin widths split the error budget across levels by the rigorous L∞
+amplification weights, so ``|x - x̂| ≤ error_bound`` always holds —
+the guarantee the multi-component framework builds on.
+"""
+
+from __future__ import annotations
+
+import struct
+
+import numpy as np
+
+from repro.baselines.intcodec import decode_int_array, encode_int_array
+from repro.decompose import MultilevelTransform
+from repro.decompose.norms import level_error_weights
+from repro.util.serialize import pack_arrays, unpack_arrays
+from repro.util.validation import check_dtype_floating
+
+_MAGIC = b"MGLC"
+_HEADER_FMT = "<4sB3IdH"
+
+
+class MgardLossyCodec:
+    """Single-error-bound MGARD compression."""
+
+    name = "MGARD"
+
+    def __init__(self, mode: str = "hierarchical") -> None:
+        self.mode = mode
+
+    def compress(self, data: np.ndarray, error_bound: float) -> bytes:
+        """Compress with absolute L∞ bound *error_bound*."""
+        check_dtype_floating(data)
+        if error_bound <= 0:
+            raise ValueError("error_bound must be > 0")
+        if data.ndim != 3:
+            raise ValueError("MgardLossyCodec expects 3-D data")
+        transform = MultilevelTransform(data.shape, mode=self.mode)
+        weights = level_error_weights(transform)
+        levels = transform.extract_levels(transform.decompose(data))
+        budget = error_bound / sum(weights)
+        payloads = []
+        for coeff, w in zip(levels, weights):
+            bin_width = 2.0 * (budget / w)
+            q = np.round(coeff / bin_width).astype(np.int64)
+            payloads.append(
+                np.frombuffer(encode_int_array(q), dtype=np.uint8)
+            )
+        is64 = 1 if data.dtype == np.float64 else 0
+        header = struct.pack(
+            _HEADER_FMT, _MAGIC, is64, *data.shape, error_bound,
+            len(payloads),
+        )
+        return header + pack_arrays(payloads)
+
+    def decompress(self, blob: bytes) -> np.ndarray:
+        """Recover data within the recorded error bound."""
+        head = struct.calcsize(_HEADER_FMT)
+        magic, is64, n0, n1, n2, eb, n_levels = struct.unpack_from(
+            _HEADER_FMT, blob, 0
+        )
+        if magic != _MAGIC:
+            raise ValueError("not an MGARD-lossy stream")
+        transform = MultilevelTransform((n0, n1, n2), mode=self.mode)
+        weights = level_error_weights(transform)
+        if len(weights) != n_levels:
+            raise ValueError("level count mismatch in MGARD-lossy stream")
+        budget = eb / sum(weights)
+        payloads = unpack_arrays(blob[head:])
+        levels = []
+        for payload, w in zip(payloads, weights):
+            q = decode_int_array(bytes(payload))
+            bin_width = 2.0 * (budget / w)
+            levels.append(q.astype(np.float64) * bin_width)
+        data = transform.recompose(transform.assemble_levels(levels))
+        return data.astype(np.float64 if is64 else np.float32)

@@ -1,0 +1,83 @@
+"""SZ3-like prediction-based error-bounded compressor.
+
+Follows the SZ family structure — predictor, linear quantization,
+entropy coding — using cuSZ's *dual-quantization* formulation so the
+hot loops are fully parallel (the GPU-shaped variant the paper's
+multi-component baselines would use): values are quantized first
+(``q = round(x / 2eb)``), then the 3-D Lorenzo predictor runs on the
+*integer* codes, making prediction exact and the ``|x - x̂| ≤ eb``
+guarantee unconditional.
+
+Simplification vs SZ3 proper: only the Lorenzo predictor is provided
+(SZ3's spline interpolation predictor is omitted); noted in
+EXPERIMENTS.md.
+"""
+
+from __future__ import annotations
+
+import struct
+
+import numpy as np
+
+from repro.baselines.intcodec import decode_int_array, encode_int_array
+from repro.util.validation import check_dtype_floating
+
+_MAGIC = b"SZ3L"
+_HEADER_FMT = "<4sB3Id"
+
+
+def _lorenzo_forward(q: np.ndarray) -> np.ndarray:
+    """N-D Lorenzo residual = successive first differences per axis."""
+    d = q
+    for axis in range(q.ndim):
+        d = np.diff(d, axis=axis, prepend=0)
+    return d
+
+
+def _lorenzo_inverse(d: np.ndarray) -> np.ndarray:
+    """Inverse Lorenzo = cumulative sums per axis (reverse order)."""
+    q = d
+    for axis in range(d.ndim - 1, -1, -1):
+        q = np.cumsum(q, axis=axis)
+    return q
+
+
+class Sz3Codec:
+    """Error-bounded compression with dual-quantized Lorenzo."""
+
+    name = "SZ3"
+
+    def compress(self, data: np.ndarray, error_bound: float) -> bytes:
+        """Compress with absolute L∞ bound *error_bound*."""
+        check_dtype_floating(data)
+        if error_bound <= 0:
+            raise ValueError("error_bound must be > 0")
+        if data.ndim != 3:
+            raise ValueError("Sz3Codec expects 3-D data")
+        max_abs = float(np.max(np.abs(data))) if data.size else 0.0
+        if max_abs / (2.0 * error_bound) > 2.0 ** 60:
+            raise ValueError(
+                "error_bound too small for the data's dynamic range "
+                "(quantization codes would overflow int64)"
+            )
+        q = np.round(
+            data.astype(np.float64) / (2.0 * error_bound)
+        ).astype(np.int64)
+        codes = _lorenzo_forward(q)
+        payload = encode_int_array(codes)
+        is64 = 1 if data.dtype == np.float64 else 0
+        header = struct.pack(
+            _HEADER_FMT, _MAGIC, is64, *data.shape, error_bound
+        )
+        return header + payload
+
+    def decompress(self, blob: bytes) -> np.ndarray:
+        """Recover data within the recorded error bound."""
+        head = struct.calcsize(_HEADER_FMT)
+        magic, is64, n0, n1, n2, eb = struct.unpack_from(_HEADER_FMT, blob, 0)
+        if magic != _MAGIC:
+            raise ValueError("not an SZ3-like stream")
+        codes = decode_int_array(blob[head:]).reshape(n0, n1, n2)
+        q = _lorenzo_inverse(codes)
+        data = q.astype(np.float64) * (2.0 * eb)
+        return data.astype(np.float64 if is64 else np.float32)

@@ -1,0 +1,127 @@
+"""Exponent alignment and fixed-point conversion (Algorithm 1, step 1).
+
+All elements are aligned to the *global* maximum exponent so bitplane
+boundaries are consistent across the batch: value ``x`` becomes the
+unsigned integer ``floor(|x| · 2^(B - e))`` where ``2^(e-1) ≤ max|x| < 2^e``
+and ``B`` is the bitplane count, plus a separate sign bit. Dropping the
+trailing ``B - k`` planes then bounds the pointwise error by
+``2^(e - k)`` (and never worse than ``max|x|`` itself).
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.util.validation import check_dtype_floating
+
+#: Maximum supported magnitude bitplanes (uint64 minus safety margin for
+#: exact float64 arithmetic during conversion).
+MAX_BITPLANES = 60
+
+
+def compute_exponent(max_abs: float) -> int:
+    """Smallest integer ``e`` with ``max_abs < 2^e`` (0 for all-zero data)."""
+    if max_abs < 0 or not math.isfinite(max_abs):
+        raise ValueError(f"max_abs must be finite and >= 0, got {max_abs}")
+    if max_abs == 0.0:
+        return 0
+    _, e = math.frexp(max_abs)  # max_abs = m * 2^e, 0.5 <= m < 1
+    return e
+
+
+@dataclass
+class AlignedFixedPoint:
+    """Sign/magnitude fixed-point representation of a float array."""
+
+    signs: np.ndarray  # uint8, 1 where negative
+    magnitudes: np.ndarray  # uint64 in [0, 2^B)
+    exponent: int
+    num_bitplanes: int
+    max_abs: float
+    dtype: np.dtype  # original floating dtype
+
+    @property
+    def num_elements(self) -> int:
+        return int(self.magnitudes.size)
+
+
+def align_to_fixed_point(
+    data: np.ndarray, num_bitplanes: int
+) -> AlignedFixedPoint:
+    """Convert floats to exponent-aligned sign/magnitude fixed point."""
+    check_dtype_floating(data)
+    if not 1 <= num_bitplanes <= MAX_BITPLANES:
+        raise ValueError(
+            f"num_bitplanes must be in [1, {MAX_BITPLANES}], "
+            f"got {num_bitplanes}"
+        )
+    flat = np.ascontiguousarray(data).reshape(-1)
+    if flat.size and not np.isfinite(flat).all():
+        raise ValueError("bitplane encoding requires finite input data")
+    abs_vals = np.abs(flat.astype(np.float64, copy=False))
+    max_abs = float(abs_vals.max()) if flat.size else 0.0
+    exponent = compute_exponent(max_abs)
+    scale = math.ldexp(1.0, num_bitplanes - exponent)
+    mags = np.floor(abs_vals * scale).astype(np.uint64)
+    # Guard against float round-up at the top of the range.
+    limit = np.uint64((1 << num_bitplanes) - 1)
+    np.minimum(mags, limit, out=mags)
+    signs = np.signbit(flat).astype(np.uint8)
+    return AlignedFixedPoint(
+        signs=signs,
+        magnitudes=mags,
+        exponent=exponent,
+        num_bitplanes=num_bitplanes,
+        max_abs=max_abs,
+        dtype=data.dtype,
+    )
+
+
+def from_fixed_point(
+    aligned: AlignedFixedPoint, kept_planes: int | None = None
+) -> np.ndarray:
+    """Reconstruct floats from (possibly truncated) fixed-point values.
+
+    ``kept_planes`` counts magnitude bitplanes from the most significant;
+    ``None`` keeps all. Truncated nonzero values are centered by half the
+    dropped range, halving the expected error while preserving the
+    ``2^(e-k)`` worst-case bound.
+    """
+    B = aligned.num_bitplanes
+    k = B if kept_planes is None else int(kept_planes)
+    if not 0 <= k <= B:
+        raise ValueError(f"kept_planes must be in [0, {B}], got {kept_planes}")
+    mags = aligned.magnitudes
+    if k < B:
+        drop = B - k
+        mask = np.uint64(~np.uint64((1 << drop) - 1))
+        truncated = mags & mask
+        center = np.where(
+            truncated > 0, np.uint64(1 << (drop - 1)), np.uint64(0)
+        )
+        mags = truncated + center
+    scale = math.ldexp(1.0, aligned.exponent - B)
+    values = mags.astype(np.float64) * scale
+    values[aligned.signs.astype(bool)] *= -1.0
+    return values.astype(aligned.dtype, copy=False)
+
+
+def plane_error_bound(
+    exponent: int, num_bitplanes: int, kept_planes: int, max_abs: float
+) -> float:
+    """Worst-case |x - x̂| after keeping *kept_planes* magnitude planes.
+
+    ``2^(e - k)`` for partial retrieval, ``2^(e - B)`` (one quantization
+    ulp) when everything is kept, and never worse than ``max_abs`` (the
+    error of reconstructing zero).
+    """
+    if kept_planes < 0:
+        raise ValueError("kept_planes must be >= 0")
+    k = min(kept_planes, num_bitplanes)
+    bound = math.ldexp(1.0, exponent - k)
+    if k == num_bitplanes:
+        bound = math.ldexp(1.0, exponent - num_bitplanes)
+    return min(bound, max_abs) if max_abs > 0 else 0.0

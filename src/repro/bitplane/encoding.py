@@ -1,0 +1,322 @@
+"""Functional bitplane codec with pluggable parallelization designs.
+
+The heavy lifting is a bit-matrix transpose: ``N`` fixed-point values of
+``B`` bits become ``B`` packed bitplanes of ``N`` bits (plus one sign
+plane, stored first). Designs differ in the *order* bits land in the
+stream — ``natural`` element order for locality-block and
+register-shuffle, warp-transposed tiles for register-block — and in their
+simulated GPU cost (see :mod:`repro.gpu.costmodel`). Decoded values are
+identical across designs, which is HP-MDR's portability property.
+"""
+
+from __future__ import annotations
+
+import struct
+from dataclasses import dataclass, field
+
+import numpy as np
+
+from repro.bitplane import register_block
+from repro.bitplane.align import (
+    AlignedFixedPoint,
+    align_to_fixed_point,
+    from_fixed_point,
+    plane_error_bound,
+)
+from repro.util.serialize import pack_arrays, unpack_arrays
+
+#: The three parallelization designs of Section 4.
+DESIGNS = ("locality_block", "register_shuffle", "register_block")
+
+#: The four register-shuffle instruction variants of Section 4.2.
+SHUFFLE_VARIANTS = ("ballot", "shift", "match_any", "reduce_add")
+
+_NATURAL = "natural"
+_WARP = "warp"
+
+_HEADER_FMT = "<4sH16s8sBQHiidH"
+_MAGIC = b"BPLS"
+_VERSION = 1
+
+
+#: Supported signed-value encodings (MDR offers both).
+SIGNED_ENCODINGS = ("sign_magnitude", "negabinary")
+
+
+@dataclass
+class BitplaneStream:
+    """An encoded set of bitplanes plus the metadata needed to decode.
+
+    With the default ``sign_magnitude`` encoding, ``planes[0]`` is the
+    sign plane and ``planes[1:]`` are magnitude planes from most to
+    least significant; with ``negabinary`` all planes are base-(−2)
+    digits (no sign plane, one extra digit). Both store
+    ``num_bitplanes + 1`` planes of ``ceil(N / 8)`` packed bytes.
+    """
+
+    planes: list[np.ndarray]
+    num_elements: int
+    num_bitplanes: int
+    exponent: int
+    max_abs: float
+    dtype: np.dtype
+    design: str = "register_block"
+    layout: str = _NATURAL
+    warp_size: int = 32
+    signed_encoding: str = "sign_magnitude"
+
+    @property
+    def num_planes(self) -> int:
+        """Total stored planes."""
+        return len(self.planes)
+
+    def plane_bytes(self, count: int | None = None) -> int:
+        """Total payload bytes of the leading *count* planes."""
+        planes = self.planes if count is None else self.planes[:count]
+        return int(sum(p.nbytes for p in planes))
+
+    def error_bound(self, fetched_planes: int) -> float:
+        """L∞ bound when only the first *fetched_planes* planes are used."""
+        if self.signed_encoding == "negabinary":
+            from repro.bitplane.negabinary import (
+                plane_error_bound_negabinary,
+            )
+
+            return plane_error_bound_negabinary(
+                self.exponent, self.num_bitplanes, int(fetched_planes),
+                self.max_abs,
+            )
+        # sign_magnitude: plane 0 is the sign plane.
+        kept = max(0, int(fetched_planes) - 1)
+        return plane_error_bound(
+            self.exponent, self.num_bitplanes, kept, self.max_abs
+        )
+
+    # -- serialization --------------------------------------------------
+    def to_bytes(self) -> bytes:
+        header = struct.pack(
+            _HEADER_FMT,
+            _MAGIC,
+            _VERSION,
+            self.design.encode().ljust(16, b"\0"),
+            self.layout.encode().ljust(8, b"\0"),
+            1 if self.dtype == np.dtype(np.float64) else 0,
+            self.num_elements,
+            self.num_bitplanes,
+            self.exponent,
+            SIGNED_ENCODINGS.index(self.signed_encoding),
+            self.max_abs,
+            self.warp_size,
+        )
+        return header + pack_arrays(self.planes)
+
+    @classmethod
+    def from_bytes(cls, buf: bytes) -> "BitplaneStream":
+        head_size = struct.calcsize(_HEADER_FMT)
+        (magic, version, design, layout, is64, n, b, exponent, enc_id,
+         max_abs, warp) = struct.unpack_from(_HEADER_FMT, buf, 0)
+        if magic != _MAGIC:
+            raise ValueError("not a bitplane stream")
+        if version != _VERSION:
+            raise ValueError(f"unsupported bitplane stream version {version}")
+        if enc_id >= len(SIGNED_ENCODINGS):
+            raise ValueError(f"unknown signed encoding id {enc_id}")
+        payloads = unpack_arrays(buf[head_size:])
+        planes = [np.frombuffer(p, dtype=np.uint8).copy() for p in payloads]
+        return cls(
+            planes=planes,
+            num_elements=n,
+            num_bitplanes=b,
+            exponent=exponent,
+            max_abs=max_abs,
+            dtype=np.dtype(np.float64 if is64 else np.float32),
+            design=design.rstrip(b"\0").decode(),
+            layout=layout.rstrip(b"\0").decode(),
+            warp_size=warp,
+            signed_encoding=SIGNED_ENCODINGS[enc_id],
+        )
+
+
+# ---------------------------------------------------------------------
+# Plane extraction / injection on natural-order fixed-point values
+# ---------------------------------------------------------------------
+def extract_planes(
+    signs: np.ndarray, mags: np.ndarray, num_bitplanes: int
+) -> list[np.ndarray]:
+    """Transpose sign+magnitude integers into packed bitplanes.
+
+    One vectorized pass per plane (the GPU kernels do the same amount of
+    work; this is the NumPy idiom for it), most significant first.
+    """
+    planes = [np.packbits(signs, bitorder="little")]
+    for b in range(num_bitplanes - 1, -1, -1):
+        bits = ((mags >> np.uint64(b)) & np.uint64(1)).astype(np.uint8)
+        planes.append(np.packbits(bits, bitorder="little"))
+    return planes
+
+
+def inject_planes(
+    planes: list[np.ndarray],
+    num_elements: int,
+    num_bitplanes: int,
+) -> tuple[np.ndarray, np.ndarray]:
+    """Inverse of :func:`extract_planes` for the available planes.
+
+    Missing trailing planes decode as zero bits (progressive truncation).
+    """
+    signs = np.zeros(num_elements, dtype=np.uint8)
+    mags = np.zeros(num_elements, dtype=np.uint64)
+    if not planes:
+        return signs, mags
+    signs = np.unpackbits(
+        planes[0], count=num_elements, bitorder="little"
+    ).astype(np.uint8)
+    for i, plane in enumerate(planes[1:]):
+        bit_index = num_bitplanes - 1 - i
+        if bit_index < 0:
+            raise ValueError("more magnitude planes than num_bitplanes")
+        bits = np.unpackbits(plane, count=num_elements, bitorder="little")
+        mags |= bits.astype(np.uint64) << np.uint64(bit_index)
+    return signs, mags
+
+
+# ---------------------------------------------------------------------
+# Public codec entry points
+# ---------------------------------------------------------------------
+def extract_code_planes(codes: np.ndarray, width: int) -> list[np.ndarray]:
+    """Transpose unsigned codes into *width* packed planes, MSB first."""
+    planes = []
+    for b in range(width - 1, -1, -1):
+        bits = ((codes >> np.uint64(b)) & np.uint64(1)).astype(np.uint8)
+        planes.append(np.packbits(bits, bitorder="little"))
+    return planes
+
+
+def inject_code_planes(
+    planes: list[np.ndarray], num_elements: int, width: int
+) -> np.ndarray:
+    """Inverse of :func:`extract_code_planes`; missing planes are zero."""
+    if len(planes) > width:
+        raise ValueError("more planes than code width")
+    codes = np.zeros(num_elements, dtype=np.uint64)
+    for i, plane in enumerate(planes):
+        bits = np.unpackbits(plane, count=num_elements, bitorder="little")
+        codes |= bits.astype(np.uint64) << np.uint64(width - 1 - i)
+    return codes
+
+
+def encode_bitplanes(
+    data: np.ndarray,
+    num_bitplanes: int = 32,
+    design: str = "register_block",
+    warp_size: int = 32,
+    signed_encoding: str = "sign_magnitude",
+) -> BitplaneStream:
+    """Encode a float array into a :class:`BitplaneStream`.
+
+    ``design`` selects the parallelization strategy being modeled; the
+    register-block design permutes elements into its coalesced
+    warp-transposed order before extraction (Section 4.3), the others
+    keep natural order. ``signed_encoding`` picks sign+magnitude planes
+    (default) or the negabinary representation.
+    """
+    if design not in DESIGNS:
+        raise ValueError(f"design must be one of {DESIGNS}, got {design!r}")
+    if signed_encoding not in SIGNED_ENCODINGS:
+        raise ValueError(
+            f"signed_encoding must be one of {SIGNED_ENCODINGS}, "
+            f"got {signed_encoding!r}"
+        )
+    aligned = align_to_fixed_point(data, num_bitplanes)
+    signs, mags = aligned.signs, aligned.magnitudes
+    layout = _NATURAL
+    if design == "register_block":
+        perm = register_block.tile_permutation(
+            aligned.num_elements, num_bitplanes, warp_size
+        )
+        signs = signs[perm]
+        mags = mags[perm]
+        layout = _WARP
+    if signed_encoding == "negabinary":
+        from repro.bitplane.negabinary import negabinary_width, to_negabinary
+
+        signed = np.where(signs.astype(bool), -mags.astype(np.int64),
+                          mags.astype(np.int64))
+        codes = to_negabinary(signed)
+        planes = extract_code_planes(codes, negabinary_width(num_bitplanes))
+    else:
+        planes = extract_planes(signs, mags, num_bitplanes)
+    return BitplaneStream(
+        planes=planes,
+        num_elements=aligned.num_elements,
+        num_bitplanes=num_bitplanes,
+        exponent=aligned.exponent,
+        max_abs=aligned.max_abs,
+        dtype=aligned.dtype,
+        design=design,
+        layout=layout,
+        warp_size=warp_size,
+        signed_encoding=signed_encoding,
+    )
+
+
+def decode_bitplanes(
+    stream: BitplaneStream, num_planes: int | None = None
+) -> np.ndarray:
+    """Decode the leading *num_planes* planes back to float values.
+
+    ``num_planes`` counts stored planes from the most significant;
+    ``None`` uses all available. Works for streams produced by any
+    design (portability).
+    """
+    total = stream.num_planes
+    k = total if num_planes is None else int(num_planes)
+    if not 0 <= k <= total:
+        raise ValueError(f"num_planes must be in [0, {total}], got {k}")
+    if stream.signed_encoding == "negabinary":
+        return _decode_negabinary(stream, k)
+    signs, mags = inject_planes(
+        stream.planes[:k], stream.num_elements, stream.num_bitplanes
+    )
+    if stream.layout == _WARP:
+        inv = register_block.inverse_tile_permutation(
+            stream.num_elements, stream.num_bitplanes, stream.warp_size
+        )
+        signs = signs[inv]
+        mags = mags[inv]
+    aligned = AlignedFixedPoint(
+        signs=signs,
+        magnitudes=mags,
+        exponent=stream.exponent,
+        num_bitplanes=stream.num_bitplanes,
+        max_abs=stream.max_abs,
+        dtype=stream.dtype,
+    )
+    kept = max(0, k - 1)
+    return from_fixed_point(aligned, kept_planes=kept)
+
+
+def _decode_negabinary(stream: BitplaneStream, k: int) -> np.ndarray:
+    """Decode the leading *k* negabinary planes to float values."""
+    import math
+
+    from repro.bitplane.negabinary import from_negabinary, negabinary_width
+
+    width = negabinary_width(stream.num_bitplanes)
+    codes = inject_code_planes(
+        stream.planes[:k], stream.num_elements, width
+    )
+    if stream.layout == _WARP:
+        inv = register_block.inverse_tile_permutation(
+            stream.num_elements, stream.num_bitplanes, stream.warp_size
+        )
+        codes = codes[inv]
+    signed = from_negabinary(codes)
+    scale = math.ldexp(1.0, stream.exponent - stream.num_bitplanes)
+    return (signed.astype(np.float64) * scale).astype(stream.dtype,
+                                                      copy=False)
+
+
+# Short aliases used across the library.
+encode = encode_bitplanes
+decode = decode_bitplanes

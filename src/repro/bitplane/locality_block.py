@@ -1,0 +1,52 @@
+"""Locality-block bitplane encoding (paper Section 4.1, ZFP-inspired).
+
+Each thread encodes ``block_size`` *contiguous* elements, so neighboring
+coefficients — which share high-order bits — land adjacently in every
+bitplane, preserving compressibility. Stores coalesce (thread ``t``
+writes word ``t`` of each plane) but loads do not, and parallelism is
+only ``n / block_size``; the block size therefore trades occupancy
+against per-thread work, which is the tuning knob this module models.
+
+Functionally the output is the natural-order stream (block-major word
+order equals element order), produced by the shared vectorized extractor;
+this module adds the block bookkeeping and the occupancy helper the cost
+model consumes.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+
+def num_blocks(num_elements: int, block_size: int) -> int:
+    """Number of locality blocks (threads) covering *num_elements*."""
+    if block_size < 1:
+        raise ValueError("block_size must be >= 1")
+    return -(-num_elements // block_size)
+
+
+def block_view(mags: np.ndarray, block_size: int) -> np.ndarray:
+    """(n_blocks, block_size) view of the magnitudes, zero-padded tail.
+
+    Mirrors the per-thread register state of the GPU kernel; mostly used
+    by tests and the compressibility study.
+    """
+    n = mags.size
+    blocks = num_blocks(n, block_size)
+    padded = np.zeros(blocks * block_size, dtype=mags.dtype)
+    padded[:n] = mags
+    return padded.reshape(blocks, block_size)
+
+
+def parallelism(num_elements: int, block_size: int) -> int:
+    """Thread-level parallelism of the design (= number of blocks)."""
+    return num_blocks(num_elements, block_size)
+
+
+def recommended_block_size(num_bitplanes: int) -> int:
+    """The paper groups ``B`` contiguous elements per block.
+
+    Matching the block extent to the bitplane count lets each thread
+    emit whole ``B``-bit words per plane.
+    """
+    return max(4, num_bitplanes)

@@ -1,0 +1,89 @@
+"""Negabinary coefficient encoding — MDR's alternative to sign planes.
+
+Representing the signed fixed-point value in base −2 folds the sign
+into the magnitude bits, so no separate sign plane is stored and
+truncated prefixes remain meaningful approximations of *signed* values.
+The trade-off is a one-bit-wider representation and a slightly looser
+truncation bound: dropping the low ``d`` bits of a negabinary code
+perturbs the value by at most ``(2/3)·2^d`` in either direction (the
+alternating-weight geometric sum), versus ``2^d`` one-sided for
+sign-magnitude — both decay identically per retained plane.
+
+This module provides conversions plus bound helpers; the stream codec
+integrates it via ``RefactorConfig(signed_encoding="negabinary")``.
+"""
+
+from __future__ import annotations
+
+import math
+
+import numpy as np
+
+_NEGA_MASK = np.uint64(0xAAAAAAAAAAAAAAAA)
+
+
+def to_negabinary(values: np.ndarray) -> np.ndarray:
+    """Signed int64 → negabinary code (uint64)."""
+    u = np.ascontiguousarray(values, dtype=np.int64).view(np.uint64)
+    return (u + _NEGA_MASK) ^ _NEGA_MASK
+
+
+def from_negabinary(codes: np.ndarray) -> np.ndarray:
+    """Negabinary code (uint64) → signed int64."""
+    u = (np.ascontiguousarray(codes, dtype=np.uint64) ^ _NEGA_MASK) \
+        - _NEGA_MASK
+    return u.view(np.int64)
+
+
+def negabinary_width(num_bitplanes: int) -> int:
+    """Code width needed for signed magnitudes below ``2^num_bitplanes``.
+
+    Positive values up to ``2^B − 1`` are covered by even-position
+    digits through position ``B`` (width ``B+1``); negative values need
+    odd-position digits through position ``B+1`` — so the code is two
+    digits wider than the magnitude.
+    """
+    if num_bitplanes < 1:
+        raise ValueError("num_bitplanes must be >= 1")
+    return num_bitplanes + 2
+
+
+def truncation_error_bound(dropped_bits: int) -> float:
+    """Max |value error| after zeroing the low *dropped_bits* digits.
+
+    The dropped digits contribute at most ``Σ 2^i`` over the positive
+    (even) positions or the negative (odd) positions below the cut —
+    both bounded by ``(2/3)·2^dropped``.
+    """
+    if dropped_bits < 0:
+        raise ValueError("dropped_bits must be >= 0")
+    if dropped_bits == 0:
+        return 0.0
+    return (2.0 / 3.0) * math.ldexp(1.0, dropped_bits)
+
+
+def plane_error_bound_negabinary(
+    exponent: int, num_bitplanes: int, kept_planes: int, max_abs: float
+) -> float:
+    """L∞ bound after keeping *kept_planes* of the negabinary planes.
+
+    Mirrors :func:`repro.bitplane.align.plane_error_bound` for the
+    negabinary representation: fixed-point scale ``2^(e-B)`` times the
+    digit-truncation bound plus one quantization ulp. Unlike
+    sign-magnitude, a *partial* negabinary prefix can reconstruct past
+    ``max_abs`` (a leading negative-weight digit without its
+    compensating lower digits), so the ``max_abs`` cap applies only to
+    the fetched-nothing case.
+    """
+    if kept_planes < 0:
+        raise ValueError("kept_planes must be >= 0")
+    width = negabinary_width(num_bitplanes)
+    k = min(kept_planes, width)
+    scale = math.ldexp(1.0, exponent - num_bitplanes)
+    if max_abs == 0.0:
+        return 0.0
+    if k == 0:
+        return min(max_abs, (truncation_error_bound(width) + 1.0) * scale)
+    if k >= width:
+        return scale  # quantization ulp only
+    return (truncation_error_bound(width - k) + 1.0) * scale

@@ -1,0 +1,62 @@
+"""Register-block bitplane encoding (paper Section 4.3).
+
+Each GPU thread encodes ``B`` elements cached in registers — no
+inter-thread communication — while loads stay fully coalesced because
+lane ``t`` of a warp reads elements ``t, t + W, t + 2W, …`` (neighboring
+lanes touch consecutive addresses). The price is that within every
+``W × B`` tile the stream holds bits in warp-transposed order, which
+slightly reduces bitplane compressibility (neighbor bits in the stream
+come from elements ``B`` apart). This module provides the exact tile
+permutation so that compressibility effect is real in our streams, plus
+its inverse for decoding.
+"""
+
+from __future__ import annotations
+
+from functools import lru_cache
+
+import numpy as np
+
+
+@lru_cache(maxsize=32)
+def _tile_perm(warp_size: int, num_bitplanes: int) -> np.ndarray:
+    """Permutation within one tile: stream position -> element offset.
+
+    Stream position ``t*B + i`` (lane ``t``, register slot ``i``) holds
+    the element at offset ``i*W + t`` (the coalesced load pattern).
+    """
+    if warp_size < 1 or num_bitplanes < 1:
+        raise ValueError("warp_size and num_bitplanes must be >= 1")
+    return np.arange(num_bitplanes * warp_size).reshape(
+        num_bitplanes, warp_size
+    ).T.ravel()
+
+
+def tile_permutation(
+    num_elements: int, num_bitplanes: int, warp_size: int = 32
+) -> np.ndarray:
+    """Element permutation applied before plane extraction.
+
+    Full ``warp_size * num_bitplanes`` tiles are warp-transposed; the
+    ragged tail (which a GPU would pad) stays in natural order.
+    """
+    if warp_size < 1 or num_bitplanes < 1:
+        raise ValueError("warp_size and num_bitplanes must be >= 1")
+    tile = warp_size * num_bitplanes
+    n_full = (num_elements // tile) * tile
+    perm = np.arange(num_elements)
+    if n_full:
+        base = _tile_perm(warp_size, num_bitplanes)
+        tiles = np.arange(0, n_full, tile)[:, None] + base[None, :]
+        perm[:n_full] = tiles.ravel()
+    return perm
+
+
+def inverse_tile_permutation(
+    num_elements: int, num_bitplanes: int, warp_size: int = 32
+) -> np.ndarray:
+    """Inverse of :func:`tile_permutation` (stream order -> natural)."""
+    perm = tile_permutation(num_elements, num_bitplanes, warp_size)
+    inv = np.empty_like(perm)
+    inv[perm] = np.arange(num_elements)
+    return inv

@@ -1,0 +1,152 @@
+"""Register-shuffle bitplane encoding (paper Section 4.2).
+
+One element per thread maximizes parallelism for small inputs, but lanes
+must exchange bits to assemble each bitplane word. The paper studies four
+warp-shuffle instruction strategies — ``ballot``, ``shift`` (tree
+reduction), ``match_any``, and ``reduce_add`` — which all compute the
+same bitplane word with different communication structure and instruction
+counts.
+
+This module emulates each variant lane-by-lane at warp granularity so the
+four communication patterns can be verified to agree bit-exactly, and
+exposes per-variant instruction counts that feed the GPU cost model
+(which is how Figure 6's ordering arises).
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.bitplane.encoding import SHUFFLE_VARIANTS
+
+
+def _check(variant: str, warp_bits: np.ndarray) -> np.ndarray:
+    if variant not in SHUFFLE_VARIANTS:
+        raise ValueError(
+            f"variant must be one of {SHUFFLE_VARIANTS}, got {variant!r}"
+        )
+    bits = np.asarray(warp_bits, dtype=np.uint64)
+    if bits.ndim != 1 or bits.size < 1 or bits.size > 64:
+        raise ValueError("warp_bits must be a 1-D lane vector of size <= 64")
+    if np.any(bits > 1):
+        raise ValueError("warp_bits must contain only 0/1 predicates")
+    return bits
+
+
+def warp_ballot(warp_bits: np.ndarray) -> int:
+    """``__ballot_sync``: every lane receives the packed predicate mask."""
+    bits = _check("ballot", warp_bits)
+    lanes = np.arange(bits.size, dtype=np.uint64)
+    return int(np.bitwise_or.reduce(bits << lanes))
+
+
+def warp_shift_reduce(warp_bits: np.ndarray) -> int:
+    """Tree reduction with ``__shfl_down_sync``: only lane 0 keeps the word.
+
+    Each round, lane ``t`` combines its partial word with the partial of
+    lane ``t + stride`` shifted into place — log2(W) rounds.
+    """
+    bits = _check("shift", warp_bits)
+    w = bits.size
+    partial = bits.copy()  # lane-local partial words; lane t holds bit t
+    lanes = np.arange(w, dtype=np.uint64)
+    partial = partial << lanes  # position each predicate at its lane index
+    stride = 1
+    while stride < w:
+        # shfl_down(stride): lane t reads lane t+stride (0 past the warp).
+        shifted = np.zeros_like(partial)
+        shifted[: w - stride] = partial[stride:]
+        partial = partial | shifted
+        stride *= 2
+    return int(partial[0])
+
+
+def warp_match_any(warp_bits: np.ndarray) -> int:
+    """``__match_any_sync``: lanes with equal predicate get a shared mask.
+
+    The mask of lanes whose predicate equals 1 *is* the bitplane word; if
+    the storing lane holds predicate 0 it receives the complement and
+    must flip it (the extra bit-flip the paper mentions).
+    """
+    bits = _check("match_any", warp_bits)
+    w = bits.size
+    lanes = np.arange(w, dtype=np.uint64)
+    ones_mask = int(np.bitwise_or.reduce((bits == 1).astype(np.uint64) << lanes))
+    full = (1 << w) - 1
+    storing_lane = 0
+    if bits[storing_lane] == 1:
+        return ones_mask
+    zeros_mask = ones_mask ^ full  # what lane 0 actually receives
+    return zeros_mask ^ full  # flip to recover the ones mask
+
+
+def warp_reduce_add(warp_bits: np.ndarray) -> int:
+    """``__reduce_add_sync`` on pre-positioned words (H100 fast path).
+
+    Each lane contributes ``bit << lane``; the hardware add-reduction of
+    disjoint powers of two equals the OR. Not available on AMD MI250X —
+    the evaluation (Fig. 6) omits it there.
+    """
+    bits = _check("reduce_add", warp_bits)
+    lanes = np.arange(bits.size, dtype=np.uint64)
+    return int(np.add.reduce(bits << lanes))
+
+
+_VARIANT_FUNCS = {
+    "ballot": warp_ballot,
+    "shift": warp_shift_reduce,
+    "match_any": warp_match_any,
+    "reduce_add": warp_reduce_add,
+}
+
+
+def encode_warp_planes(
+    warp_values: np.ndarray, num_bitplanes: int, variant: str = "ballot"
+) -> list[int]:
+    """Encode one warp's fixed-point values into bitplane words.
+
+    Returns ``num_bitplanes`` words (most significant plane first), each
+    computed through the selected shuffle emulation. Used by tests to
+    prove all four variants agree; production encoding uses the
+    vectorized path in :mod:`repro.bitplane.encoding`.
+    """
+    values = np.asarray(warp_values, dtype=np.uint64)
+    func = _VARIANT_FUNCS.get(variant)
+    if func is None:
+        raise ValueError(
+            f"variant must be one of {SHUFFLE_VARIANTS}, got {variant!r}"
+        )
+    words = []
+    for b in range(num_bitplanes - 1, -1, -1):
+        predicate = (values >> np.uint64(b)) & np.uint64(1)
+        words.append(func(predicate))
+    return words
+
+
+def instruction_counts(
+    variant: str, warp_size: int = 32
+) -> dict[str, float]:
+    """Per-bitplane-word instruction mix for the GPU cost model.
+
+    Counts follow the paper's qualitative analysis: ballot is a single
+    vote instruction (plus a broadcast all lanes pay for); shift needs
+    log2(W) shuffle+or rounds; match-any behaves like ballot plus an
+    occasional bit flip; reduce-add behaves like shift on hardware
+    without a reduction unit but collapses to ~1 op where dedicated
+    hardware exists (H100).
+    """
+    if variant not in SHUFFLE_VARIANTS:
+        raise ValueError(
+            f"variant must be one of {SHUFFLE_VARIANTS}, got {variant!r}"
+        )
+    log_w = int(np.ceil(np.log2(max(warp_size, 2))))
+    if variant == "ballot":
+        return {"comm_ops": 1.0, "alu_ops": 1.0, "broadcast_factor": 1.0}
+    if variant == "shift":
+        return {"comm_ops": float(log_w), "alu_ops": float(log_w),
+                "broadcast_factor": 0.0}
+    if variant == "match_any":
+        return {"comm_ops": 1.0, "alu_ops": 1.5, "broadcast_factor": 1.0}
+    # reduce_add: one reduction op; hardware support decides its latency.
+    return {"comm_ops": 1.0, "alu_ops": 0.5, "broadcast_factor": 0.0,
+            "needs_reduce_unit": 1.0}

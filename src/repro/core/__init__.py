@@ -1,0 +1,42 @@
+"""HP-MDR core: end-to-end data refactoring and progressive retrieval.
+
+The pipeline composes the substrates exactly as Figure 1 of the paper:
+
+    field ──MultilevelTransform──► per-level coefficients
+          ──bitplane encode─────► per-level bitplane streams
+          ──hybrid lossless─────► compressed plane groups (segments)
+
+and the reverse for reconstruction, where the retrieval planner picks the
+cheapest set of plane groups whose composed L∞ bound meets the requested
+tolerance (the "just enough precision on demand" property).
+
+Public API:
+
+- :class:`~repro.core.refactor.Refactorer` — one-call refactoring.
+- :class:`~repro.core.reconstruct.Reconstructor` — tolerance-driven and
+  incremental (progressive) reconstruction.
+- :class:`~repro.core.stream.RefactoredField` — the portable stream
+  format (serializable, device-independent).
+- :mod:`~repro.core.store` — in-memory and directory-backed segment
+  stores.
+"""
+
+from repro.core.planner import RetrievalPlan, plan_greedy, plan_round_robin
+from repro.core.reconstruct import ReconstructionResult, Reconstructor
+from repro.core.refactor import Refactorer, RefactorConfig
+from repro.core.store import DirectoryStore, MemoryStore
+from repro.core.stream import LevelStream, RefactoredField
+
+__all__ = [
+    "Refactorer",
+    "RefactorConfig",
+    "Reconstructor",
+    "ReconstructionResult",
+    "RefactoredField",
+    "LevelStream",
+    "RetrievalPlan",
+    "plan_greedy",
+    "plan_round_robin",
+    "MemoryStore",
+    "DirectoryStore",
+]

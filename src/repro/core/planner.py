@@ -1,0 +1,149 @@
+"""Retrieval planning: which plane groups to fetch for a tolerance.
+
+Given per-level error weights ``w_ℓ`` and the per-level bound as a
+function of fetched groups, the planner minimizes fetched bytes subject
+to ``Σ_ℓ w_ℓ · bound_ℓ(g_ℓ) ≤ τ``. The default greedy strategy fetches,
+at each step, the group with the best error-reduction-per-byte — MDR's
+adaptive retrieval. A round-robin strategy (one group per level per
+round, coarse to fine) is provided as the ablation baseline.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.core.stream import RefactoredField
+
+
+@dataclass
+class RetrievalPlan:
+    """Per-level group counts plus the resulting guarantees."""
+
+    groups_per_level: list[int]
+    error_bound: float
+    fetched_bytes: int
+
+    def covers(self, other: "RetrievalPlan") -> bool:
+        """True if this plan fetches at least everything *other* does."""
+        return all(
+            a >= b
+            for a, b in zip(self.groups_per_level, other.groups_per_level)
+        )
+
+
+def _composed_bound(field: RefactoredField, groups: list[int]) -> float:
+    return sum(
+        w * lv.error_bound_for_groups(g)
+        for w, lv, g in zip(field.level_weights, field.levels, groups)
+    )
+
+
+def _fetched_bytes(field: RefactoredField, groups: list[int]) -> int:
+    return sum(
+        lv.bytes_for_groups(g) for lv, g in zip(field.levels, groups)
+    )
+
+
+def _finalize(field: RefactoredField, groups: list[int]) -> RetrievalPlan:
+    return RetrievalPlan(
+        groups_per_level=groups,
+        error_bound=_composed_bound(field, groups),
+        fetched_bytes=_fetched_bytes(field, groups),
+    )
+
+
+def plan_greedy(
+    field: RefactoredField,
+    tolerance: float,
+    start: list[int] | None = None,
+) -> RetrievalPlan:
+    """Greedy error-per-byte retrieval plan (the HP-MDR default).
+
+    ``start`` seeds the plan with already-fetched group counts so
+    progressive refinement only pays for the increment. If the tolerance
+    is below the near-lossless floor, the full stream is planned (the
+    best achievable) — callers can compare ``error_bound`` to what they
+    asked for.
+    """
+    if tolerance < 0:
+        raise ValueError("tolerance must be >= 0")
+    groups = list(start) if start is not None else [0] * len(field.levels)
+    if len(groups) != len(field.levels):
+        raise ValueError("start must have one entry per level")
+    for g, lv in zip(groups, field.levels):
+        if not 0 <= g <= lv.num_groups:
+            raise ValueError("start group count out of range")
+
+    per_level = [
+        w * lv.error_bound_for_groups(g)
+        for w, lv, g in zip(field.level_weights, field.levels, groups)
+    ]
+    total = sum(per_level)
+    while total > tolerance:
+        best_idx, best_score, best_new = -1, 0.0, 0.0
+        for idx, lv in enumerate(field.levels):
+            g = groups[idx]
+            if g >= lv.num_groups:
+                continue
+            new_err = field.level_weights[idx] * lv.error_bound_for_groups(
+                g + 1
+            )
+            gain = per_level[idx] - new_err
+            cost = lv.bytes_for_groups(g + 1) - lv.bytes_for_groups(g)
+            score = gain / max(cost, 1)
+            if best_idx < 0 or score > best_score:
+                best_idx, best_score, best_new = idx, score, new_err
+        if best_idx < 0:
+            break  # everything fetched; tolerance below lossless floor
+        groups[best_idx] += 1
+        total += best_new - per_level[best_idx]
+        per_level[best_idx] = best_new
+    return _finalize(field, groups)
+
+
+def plan_round_robin(
+    field: RefactoredField,
+    tolerance: float,
+    start: list[int] | None = None,
+) -> RetrievalPlan:
+    """Fetch one group per level per round until the bound is met.
+
+    The simple baseline the greedy planner is measured against in the
+    ablation benchmarks.
+    """
+    if tolerance < 0:
+        raise ValueError("tolerance must be >= 0")
+    groups = list(start) if start is not None else [0] * len(field.levels)
+    if len(groups) != len(field.levels):
+        raise ValueError("start must have one entry per level")
+    while _composed_bound(field, groups) > tolerance:
+        advanced = False
+        for idx, lv in enumerate(field.levels):
+            if groups[idx] < lv.num_groups:
+                groups[idx] += 1
+                advanced = True
+                if _composed_bound(field, groups) <= tolerance:
+                    break
+        if not advanced:
+            break
+    return _finalize(field, groups)
+
+
+def plan_full(field: RefactoredField) -> RetrievalPlan:
+    """Plan fetching every stored group (near-lossless retrieval)."""
+    return _finalize(field, field.max_groups())
+
+
+def plan_for_planes(
+    field: RefactoredField, planes_per_level: list[int]
+) -> RetrievalPlan:
+    """Plan covering at least the requested bitplane count per level."""
+    if len(planes_per_level) != len(field.levels):
+        raise ValueError("planes_per_level must have one entry per level")
+    groups = []
+    for lv, want in zip(field.levels, planes_per_level):
+        g = 0
+        while g < lv.num_groups and lv.planes_in_groups(g) < want:
+            g += 1
+        groups.append(g)
+    return _finalize(field, groups)

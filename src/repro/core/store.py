@@ -1,0 +1,210 @@
+"""Segment stores: where refactored plane groups live.
+
+The paper's end-to-end retrieval study (Fig. 14) observes that HP-MDR
+"creates many small files", making I/O overhead significant. To let the
+benchmarks reproduce that effect we provide:
+
+* :class:`MemoryStore` — dict-backed, for tests and kernels-only runs;
+* :class:`DirectoryStore` — one file per segment plus a JSON manifest
+  (the actual layout MDR-style stores use), with an accounting model of
+  per-file open latency so end-to-end timing studies can charge the
+  small-file penalty without real disks dominating CI.
+
+Keys are ``(variable, level, group)`` triples flattened to strings.
+"""
+
+from __future__ import annotations
+
+import json
+from pathlib import Path
+
+import numpy as np
+
+from repro.core.stream import RefactoredField
+from repro.lossless.hybrid import CompressedGroup
+
+
+def segment_key(variable: str, level: int, group: int) -> str:
+    """Canonical segment naming: ``<var>.L<level>.G<group>``."""
+    if "/" in variable or "\0" in variable:
+        raise ValueError(f"invalid variable name {variable!r}")
+    return f"{variable}.L{level}.G{group}"
+
+
+class MemoryStore:
+    """In-memory segment store."""
+
+    def __init__(self) -> None:
+        self._blobs: dict[str, bytes] = {}
+        self.reads = 0
+        self.writes = 0
+
+    def put(self, key: str, blob: bytes) -> None:
+        self._blobs[key] = bytes(blob)
+        self.writes += 1
+
+    def get(self, key: str) -> bytes:
+        self.reads += 1
+        try:
+            return self._blobs[key]
+        except KeyError:
+            raise KeyError(f"segment {key!r} not in store") from None
+
+    def __contains__(self, key: str) -> bool:
+        return key in self._blobs
+
+    def keys(self) -> list[str]:
+        return sorted(self._blobs)
+
+    def size_of(self, key: str) -> int:
+        return len(self._blobs[key])
+
+    def total_bytes(self) -> int:
+        return sum(len(b) for b in self._blobs.values())
+
+
+class DirectoryStore:
+    """One-file-per-segment store with a manifest.
+
+    ``file_open_latency_s`` is *accounted*, not slept: ``io_time_estimate``
+    returns the modeled wall time of the reads performed so far given a
+    bandwidth, which the Fig. 14 benchmark charges on top of kernel time.
+    """
+
+    MANIFEST = "manifest.json"
+
+    def __init__(
+        self, root: str | Path, file_open_latency_s: float = 2e-4
+    ) -> None:
+        self.root = Path(root)
+        self.root.mkdir(parents=True, exist_ok=True)
+        if file_open_latency_s < 0:
+            raise ValueError("file_open_latency_s must be >= 0")
+        self.file_open_latency_s = file_open_latency_s
+        self.reads = 0
+        self.writes = 0
+        self.bytes_read = 0
+        self._manifest_path = self.root / self.MANIFEST
+        if self._manifest_path.exists():
+            self._manifest = json.loads(self._manifest_path.read_text())
+        else:
+            self._manifest = {}
+
+    def _flush_manifest(self) -> None:
+        self._manifest_path.write_text(json.dumps(self._manifest, indent=0))
+
+    def put(self, key: str, blob: bytes) -> None:
+        path = self.root / key
+        path.write_bytes(blob)
+        self._manifest[key] = len(blob)
+        self._flush_manifest()
+        self.writes += 1
+
+    def get(self, key: str) -> bytes:
+        path = self.root / key
+        if not path.exists():
+            raise KeyError(f"segment {key!r} not in store")
+        blob = path.read_bytes()
+        self.reads += 1
+        self.bytes_read += len(blob)
+        return blob
+
+    def __contains__(self, key: str) -> bool:
+        return (self.root / key).exists()
+
+    def keys(self) -> list[str]:
+        return sorted(self._manifest)
+
+    def size_of(self, key: str) -> int:
+        return self._manifest[key]
+
+    def total_bytes(self) -> int:
+        return sum(self._manifest.values())
+
+    def io_time_estimate(self, bandwidth_gbps: float = 2.0) -> float:
+        """Modeled read wall-time: per-file latency + transfer time."""
+        if bandwidth_gbps <= 0:
+            raise ValueError("bandwidth must be > 0")
+        return (
+            self.reads * self.file_open_latency_s
+            + self.bytes_read / (bandwidth_gbps * 1e9)
+        )
+
+
+def store_field(store, field: RefactoredField) -> dict:
+    """Write every plane group of *field* as its own segment.
+
+    Returns the index record (metadata + keys) that
+    :func:`load_field_groups` needs; store it under
+    ``<name>.index`` as JSON-encoded bytes.
+    """
+    meta_field = RefactoredField(
+        shape=field.shape,
+        dtype=field.dtype,
+        mode=field.mode,
+        num_levels=field.num_levels,
+        min_size=field.min_size,
+        group_size=field.group_size,
+        design=field.design,
+        level_weights=field.level_weights,
+        levels=[
+            type(lv)(
+                level=lv.level,
+                num_elements=lv.num_elements,
+                num_bitplanes=lv.num_bitplanes,
+                exponent=lv.exponent,
+                max_abs=lv.max_abs,
+                layout=lv.layout,
+                warp_size=lv.warp_size,
+                groups=[],
+                signed_encoding=lv.signed_encoding,
+            )
+            for lv in field.levels
+        ],
+        value_range=field.value_range,
+        name=field.name,
+    )
+    index = {
+        "field": meta_field.to_bytes().hex(),
+        "groups": {},
+    }
+    for lv in field.levels:
+        for g, group in enumerate(lv.groups):
+            key = segment_key(field.name, lv.level, g)
+            store.put(key, group.to_bytes())
+            index["groups"].setdefault(str(lv.level), []).append(key)
+    store.put(
+        f"{field.name}.index", json.dumps(index).encode()
+    )
+    return index
+
+
+def load_field(store, name: str, groups_per_level: list[int] | None = None):
+    """Load a field's metadata and the requested prefix of groups.
+
+    ``groups_per_level=None`` loads everything. This is the read path
+    the end-to-end retrieval benchmarks time: one ``get`` per segment,
+    exactly as many segments as the plan requires.
+    """
+    index = json.loads(bytes(store.get(f"{name}.index")).decode())
+    field = RefactoredField.from_bytes(bytes.fromhex(index["field"]))
+    for li, lv in enumerate(field.levels):
+        keys = index["groups"].get(str(lv.level), [])
+        want = (
+            len(keys) if groups_per_level is None else
+            min(groups_per_level[li], len(keys))
+        )
+        lv.groups = [
+            CompressedGroup.from_bytes(store.get(keys[g]))
+            for g in range(want)
+        ]
+    return field
+
+
+__all__ = [
+    "MemoryStore",
+    "DirectoryStore",
+    "segment_key",
+    "store_field",
+    "load_field",
+]

@@ -1,0 +1,207 @@
+"""The refactored stream format: per-level compressed bitplane groups.
+
+A :class:`RefactoredField` is what lands in storage after refactoring —
+the multilevel metadata, and for every coefficient level a
+:class:`LevelStream` holding that level's bitplane metadata plus its
+hybrid-compressed plane groups. Everything serializes to plain bytes
+(no pickle), so streams written under one simulated device decode under
+any other: the portability property of the paper.
+"""
+
+from __future__ import annotations
+
+import json
+import struct
+from dataclasses import dataclass, field
+
+import numpy as np
+
+from repro.bitplane.align import plane_error_bound
+from repro.bitplane.encoding import BitplaneStream
+from repro.lossless.hybrid import CompressedGroup
+from repro.util.serialize import pack_arrays, unpack_arrays
+
+
+@dataclass
+class LevelStream:
+    """One coefficient level's encoded form.
+
+    ``groups[g]`` holds ``group_size`` consecutive bitplanes (sign plane
+    first); fetching a prefix of groups yields a truncated bitplane set
+    whose coefficient error is :meth:`error_bound_for_groups`.
+    """
+
+    level: int
+    num_elements: int
+    num_bitplanes: int
+    exponent: int
+    max_abs: float
+    layout: str
+    warp_size: int
+    groups: list[CompressedGroup] = field(default_factory=list)
+    signed_encoding: str = "sign_magnitude"
+
+    @property
+    def num_groups(self) -> int:
+        return len(self.groups)
+
+    def planes_in_groups(self, num_groups: int) -> int:
+        """Total bitplanes contained in the first *num_groups* groups."""
+        return sum(g.num_planes for g in self.groups[:num_groups])
+
+    def bytes_for_groups(self, num_groups: int) -> int:
+        """Serialized bytes fetched for the first *num_groups* groups."""
+        return sum(
+            len(g.to_bytes()) for g in self.groups[:num_groups]
+        )
+
+    def error_bound_for_groups(self, num_groups: int) -> float:
+        """Per-coefficient L∞ bound with only *num_groups* groups fetched."""
+        fetched_planes = self.planes_in_groups(num_groups)
+        if self.signed_encoding == "negabinary":
+            from repro.bitplane.negabinary import (
+                plane_error_bound_negabinary,
+            )
+
+            return plane_error_bound_negabinary(
+                self.exponent, self.num_bitplanes, fetched_planes,
+                self.max_abs,
+            )
+        kept_mag = max(0, fetched_planes - 1)  # plane 0 is the sign plane
+        return plane_error_bound(
+            self.exponent, self.num_bitplanes, kept_mag, self.max_abs
+        )
+
+    def to_bitplane_stream(
+        self, num_groups: int, dtype: np.dtype, design: str
+    ) -> BitplaneStream:
+        """Materialize the truncated bitplane stream for decoding."""
+        from repro.lossless.hybrid import decompress_groups
+
+        planes = decompress_groups(self.groups, num_groups)
+        return BitplaneStream(
+            planes=planes,
+            num_elements=self.num_elements,
+            num_bitplanes=self.num_bitplanes,
+            exponent=self.exponent,
+            max_abs=self.max_abs,
+            dtype=np.dtype(dtype),
+            design=design,
+            layout=self.layout,
+            warp_size=self.warp_size,
+            signed_encoding=self.signed_encoding,
+        )
+
+
+@dataclass
+class RefactoredField:
+    """Complete refactored representation of one variable."""
+
+    shape: tuple[int, ...]
+    dtype: np.dtype
+    mode: str
+    num_levels: int
+    min_size: int
+    group_size: int
+    design: str
+    level_weights: list[float]
+    levels: list[LevelStream]
+    value_range: float
+    name: str = "var"
+
+    @property
+    def num_elements(self) -> int:
+        return int(np.prod(self.shape))
+
+    def total_bytes(self) -> int:
+        """Full stored size (all groups of all levels)."""
+        return sum(
+            lv.bytes_for_groups(lv.num_groups) for lv in self.levels
+        )
+
+    def max_groups(self) -> list[int]:
+        return [lv.num_groups for lv in self.levels]
+
+    # -- serialization ----------------------------------------------------
+    def to_bytes(self) -> bytes:
+        meta = {
+            "shape": list(self.shape),
+            "dtype": self.dtype.name,
+            "mode": self.mode,
+            "num_levels": self.num_levels,
+            "min_size": self.min_size,
+            "group_size": self.group_size,
+            "design": self.design,
+            "level_weights": self.level_weights,
+            "value_range": self.value_range,
+            "name": self.name,
+            "levels": [
+                {
+                    "level": lv.level,
+                    "num_elements": lv.num_elements,
+                    "num_bitplanes": lv.num_bitplanes,
+                    "exponent": lv.exponent,
+                    "max_abs": lv.max_abs,
+                    "layout": lv.layout,
+                    "warp_size": lv.warp_size,
+                    "signed_encoding": lv.signed_encoding,
+                    "num_groups": lv.num_groups,
+                }
+                for lv in self.levels
+            ],
+        }
+        meta_blob = json.dumps(meta).encode()
+        group_blobs = [
+            np.frombuffer(g.to_bytes(), dtype=np.uint8)
+            for lv in self.levels
+            for g in lv.groups
+        ]
+        body = pack_arrays(
+            [np.frombuffer(meta_blob, dtype=np.uint8)] + group_blobs
+        )
+        return struct.pack("<4sH", b"MDRF", 1) + body
+
+    @classmethod
+    def from_bytes(cls, buf: bytes) -> "RefactoredField":
+        magic, version = struct.unpack_from("<4sH", buf, 0)
+        if magic != b"MDRF":
+            raise ValueError("not a refactored field stream")
+        if version != 1:
+            raise ValueError(f"unsupported stream version {version}")
+        payloads = unpack_arrays(buf[struct.calcsize("<4sH"):])
+        meta = json.loads(bytes(payloads[0]).decode())
+        levels: list[LevelStream] = []
+        cursor = 1
+        for lv_meta in meta["levels"]:
+            groups = [
+                CompressedGroup.from_bytes(bytes(payloads[cursor + g]))
+                for g in range(lv_meta["num_groups"])
+            ]
+            cursor += lv_meta["num_groups"]
+            levels.append(
+                LevelStream(
+                    level=lv_meta["level"],
+                    num_elements=lv_meta["num_elements"],
+                    num_bitplanes=lv_meta["num_bitplanes"],
+                    exponent=lv_meta["exponent"],
+                    max_abs=lv_meta["max_abs"],
+                    layout=lv_meta["layout"],
+                    warp_size=lv_meta["warp_size"],
+                    groups=groups,
+                    signed_encoding=lv_meta.get(
+                        "signed_encoding", "sign_magnitude"),
+                )
+            )
+        return cls(
+            shape=tuple(meta["shape"]),
+            dtype=np.dtype(meta["dtype"]),
+            mode=meta["mode"],
+            num_levels=meta["num_levels"],
+            min_size=meta["min_size"],
+            group_size=meta["group_size"],
+            design=meta["design"],
+            level_weights=[float(w) for w in meta["level_weights"]],
+            levels=levels,
+            value_range=float(meta["value_range"]),
+            name=meta["name"],
+        )

@@ -1,0 +1,35 @@
+"""Synthetic dataset generators standing in for the paper's five datasets.
+
+The paper evaluates on NYX (cosmology), LETKF (weather ensemble), Miranda
+(hydrodynamics), Hurricane ISABEL, and JHTDB (isotropic turbulence) — 1.25
+to 48 GB of production data we cannot ship. Each generator here produces a
+seeded field with matched statistical character (spectrum, smoothness,
+dynamic range, dtype) at configurable laptop-scale dimensions; see
+DESIGN.md for the substitution argument.
+"""
+
+from repro.data.generators import (
+    gaussian_random_field,
+    hurricane_field,
+    interface_field,
+    lognormal_density,
+    turbulence_velocity,
+)
+from repro.data.registry import (
+    DATASETS,
+    DatasetSpec,
+    load_dataset,
+    load_velocity_fields,
+)
+
+__all__ = [
+    "gaussian_random_field",
+    "hurricane_field",
+    "interface_field",
+    "lognormal_density",
+    "turbulence_velocity",
+    "DATASETS",
+    "DatasetSpec",
+    "load_dataset",
+    "load_velocity_fields",
+]

@@ -1,0 +1,148 @@
+"""1-D building blocks of the multilevel transform, applied along an axis.
+
+Every operation works on a view with the target axis moved to the front,
+keeping the remaining axes vectorized (the idiom GPU-MGARD uses for its
+grid-processing kernels: one "thread" per orthogonal fiber).
+
+Naming follows the finite-element view: a fine grid of ``n`` nodes splits
+into coarse (even-index) nodes and odd nodes; odd values are predicted by
+linear interpolation of their even neighbors, and the prediction residual
+is the detail coefficient. The optional MGARD correction projects the
+residual back onto the coarse space via a tridiagonal mass-matrix solve.
+"""
+
+from __future__ import annotations
+
+from functools import lru_cache
+
+import numpy as np
+
+from repro.decompose.grid import coarse_size
+
+
+def split_even_odd(v: np.ndarray) -> tuple[np.ndarray, np.ndarray]:
+    """Split along axis 0 into even-index and odd-index node values."""
+    return v[0::2], v[1::2]
+
+
+def predict_odd(even: np.ndarray, n: int) -> np.ndarray:
+    """Linear-interpolation prediction of odd-node values.
+
+    Odd node ``2i+1`` is predicted by ``(even[i] + even[i+1]) / 2``. When
+    ``n`` is even the last odd node has no right neighbor and is predicted
+    by its left neighbor alone — weights stay nonnegative and sum to one,
+    which keeps L∞ error composition exact.
+    """
+    n_odd = n // 2
+    pred = np.empty((n_odd,) + even.shape[1:], dtype=even.dtype)
+    interior = n_odd if n % 2 == 1 else n_odd - 1
+    pred[:interior] = 0.5 * (even[:interior] + even[1 : interior + 1])
+    if n % 2 == 0:
+        pred[interior] = even[interior]
+    return pred
+
+
+def merge_even_odd(even: np.ndarray, odd: np.ndarray, n: int) -> np.ndarray:
+    """Interleave even/odd node values back into a length-*n* axis."""
+    out = np.empty((n,) + even.shape[1:], dtype=even.dtype)
+    out[0::2] = even
+    out[1::2] = odd
+    return out
+
+
+def residual_load(detail: np.ndarray, n: int) -> np.ndarray:
+    """Load vector ⟨residual, coarse hat functions⟩ for the MGARD correction.
+
+    With unit fine spacing, the residual ``Σ d_i φ_{2i+1}`` tested against
+    the coarse hat at node ``2j`` yields ``(d_{j-1} + d_j) / 2`` (one-sided
+    at the boundaries). Spacing cancels against the mass matrix, so it is
+    fixed at 1 here.
+    """
+    m = coarse_size(n)
+    b = np.zeros((m,) + detail.shape[1:], dtype=detail.dtype)
+    n_odd = detail.shape[0]
+    # Odd node 2j+1 loads coarse nodes j and j+1; when n is even the last
+    # odd node is the domain boundary and only loads its left neighbor.
+    interior = n_odd if n % 2 == 1 else n_odd - 1
+    b[:n_odd] += 0.5 * detail
+    b[1 : interior + 1] += 0.5 * detail[:interior]
+    return b
+
+
+def coarse_mass_bands(m: int, dtype=np.float64) -> tuple[np.ndarray, np.ndarray]:
+    """(diagonal, off-diagonal) of the coarse-grid P1 mass matrix.
+
+    Unit coarse spacing: interior diagonal 2/3, boundary diagonal 1/3,
+    off-diagonal 1/6. Scaled by any common factor the correction is
+    unchanged, so spacing is normalized out.
+    """
+    if m < 1:
+        raise ValueError("mass matrix needs at least one node")
+    diag = np.full(m, 2.0 / 3.0, dtype=dtype)
+    if m >= 1:
+        diag[0] = 1.0 / 3.0
+        diag[-1] = 1.0 / 3.0
+    if m == 1:
+        diag[0] = 2.0 / 3.0  # degenerate single-node grid
+    off = np.full(max(m - 1, 0), 1.0 / 6.0, dtype=dtype)
+    return diag, off
+
+
+def solve_tridiagonal(
+    diag: np.ndarray, off: np.ndarray, rhs: np.ndarray
+) -> np.ndarray:
+    """Thomas-algorithm solve of a symmetric tridiagonal system.
+
+    ``rhs`` may carry trailing batch axes; the O(m) sweep along axis 0 is
+    vectorized across them — the same batching GPU tridiagonal kernels
+    use. The system must be diagonally dominant (mass matrices are).
+    """
+    m = diag.shape[0]
+    if rhs.shape[0] != m:
+        raise ValueError("rhs leading axis must match matrix size")
+    if m == 1:
+        return rhs / diag[0]
+    c_prime = np.empty(m - 1, dtype=np.float64)
+    d_prime = np.empty_like(rhs, dtype=np.float64)
+    c_prime[0] = off[0] / diag[0]
+    d_prime[0] = rhs[0] / diag[0]
+    for i in range(1, m):
+        denom = diag[i] - off[i - 1] * c_prime[i - 1]
+        if i < m - 1:
+            c_prime[i] = off[i] / denom
+        d_prime[i] = (rhs[i] - off[i - 1] * d_prime[i - 1]) / denom
+    x = d_prime
+    for i in range(m - 2, -1, -1):
+        x[i] -= c_prime[i] * x[i + 1]
+    return x.astype(rhs.dtype, copy=False)
+
+
+def correction_from_detail(detail: np.ndarray, n: int) -> np.ndarray:
+    """MGARD coarse correction ``z = M⁻¹ ⟨residual, coarse basis⟩``."""
+    b = residual_load(detail, n)
+    diag, off = coarse_mass_bands(b.shape[0])
+    return solve_tridiagonal(diag, off, b)
+
+
+@lru_cache(maxsize=64)
+def _abs_correction_matrix(n: int) -> np.ndarray:
+    """Entrywise |M⁻¹ R| as a dense (m, n_odd) matrix, cached per size.
+
+    Used only to compute rigorous error-amplification weights for the
+    MGARD mode: ``|z| ≤ |M⁻¹R| · |d|`` elementwise.
+    """
+    m = coarse_size(n)
+    n_odd = n // 2
+    eye = np.eye(n_odd, dtype=np.float64)
+    cols = correction_from_detail(eye, n)  # (m, n_odd): column j = response
+    return np.abs(cols)
+
+
+def abs_correction_from_detail(detail: np.ndarray, n: int) -> np.ndarray:
+    """Upper bound on |correction| given elementwise |detail| bounds."""
+    mat = _abs_correction_matrix(n)
+    flat = detail.reshape(detail.shape[0], -1)
+    out = mat @ flat
+    return out.reshape((mat.shape[0],) + detail.shape[1:]).astype(
+        detail.dtype, copy=False
+    )

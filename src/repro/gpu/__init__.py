@@ -1,0 +1,46 @@
+"""Simulated GPU substrate (the hardware HP-MDR was evaluated on).
+
+No GPU is available in this reproduction, so the paper's performance
+results are regenerated from an analytic device model rather than
+hard-coded: :class:`~repro.gpu.device.DeviceSpec` captures the handful of
+architectural parameters the paper's arguments rest on (memory bandwidth,
+coalescing penalty, warp width, shuffle cost, reduction-unit presence,
+DMA link speed), and :mod:`~repro.gpu.costmodel` turns those into kernel
+times via the same mechanisms the paper reasons with — occupancy,
+coalesced vs strided access, inter-thread communication counts.
+
+:mod:`~repro.gpu.events` is a small discrete-event scheduler and
+:mod:`~repro.gpu.hdem` instantiates the paper's Host-Device Execution
+Model (two DMA engines + one compute engine) on top of it; the pipeline
+package builds Figure 4's task DAGs against these engines.
+
+See DESIGN.md ("Substitutions") for why this preserves the paper's
+relative results.
+"""
+
+from repro.gpu.device import (
+    CPU_EPYC_64,
+    CPU_XEON_32,
+    DEVICES,
+    H100,
+    MI250X,
+    DeviceSpec,
+    get_device,
+)
+from repro.gpu.events import EventSimulator, Task, Timeline
+from repro.gpu.hdem import HDEM_ENGINES, HostDeviceModel
+
+__all__ = [
+    "DeviceSpec",
+    "DEVICES",
+    "H100",
+    "MI250X",
+    "CPU_EPYC_64",
+    "CPU_XEON_32",
+    "get_device",
+    "Task",
+    "Timeline",
+    "EventSimulator",
+    "HostDeviceModel",
+    "HDEM_ENGINES",
+]

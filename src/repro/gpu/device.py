@@ -1,0 +1,118 @@
+"""Device specifications for the platforms in the paper's evaluation.
+
+Most parameters are public-datasheet figures (bandwidths, CU counts,
+warp widths, clocks). The behavioural coefficients — ``load_stride_penalty``,
+``store_scatter_penalty``, ``decode_comm_multiplier``, ``comm_contention``
+— play exactly the roles the paper's Section 4 analysis assigns them
+(uncoalesced loads hurt the locality-block design, scatter stores hurt
+its decoder, inter-thread communication hurts the shuffle design and
+contends harder on AMD at large inputs); their *values* are calibrated
+so the cost model reproduces the paper's reported speedup ratios, as
+documented in EXPERIMENTS.md.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+
+@dataclass(frozen=True)
+class DeviceSpec:
+    """Architectural parameters consumed by the kernel cost model."""
+
+    name: str
+    kind: str  # "gpu" or "cpu"
+    memory_bandwidth_gbps: float  # device memory (HBM / DDR)
+    link_bandwidth_gbps: float  # host<->device per DMA direction
+    compute_units: int  # SMs / CUs / cores
+    warp_size: int
+    clock_ghz: float
+    lanes_per_unit: int  # SIMT lanes (GPU) or SIMD width (CPU)
+    load_stride_penalty: float  # strided-load bandwidth divisor
+    store_scatter_penalty: float  # scattered-store bandwidth divisor
+    shuffle_cost_cycles: float  # one warp-shuffle instruction
+    decode_comm_multiplier: float  # shuffle decode comm vs encode comm
+    has_reduce_unit: bool  # hardware warp reduction (H100 yes)
+    comm_contention: float  # shuffle slowdown per 2^24 elements (AMD)
+    kernel_launch_us: float = 5.0
+
+    def __post_init__(self) -> None:
+        if self.kind not in ("gpu", "cpu"):
+            raise ValueError(f"kind must be gpu or cpu, got {self.kind!r}")
+        for attr in ("memory_bandwidth_gbps", "link_bandwidth_gbps",
+                     "compute_units", "warp_size", "clock_ghz",
+                     "lanes_per_unit", "load_stride_penalty",
+                     "store_scatter_penalty"):
+            if getattr(self, attr) <= 0:
+                raise ValueError(f"{attr} must be > 0")
+
+    @property
+    def peak_lane_ops_per_s(self) -> float:
+        """Aggregate scalar-op issue rate across all lanes."""
+        return self.compute_units * self.lanes_per_unit * self.clock_ghz * 1e9
+
+    @property
+    def resident_threads(self) -> int:
+        """Threads needed to saturate the device (occupancy knee)."""
+        # ~16 resident warps per unit hide latency on modern GPUs;
+        # CPUs saturate at one hardware thread per core.
+        if self.kind == "gpu":
+            return self.compute_units * self.warp_size * 16
+        return self.compute_units
+
+
+#: NVIDIA H100 SXM (Talapas GPU nodes): 3.35 TB/s HBM3, 132 SMs,
+#: hardware warp reduction (__reduce_add_sync).
+H100 = DeviceSpec(
+    name="H100", kind="gpu",
+    memory_bandwidth_gbps=3350.0, link_bandwidth_gbps=55.0,
+    compute_units=132, warp_size=32, clock_ghz=1.76, lanes_per_unit=128,
+    load_stride_penalty=3.25, store_scatter_penalty=8.5,
+    shuffle_cost_cycles=2.0, decode_comm_multiplier=12.3,
+    has_reduce_unit=True, comm_contention=0.0,
+)
+
+#: AMD MI250X, one GCD (Frontier): 1.6 TB/s HBM2e, 110 CUs, wavefront 64,
+#: no reduction unit, shuffle contention grows with input (Fig. 6).
+MI250X = DeviceSpec(
+    name="MI250X", kind="gpu",
+    memory_bandwidth_gbps=1600.0, link_bandwidth_gbps=36.0,
+    compute_units=110, warp_size=64, clock_ghz=1.7, lanes_per_unit=64,
+    load_stride_penalty=3.25, store_scatter_penalty=15.8,
+    shuffle_cost_cycles=3.0, decode_comm_multiplier=19.0,
+    has_reduce_unit=False, comm_contention=0.35,
+)
+
+#: 64-core AMD EPYC (Frontier host), used for the paper's CPU baselines.
+CPU_EPYC_64 = DeviceSpec(
+    name="EPYC-64", kind="cpu",
+    memory_bandwidth_gbps=205.0, link_bandwidth_gbps=205.0,
+    compute_units=64, warp_size=1, clock_ghz=2.0, lanes_per_unit=8,
+    load_stride_penalty=2.0, store_scatter_penalty=3.0,
+    shuffle_cost_cycles=10.0, decode_comm_multiplier=2.0,
+    has_reduce_unit=False, comm_contention=0.0, kernel_launch_us=0.5,
+)
+
+#: 2x24-core Xeon restricted to 32 OpenMP threads (paper Fig. 11 setup).
+CPU_XEON_32 = DeviceSpec(
+    name="Xeon-32", kind="cpu",
+    memory_bandwidth_gbps=150.0, link_bandwidth_gbps=150.0,
+    compute_units=32, warp_size=1, clock_ghz=2.4, lanes_per_unit=8,
+    load_stride_penalty=2.0, store_scatter_penalty=3.0,
+    shuffle_cost_cycles=10.0, decode_comm_multiplier=2.0,
+    has_reduce_unit=False, comm_contention=0.0, kernel_launch_us=0.5,
+)
+
+DEVICES: dict[str, DeviceSpec] = {
+    d.name: d for d in (H100, MI250X, CPU_EPYC_64, CPU_XEON_32)
+}
+
+
+def get_device(name: str) -> DeviceSpec:
+    """Look up a device by name with a helpful error."""
+    try:
+        return DEVICES[name]
+    except KeyError:
+        raise KeyError(
+            f"unknown device {name!r}; available: {sorted(DEVICES)}"
+        ) from None

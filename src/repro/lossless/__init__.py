@@ -1,0 +1,51 @@
+"""Lossless encoding of bitplanes (paper Section 5).
+
+Three base codecs with complementary strengths:
+
+* :mod:`~repro.lossless.huffman` — canonical Huffman over bytes, built
+  from scratch with the *chunked* stream structure GPU Huffman coders use
+  (fixed-size symbol blocks with per-block offsets, decoded in lockstep
+  across blocks). Best ratios on high-order, zero-dominated bitplanes.
+* :mod:`~repro.lossless.rle` — byte run-length coding; cheap and strong
+  on the long zero runs of low-order merged bitplanes.
+* :mod:`~repro.lossless.direct` — store-as-is fallback for small or
+  incompressible groups.
+
+:mod:`~repro.lossless.hybrid` implements Algorithm 2: merge every
+``group_size`` consecutive bitplanes, estimate both codecs' compression
+ratios with lightweight predictors, and pick Huffman / RLE / Direct Copy
+per group using size and ratio thresholds.
+"""
+
+from repro.lossless.direct import direct_decode, direct_encode
+from repro.lossless.huffman import (
+    HuffmanCodec,
+    estimate_huffman_ratio,
+    huffman_decode,
+    huffman_encode,
+)
+from repro.lossless.hybrid import (
+    CompressedGroup,
+    HybridConfig,
+    compress_planes,
+    decompress_groups,
+    estimate_group_ratios,
+)
+from repro.lossless.rle import estimate_rle_ratio, rle_decode, rle_encode
+
+__all__ = [
+    "HuffmanCodec",
+    "huffman_encode",
+    "huffman_decode",
+    "estimate_huffman_ratio",
+    "rle_encode",
+    "rle_decode",
+    "estimate_rle_ratio",
+    "direct_encode",
+    "direct_decode",
+    "CompressedGroup",
+    "HybridConfig",
+    "compress_planes",
+    "decompress_groups",
+    "estimate_group_ratios",
+]

@@ -1,0 +1,82 @@
+"""Vectorized variable-length bit packing and random-access bit peeking.
+
+These are the NumPy counterparts of the bit-fiddling inner loops of GPU
+entropy coders: :func:`pack_varlen_bits` writes all symbols' codes in one
+vectorized scatter, and :func:`peek_bits` gathers fixed-width windows at
+arbitrary (vectorized) bit cursors — the primitive that lets many chunks
+decode in lockstep.
+
+Stream bit order is MSB-first: bit position ``p`` lives in byte ``p >> 3``
+at in-byte position ``7 - (p & 7)``.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+#: peek window is a big-endian uint64, so width + in-byte shift <= 64.
+MAX_PEEK_WIDTH = 56
+
+
+def pack_varlen_bits(
+    codes: np.ndarray, lengths: np.ndarray, positions: np.ndarray,
+    total_bits: int,
+) -> np.ndarray:
+    """Scatter variable-length codes into a packed MSB-first bitstream.
+
+    ``codes[i]`` (its low ``lengths[i]`` bits, MSB emitted first) is
+    written starting at bit ``positions[i]``. Caller guarantees the
+    target ranges are disjoint. Returns the packed uint8 buffer of
+    ``ceil(total_bits / 8)`` bytes.
+    """
+    codes = np.asarray(codes, dtype=np.uint64)
+    lengths = np.asarray(lengths, dtype=np.int64)
+    positions = np.asarray(positions, dtype=np.int64)
+    if not (codes.shape == lengths.shape == positions.shape):
+        raise ValueError("codes, lengths, positions must align")
+    if lengths.size and int(lengths.min()) < 0:
+        raise ValueError("lengths must be nonnegative")
+    n_bits_out = int(total_bits)
+    bits = np.zeros(-(-n_bits_out // 8) * 8, dtype=np.uint8)
+    if codes.size:
+        reps = np.repeat(np.arange(codes.size), lengths)
+        # j-th bit of symbol i (MSB first) = (code >> (len-1-j)) & 1
+        offset_in_code = (
+            np.arange(reps.size)
+            - np.repeat(np.cumsum(lengths) - lengths, lengths)
+        )
+        shift = (lengths[reps] - 1 - offset_in_code).astype(np.uint64)
+        bitvals = ((codes[reps] >> shift) & np.uint64(1)).astype(np.uint8)
+        target = positions[reps] + offset_in_code
+        if target.size and int(target.max()) >= n_bits_out:
+            raise ValueError("code bits exceed total_bits")
+        bits[target] = bitvals
+    return np.packbits(bits)[: -(-n_bits_out // 8)]
+
+
+def peek_bits(
+    stream: np.ndarray, bit_positions: np.ndarray, width: int
+) -> np.ndarray:
+    """Read ``width`` bits (MSB-first) at each cursor, vectorized.
+
+    Cursors at or beyond the stream end read zeros (the stream is
+    virtually zero-padded), which lets lockstep chunk decoding run
+    uniformly past ragged chunk tails.
+    """
+    if not 1 <= width <= MAX_PEEK_WIDTH:
+        raise ValueError(f"width must be in [1, {MAX_PEEK_WIDTH}]")
+    stream = np.asarray(stream, dtype=np.uint8)
+    pos = np.asarray(bit_positions, dtype=np.int64)
+    if pos.size and int(pos.min()) < 0:
+        raise ValueError("bit positions must be nonnegative")
+    padded = np.zeros(stream.size + 8, dtype=np.uint8)
+    padded[: stream.size] = stream
+    byte_idx = np.minimum(pos >> 3, stream.size)  # clamp fully-past reads
+    shift = (pos & 7).astype(np.uint64)
+    window = np.zeros(pos.shape, dtype=np.uint64)
+    for k in range(8):
+        window |= padded[byte_idx + k].astype(np.uint64) << np.uint64(
+            8 * (7 - k)
+        )
+    mask = np.uint64((1 << width) - 1)
+    return (window >> (np.uint64(64 - width) - shift)) & mask

@@ -1,0 +1,35 @@
+"""Direct Copy — the lightweight fallback codec (paper Section 5.1).
+
+Applied when a bitplane group is too small or too incompressible for
+entropy coding to pay off: the payload is stored verbatim behind a tiny
+header, keeping retrieval at memory-bandwidth speed.
+"""
+
+from __future__ import annotations
+
+import struct
+
+import numpy as np
+
+_MAGIC = b"DCP1"
+_HEADER_FMT = "<4sQ"
+
+
+def direct_encode(data: np.ndarray | bytes) -> bytes:
+    """Store bytes verbatim."""
+    data = np.frombuffer(bytes(data), dtype=np.uint8) if isinstance(
+        data, (bytes, bytearray)
+    ) else np.ascontiguousarray(data, dtype=np.uint8)
+    return struct.pack(_HEADER_FMT, _MAGIC, data.size) + data.tobytes()
+
+
+def direct_decode(blob: bytes) -> np.ndarray:
+    """Recover bytes stored by :func:`direct_encode`."""
+    head = struct.calcsize(_HEADER_FMT)
+    magic, n = struct.unpack_from(_HEADER_FMT, blob, 0)
+    if magic != _MAGIC:
+        raise ValueError("not a direct-copy stream")
+    out = np.frombuffer(blob, dtype=np.uint8, count=n, offset=head)
+    if out.size != n:
+        raise ValueError("corrupt direct-copy stream")
+    return out.copy()

@@ -1,0 +1,270 @@
+"""Canonical Huffman coding with a GPU-style chunked stream layout.
+
+Built from scratch (tree construction, length limiting, canonical code
+assignment) over the byte alphabet. The stream is divided into fixed-size
+*symbol chunks*, each starting at a byte boundary with its offset in the
+header — exactly how GPU Huffman decoders (e.g. Tian et al., IPDPS'21)
+expose block-level parallelism. Decoding walks all chunks in lockstep
+with vectorized gathers, the NumPy analogue of one thread block per
+chunk.
+
+Code lengths are limited to :data:`MAX_CODE_LENGTH` so the decoder can
+use a flat prefix LUT of ``2^maxlen`` entries.
+"""
+
+from __future__ import annotations
+
+import heapq
+import struct
+
+import numpy as np
+
+from repro.lossless.bitio import pack_varlen_bits, peek_bits
+
+MAX_CODE_LENGTH = 16
+DEFAULT_CHUNK_SYMBOLS = 1024
+
+_MAGIC = b"HUF1"
+_HEADER_FMT = "<4sQIB"
+
+
+def build_code_lengths(
+    freqs: np.ndarray, max_length: int = MAX_CODE_LENGTH
+) -> np.ndarray:
+    """Huffman code lengths per symbol (0 for absent symbols).
+
+    Standard heap construction followed by Kraft-sum repair to honor
+    *max_length* (increment the deepest sub-limit codes until the Kraft
+    inequality holds, then greedily shorten where slack remains).
+    """
+    freqs = np.asarray(freqs, dtype=np.int64)
+    if freqs.ndim != 1 or freqs.size > 256:
+        raise ValueError("freqs must be 1-D with at most 256 symbols")
+    if freqs.size and int(freqs.min()) < 0:
+        raise ValueError("frequencies must be nonnegative")
+    lengths = np.zeros(freqs.size, dtype=np.uint8)
+    present = np.flatnonzero(freqs)
+    if present.size == 0:
+        return lengths
+    if present.size == 1:
+        lengths[present[0]] = 1
+        return lengths
+
+    # Heap of (freq, tiebreak, node-id); parents recorded for depth walk.
+    heap = [(int(freqs[s]), int(s), int(i)) for i, s in enumerate(present)]
+    heapq.heapify(heap)
+    parent: list[int] = [-1] * present.size
+    counter = present.size
+    while len(heap) > 1:
+        f1, _, n1 = heapq.heappop(heap)
+        f2, _, n2 = heapq.heappop(heap)
+        parent.append(-1)
+        parent[n1] = counter
+        parent[n2] = counter
+        heapq.heappush(heap, (f1 + f2, 256 + counter, counter))
+        counter += 1
+    depths = np.zeros(present.size, dtype=np.int64)
+    for leaf in range(present.size):
+        node, d = leaf, 0
+        while parent[node] != -1:
+            node = parent[node]
+            d += 1
+        depths[leaf] = d
+
+    depths = _limit_lengths(depths, np.asarray(freqs[present]), max_length)
+    lengths[present] = depths.astype(np.uint8)
+    return lengths
+
+
+def _limit_lengths(
+    depths: np.ndarray, freqs: np.ndarray, max_length: int
+) -> np.ndarray:
+    """Clamp code lengths to *max_length* while keeping Kraft ≤ 1."""
+    if max_length < 1:
+        raise ValueError("max_length must be >= 1")
+    depths = np.minimum(depths, max_length).astype(np.int64)
+    if depths.size > (1 << max_length):
+        raise ValueError("alphabet too large for max_length")
+    unit = 1 << max_length  # Kraft capacity in 2^-max_length units
+    used = int(np.sum(1 << (max_length - depths)))
+    order = np.argsort(-depths * (10**12) - freqs)  # deepest, rarest first
+    while used > unit:
+        # Lengthen the deepest sub-limit code; costs least entropy.
+        candidates = np.flatnonzero(depths < max_length)
+        pick = candidates[np.argmax(depths[candidates])]
+        used -= 1 << (max_length - depths[pick] - 1)
+        depths[pick] += 1
+    # Tighten: shorten the most frequent codes while slack allows.
+    for idx in np.argsort(-freqs):
+        while depths[idx] > 1:
+            gain = 1 << (max_length - depths[idx])
+            if used + gain > unit:
+                break
+            used += gain
+            depths[idx] -= 1
+    del order
+    return depths
+
+
+def canonical_codes(lengths: np.ndarray) -> np.ndarray:
+    """Canonical code values per symbol from code lengths."""
+    lengths = np.asarray(lengths, dtype=np.int64)
+    max_len = int(lengths.max()) if lengths.size else 0
+    codes = np.zeros(lengths.size, dtype=np.uint64)
+    if max_len == 0:
+        return codes
+    bl_count = np.bincount(lengths, minlength=max_len + 1)
+    bl_count[0] = 0
+    next_code = np.zeros(max_len + 1, dtype=np.int64)
+    for l in range(1, max_len + 1):
+        next_code[l] = (next_code[l - 1] + bl_count[l - 1]) << 1
+    for sym in range(lengths.size):  # symbol order = canonical tiebreak
+        l = int(lengths[sym])
+        if l:
+            codes[sym] = next_code[l]
+            next_code[l] += 1
+    return codes
+
+
+class HuffmanCodec:
+    """Byte-alphabet canonical Huffman codec with chunked streams."""
+
+    def __init__(self, chunk_symbols: int = DEFAULT_CHUNK_SYMBOLS) -> None:
+        if chunk_symbols < 1:
+            raise ValueError("chunk_symbols must be >= 1")
+        self.chunk_symbols = int(chunk_symbols)
+
+    # -- encode ---------------------------------------------------------
+    def encode(self, data: np.ndarray | bytes) -> bytes:
+        data = np.frombuffer(bytes(data), dtype=np.uint8) if isinstance(
+            data, (bytes, bytearray)
+        ) else np.ascontiguousarray(data, dtype=np.uint8)
+        n = data.size
+        freqs = np.bincount(data, minlength=256)
+        lengths_table = build_code_lengths(freqs)
+        codes_table = canonical_codes(lengths_table)
+        header_head = struct.pack(
+            _HEADER_FMT, _MAGIC, n, self.chunk_symbols,
+            int(lengths_table.max()) if n else 0,
+        )
+        if n == 0:
+            return header_head + lengths_table.tobytes() + struct.pack("<I", 0)
+
+        sym_lengths = lengths_table[data].astype(np.int64)
+        sym_codes = codes_table[data]
+        chunk = self.chunk_symbols
+        n_chunks = -(-n // chunk)
+        starts = np.arange(n_chunks) * chunk
+        chunk_bits = np.add.reduceat(sym_lengths, starts)
+        chunk_bytes = (chunk_bits + 7) >> 3
+        offsets = np.zeros(n_chunks + 1, dtype=np.int64)
+        np.cumsum(chunk_bytes, out=offsets[1:])
+
+        prefix = np.cumsum(sym_lengths) - sym_lengths
+        counts = np.diff(np.append(starts, n))
+        within = prefix - np.repeat(prefix[starts], counts)
+        positions = np.repeat(offsets[:-1] * 8, counts) + within
+        payload = pack_varlen_bits(
+            sym_codes, sym_lengths, positions, int(offsets[-1] * 8)
+        )
+        offsets32 = offsets.astype(np.uint32)
+        return (
+            header_head
+            + lengths_table.tobytes()
+            + struct.pack("<I", n_chunks)
+            + offsets32.tobytes()
+            + payload.tobytes()
+        )
+
+    # -- decode ---------------------------------------------------------
+    def decode(self, blob: bytes) -> np.ndarray:
+        head_size = struct.calcsize(_HEADER_FMT)
+        magic, n, chunk, max_len = struct.unpack_from(_HEADER_FMT, blob, 0)
+        if magic != _MAGIC:
+            raise ValueError("not a Huffman stream")
+        off = head_size
+        lengths_table = np.frombuffer(blob, dtype=np.uint8,
+                                      count=256, offset=off).copy()
+        off += 256
+        (n_chunks,) = struct.unpack_from("<I", blob, off)
+        off += 4
+        if n == 0:
+            return np.empty(0, dtype=np.uint8)
+        offsets = np.frombuffer(blob, dtype=np.uint32,
+                                count=n_chunks + 1, offset=off).astype(np.int64)
+        off += 4 * (n_chunks + 1)
+        payload = np.frombuffer(blob, dtype=np.uint8, offset=off)
+
+        codes_table = canonical_codes(lengths_table)
+        lut_sym, lut_len = self._build_lut(lengths_table, codes_table, max_len)
+
+        cursors = offsets[:-1] * 8
+        out = np.empty((n_chunks, chunk), dtype=np.uint8)
+        # Lockstep decode: one step decodes one symbol in every chunk
+        # (the per-thread-block loop of a GPU decoder). Steps past a
+        # short final chunk read zero padding and are discarded.
+        padded = np.zeros(payload.size + 8, dtype=np.uint8)
+        padded[: payload.size] = payload
+        steps = min(chunk, n)
+        shift_base = np.uint64(64 - max_len)
+        mask = np.uint64((1 << max_len) - 1)
+        for step in range(steps):
+            byte_idx = np.minimum(cursors >> 3, payload.size)
+            window = np.zeros(n_chunks, dtype=np.uint64)
+            for k in range(8):
+                window |= padded[byte_idx + k].astype(np.uint64) << np.uint64(
+                    8 * (7 - k)
+                )
+            vals = (window >> (shift_base - (cursors & 7).astype(np.uint64))) \
+                & mask
+            out[:, step] = lut_sym[vals]
+            cursors = cursors + lut_len[vals]
+        return out.reshape(-1)[:n]
+
+    @staticmethod
+    def _build_lut(
+        lengths_table: np.ndarray, codes_table: np.ndarray, max_len: int
+    ) -> tuple[np.ndarray, np.ndarray]:
+        """Flat prefix LUT: any max_len-bit window -> (symbol, length)."""
+        if max_len < 1 or max_len > MAX_CODE_LENGTH:
+            raise ValueError(f"corrupt stream: max_len={max_len}")
+        size = 1 << max_len
+        lut_sym = np.zeros(size, dtype=np.uint8)
+        lut_len = np.ones(size, dtype=np.int64)
+        for sym in np.flatnonzero(lengths_table):
+            l = int(lengths_table[sym])
+            base = int(codes_table[sym]) << (max_len - l)
+            lut_sym[base : base + (1 << (max_len - l))] = sym
+            lut_len[base : base + (1 << (max_len - l))] = l
+        return lut_sym, lut_len
+
+
+_DEFAULT_CODEC = HuffmanCodec()
+
+
+def huffman_encode(data: np.ndarray | bytes) -> bytes:
+    """Encode bytes with the default chunked canonical Huffman codec."""
+    return _DEFAULT_CODEC.encode(data)
+
+
+def huffman_decode(blob: bytes) -> np.ndarray:
+    """Decode a stream produced by :func:`huffman_encode`."""
+    return _DEFAULT_CODEC.decode(blob)
+
+
+def estimate_huffman_ratio(data: np.ndarray) -> float:
+    """Cheap, accurate Huffman CR predictor (Section 5.2).
+
+    Builds the histogram and optimal code lengths, then computes the
+    exact payload bits plus header overhead — no encoding performed.
+    """
+    data = np.ascontiguousarray(data, dtype=np.uint8)
+    if data.size == 0:
+        return 1.0
+    freqs = np.bincount(data, minlength=256)
+    lengths = build_code_lengths(freqs)
+    payload_bits = int(np.sum(freqs * lengths.astype(np.int64)))
+    n_chunks = -(-data.size // DEFAULT_CHUNK_SYMBOLS)
+    header_bytes = struct.calcsize(_HEADER_FMT) + 256 + 4 * (n_chunks + 2)
+    est_bytes = header_bytes + ((payload_bits + 7) >> 3) + n_chunks
+    return data.size / est_bytes

@@ -1,0 +1,198 @@
+"""Hybrid lossless compression strategy (paper Algorithm 2).
+
+Every ``group_size`` consecutive bitplanes are merged into one unit. If
+the unit is large enough to be worth compressing (``S > T_s``), both the
+Huffman and RLE compression ratios are *estimated* with the lightweight
+predictors (no trial encoding); Huffman is used if its estimate clears
+the ratio threshold ``T_cr``, else RLE if its estimate does, else Direct
+Copy. Small units go straight to Direct Copy.
+
+Grouping trades retrieval granularity for codec efficiency: progressive
+readers fetch whole groups, so ``group_size`` is the unit the retrieval
+planner works in.
+"""
+
+from __future__ import annotations
+
+import struct
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.lossless.direct import direct_decode, direct_encode
+from repro.lossless.huffman import (
+    estimate_huffman_ratio,
+    huffman_decode,
+    huffman_encode,
+)
+from repro.lossless.rle import estimate_rle_ratio, rle_decode, rle_encode
+
+METHODS = ("huffman", "rle", "direct")
+
+_GROUP_MAGIC = b"HGRP"
+_GROUP_FMT = "<4sB H H Q"
+
+
+@dataclass(frozen=True)
+class HybridConfig:
+    """Tuning knobs of Algorithm 2.
+
+    ``cr_threshold`` is the paper's ``rc`` parameter (Fig. 8 sweeps 1.0,
+    2.0, 4.0): higher values demand more benefit before spending entropy
+    coding effort, trading retrieval size for codec throughput.
+    """
+
+    group_size: int = 4
+    size_threshold: int = 1024
+    cr_threshold: float = 1.0
+
+    def __post_init__(self) -> None:
+        if self.group_size < 1:
+            raise ValueError("group_size must be >= 1")
+        if self.size_threshold < 0:
+            raise ValueError("size_threshold must be >= 0")
+        if self.cr_threshold <= 0:
+            raise ValueError("cr_threshold must be > 0")
+
+
+@dataclass
+class CompressedGroup:
+    """One merged-and-compressed bitplane group (a retrieval unit)."""
+
+    method: str
+    payload: bytes
+    plane_sizes: tuple[int, ...]
+    first_plane: int
+
+    @property
+    def original_size(self) -> int:
+        return int(sum(self.plane_sizes))
+
+    @property
+    def compressed_size(self) -> int:
+        return len(self.payload)
+
+    @property
+    def num_planes(self) -> int:
+        return len(self.plane_sizes)
+
+    def to_bytes(self) -> bytes:
+        head = struct.pack(
+            _GROUP_FMT,
+            _GROUP_MAGIC,
+            METHODS.index(self.method),
+            self.first_plane,
+            len(self.plane_sizes),
+            len(self.payload),
+        )
+        sizes = struct.pack(
+            f"<{len(self.plane_sizes)}Q", *self.plane_sizes
+        )
+        return head + sizes + self.payload
+
+    @classmethod
+    def from_bytes(cls, buf: bytes) -> "CompressedGroup":
+        head_size = struct.calcsize(_GROUP_FMT)
+        magic, method_id, first, m, payload_len = struct.unpack_from(
+            _GROUP_FMT, buf, 0
+        )
+        if magic != _GROUP_MAGIC:
+            raise ValueError("not a hybrid group")
+        if method_id >= len(METHODS):
+            raise ValueError(f"unknown method id {method_id}")
+        sizes = struct.unpack_from(f"<{m}Q", buf, head_size)
+        off = head_size + 8 * m
+        payload = buf[off : off + payload_len]
+        if len(payload) != payload_len:
+            raise ValueError("truncated hybrid group")
+        return cls(
+            method=METHODS[method_id],
+            payload=payload,
+            plane_sizes=tuple(int(s) for s in sizes),
+            first_plane=first,
+        )
+
+
+def estimate_group_ratios(merged: np.ndarray) -> tuple[float, float]:
+    """(Huffman, RLE) compression-ratio estimates for a merged group."""
+    return estimate_huffman_ratio(merged), estimate_rle_ratio(merged)
+
+
+def _select_method(merged: np.ndarray, config: HybridConfig) -> str:
+    """The decision logic of Algorithm 2."""
+    if merged.size <= config.size_threshold:
+        return "direct"
+    r_h, r_r = estimate_group_ratios(merged)
+    if r_h > config.cr_threshold:
+        return "huffman"
+    if r_r > config.cr_threshold:
+        return "rle"
+    return "direct"
+
+
+_ENCODERS = {
+    "huffman": huffman_encode,
+    "rle": rle_encode,
+    "direct": direct_encode,
+}
+_DECODERS = {
+    "huffman": huffman_decode,
+    "rle": rle_decode,
+    "direct": direct_decode,
+}
+
+
+def compress_planes(
+    planes: list[np.ndarray], config: HybridConfig | None = None
+) -> list[CompressedGroup]:
+    """Compress bitplanes group-by-group per Algorithm 2.
+
+    ``planes`` are packed uint8 payloads (most significant first, as
+    produced by :mod:`repro.bitplane`). Returns one
+    :class:`CompressedGroup` per ``config.group_size`` planes; the final
+    group may be smaller.
+    """
+    config = config or HybridConfig()
+    groups: list[CompressedGroup] = []
+    for start in range(0, len(planes), config.group_size):
+        members = planes[start : start + config.group_size]
+        merged = (
+            np.concatenate([np.ascontiguousarray(p, dtype=np.uint8).reshape(-1)
+                            for p in members])
+            if members else np.empty(0, dtype=np.uint8)
+        )
+        method = _select_method(merged, config)
+        payload = _ENCODERS[method](merged)
+        groups.append(
+            CompressedGroup(
+                method=method,
+                payload=payload,
+                plane_sizes=tuple(int(p.size) for p in members),
+                first_plane=start,
+            )
+        )
+    return groups
+
+
+def decompress_groups(
+    groups: list[CompressedGroup], num_groups: int | None = None
+) -> list[np.ndarray]:
+    """Recover the leading planes from the first *num_groups* groups.
+
+    Progressive retrieval decompresses only the groups it fetched;
+    ``None`` decompresses everything.
+    """
+    selected = groups if num_groups is None else groups[:num_groups]
+    planes: list[np.ndarray] = []
+    for group in selected:
+        merged = _DECODERS[group.method](group.payload)
+        if merged.size != group.original_size:
+            raise ValueError(
+                f"group {group.first_plane}: decoded {merged.size} bytes, "
+                f"expected {group.original_size}"
+            )
+        offset = 0
+        for size in group.plane_sizes:
+            planes.append(merged[offset : offset + size].copy())
+            offset += size
+    return planes

@@ -1,0 +1,128 @@
+"""Figure 4's task DAGs for pipelined refactoring and reconstruction.
+
+Refactoring, per sub-domain ``i`` (engine in parentheses):
+
+    I_i (h2d)  — copy input sub-domain to device           [green]
+    D_i (comp) — multilevel decomposition + bitplane encode [blue]
+    Z_i (excl) — hybrid lossless compression                [yellow]
+    S_i (h2d)  — serialization / metadata embedding         [uses DMA]
+    O_i (d2h)  — copy refactored output to host             [red]
+
+Chain ``I→D→Z→S→O`` plus the paper's two pipelining dependencies:
+``I_{i+1} → Z_i`` (the prefetch, overlapped with D_i, must land before
+the exclusive lossless stage) and ``S_{i-1} → I_{i+1}`` (a prefetch may
+start only once the DMA engine is free after the previous
+serialization — which also bounds prefetch depth to the triple-buffer
+set). Output copies overlap the next sub-domain's kernels.
+
+Reconstruction, per sub-domain ``i``:
+
+    I_i (h2d)  — copy refactored input to device
+    X_i (excl) — deserialization + lossless decompression   [yellow]
+    R_i (comp) — bitplane decode + multilevel recomposition
+    O_i (d2h)  — copy reconstructed data to host
+
+Chain ``I→X→R→O`` plus ``X_i → I_{i+1}`` (delay prefetch past the
+yellow stage) and ``X_{i+1} → O_i`` (delay the store of iteration ``i``
+until the next yellow stage is done, overlapping it with ``R_{i+1}``).
+"""
+
+from __future__ import annotations
+
+import networkx as nx
+
+from repro.gpu.events import Task
+from repro.gpu.hdem import COMPUTE, D2H, H2D
+from repro.pipeline.scheduler import StageCosts
+
+
+def build_refactor_dag(
+    stages: list[StageCosts], pipelined: bool = True
+) -> list[Task]:
+    """Fig. 4(a): the refactoring pipeline over *stages* sub-domains."""
+    tasks: list[Task] = []
+    for i, s in enumerate(stages):
+        deps_i: list[str] = []
+        if pipelined and i > 1:
+            deps_i = [f"S{i-2}"]  # buffer reuse bounds prefetch depth
+        if not pipelined and i > 0:
+            deps_i = [f"O{i-1}"]
+        tasks.append(Task(f"I{i}", H2D, s.input_s, tuple(deps_i)))
+        tasks.append(Task(f"D{i}", COMPUTE, s.kernel_s, (f"I{i}",)))
+        z_deps = [f"D{i}"]
+        if pipelined and i + 1 < len(stages):
+            z_deps.append(f"I{i+1}")  # prefetch before the yellow stage
+        tasks.append(
+            Task(f"Z{i}", COMPUTE, s.lossless_s, tuple(z_deps),
+                 exclusive=True)
+        )
+        tasks.append(Task(f"S{i}", H2D, s.serialize_s, (f"Z{i}",)))
+        tasks.append(Task(f"O{i}", D2H, s.output_s, (f"S{i}",)))
+    _check_acyclic(tasks)
+    return tasks
+
+
+def build_reconstruct_dag(
+    stages: list[StageCosts], pipelined: bool = True
+) -> list[Task]:
+    """Fig. 4(b): the reconstruction pipeline over *stages* sub-domains."""
+    tasks: list[Task] = []
+    for i, s in enumerate(stages):
+        deps_i: list[str] = [f"X{i-1}"] if (pipelined and i > 0) else []
+        if not pipelined and i > 0:
+            deps_i = [f"O{i-1}"]
+        tasks.append(Task(f"I{i}", H2D, s.input_s, tuple(deps_i)))
+        tasks.append(
+            Task(f"X{i}", COMPUTE, s.lossless_s, (f"I{i}",), exclusive=True)
+        )
+        tasks.append(Task(f"R{i}", COMPUTE, s.kernel_s, (f"X{i}",)))
+        o_deps = [f"R{i}"]
+        if pipelined and i + 1 < len(stages):
+            o_deps.append(f"X{i+1}")
+        tasks.append(Task(f"O{i}", D2H, s.output_s, tuple(o_deps)))
+    _check_acyclic(tasks)
+    return tasks
+
+
+def serial_chain(tasks: list[Task]) -> list[Task]:
+    """Rewrite a DAG as a strict serial chain (the no-pipeline baseline).
+
+    Keeps engines and durations; every task depends on the previous one
+    in list order, so nothing overlaps.
+    """
+    out: list[Task] = []
+    prev: str | None = None
+    for t in tasks:
+        deps = (prev,) if prev is not None else ()
+        out.append(
+            Task(t.name, t.engine, t.duration, deps, exclusive=t.exclusive)
+        )
+        prev = t.name
+    return out
+
+
+def _check_acyclic(tasks: list[Task]) -> None:
+    graph = nx.DiGraph()
+    graph.add_nodes_from(t.name for t in tasks)
+    for t in tasks:
+        for d in t.deps:
+            graph.add_edge(d, t.name)
+    if not nx.is_directed_acyclic_graph(graph):
+        cycle = nx.find_cycle(graph)
+        raise ValueError(f"pipeline DAG has a cycle: {cycle}")
+
+
+def critical_path_seconds(tasks: list[Task]) -> float:
+    """Length of the dependency-only critical path (a lower bound on any
+    schedule's makespan)."""
+    graph = nx.DiGraph()
+    durations = {t.name: t.duration for t in tasks}
+    graph.add_nodes_from(durations)
+    for t in tasks:
+        for d in t.deps:
+            graph.add_edge(d, t.name)
+    longest: dict[str, float] = {}
+    for node in nx.topological_sort(graph):
+        preds = [longest[p] for p in graph.predecessors(node)]
+        longest[node] = durations[node] + max(preds, default=0.0)
+    return max(longest.values(), default=0.0)

@@ -1,0 +1,131 @@
+"""Stage costs and pipelined-vs-serial speedup evaluation (Fig. 9).
+
+``StageCosts`` captures one sub-domain's five stage durations; the
+``*_stage_costs`` helpers derive them from the kernel cost model plus
+the *actual* compressed sizes and codec mix the hybrid compressor chose
+for that sub-domain — so pipeline speedups respond to real data
+characteristics, not canned numbers.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.gpu.hdem import HostDeviceModel
+
+
+@dataclass(frozen=True)
+class StageCosts:
+    """Per-sub-domain stage durations in seconds."""
+
+    input_s: float
+    kernel_s: float
+    lossless_s: float
+    serialize_s: float
+    output_s: float
+
+    def __post_init__(self) -> None:
+        for name in ("input_s", "kernel_s", "lossless_s", "serialize_s",
+                     "output_s"):
+            if getattr(self, name) < 0:
+                raise ValueError(f"{name} must be >= 0")
+
+    @property
+    def total(self) -> float:
+        return (self.input_s + self.kernel_s + self.lossless_s
+                + self.serialize_s + self.output_s)
+
+
+def refactor_stage_costs(
+    model: HostDeviceModel,
+    num_elements: int,
+    elem_bytes: int,
+    ndim: int,
+    num_levels: int,
+    num_bitplanes: int,
+    compressed_bytes: int,
+    bytes_by_method: dict[str, int],
+    design: str = "register_block",
+) -> StageCosts:
+    """Stage durations for refactoring one sub-domain."""
+    raw_bytes = num_elements * elem_bytes
+    plane_bytes = sum(bytes_by_method.values())
+    kernel = (
+        model.cost.decompose(num_elements, elem_bytes, ndim, num_levels)
+        .seconds
+        + model.cost.bitplane_encode(
+            num_elements, num_bitplanes, design=design,
+            elem_bytes=elem_bytes,
+        ).seconds
+    )
+    lossless = model.cost.lossless_mix(bytes_by_method, "compress").seconds
+    return StageCosts(
+        input_s=model.dma_seconds(raw_bytes),
+        kernel_s=kernel,
+        lossless_s=lossless,
+        serialize_s=model.cost.host_copy(max(compressed_bytes, plane_bytes // 8)),
+        output_s=model.dma_seconds(compressed_bytes),
+    )
+
+
+def reconstruct_stage_costs(
+    model: HostDeviceModel,
+    num_elements: int,
+    elem_bytes: int,
+    ndim: int,
+    num_levels: int,
+    num_bitplanes: int,
+    fetched_bytes: int,
+    bytes_by_method: dict[str, int],
+    design: str = "register_block",
+) -> StageCosts:
+    """Stage durations for reconstructing one sub-domain."""
+    raw_bytes = num_elements * elem_bytes
+    kernel = (
+        model.cost.recompose(num_elements, elem_bytes, ndim, num_levels)
+        .seconds
+        + model.cost.bitplane_decode(
+            num_elements, num_bitplanes, design=design,
+            elem_bytes=elem_bytes,
+        ).seconds
+    )
+    lossless = model.cost.lossless_mix(bytes_by_method, "decompress").seconds
+    return StageCosts(
+        input_s=model.dma_seconds(fetched_bytes),
+        kernel_s=kernel,
+        lossless_s=lossless,
+        serialize_s=model.cost.host_copy(fetched_bytes),
+        output_s=model.dma_seconds(raw_bytes),
+    )
+
+
+def pipeline_speedup(
+    model: HostDeviceModel,
+    stages: list[StageCosts],
+    direction: str = "refactor",
+) -> tuple[float, float, float]:
+    """(serial_seconds, pipelined_seconds, speedup) for a stage list.
+
+    The serial time executes the same tasks as a strict chain; the
+    pipelined time schedules Fig. 4's DAG on the HDEM engines.
+    """
+    # Local import: dag.py imports StageCosts from this module.
+    from repro.pipeline.dag import (
+        build_reconstruct_dag,
+        build_refactor_dag,
+        serial_chain,
+    )
+
+    if direction == "refactor":
+        dag = build_refactor_dag(stages, pipelined=True)
+        base = build_refactor_dag(stages, pipelined=False)
+    elif direction == "reconstruct":
+        dag = build_reconstruct_dag(stages, pipelined=True)
+        base = build_reconstruct_dag(stages, pipelined=False)
+    else:
+        raise ValueError("direction must be refactor or reconstruct")
+    pipelined = model.run(dag).makespan
+    serial = model.run(serial_chain(base)).makespan
+    if pipelined <= 0:
+        return serial, pipelined, 1.0
+    return serial, pipelined, serial / pipelined

@@ -1,0 +1,58 @@
+"""Progressive retrieval with QoI error control (paper Section 6.2).
+
+Scientists rarely consume raw fields; they consume derived Quantities of
+Interest such as the velocity magnitude ``V_total = sqrt(Vx²+Vy²+Vz²)``
+the paper evaluates. This package provides:
+
+* :mod:`~repro.qoi.expressions` — a small QoI expression language with
+  interval arithmetic, giving *rigorous pointwise bounds* on how much a
+  QoI can move when each input variable is perturbed within its current
+  reconstruction error bound;
+* :mod:`~repro.qoi.eb_methods` — the three next-error-bound estimation
+  strategies: CP (CPU porting), MA (minimal augmentation), MAPE (minimal
+  augmentation with proportional estimation);
+* :mod:`~repro.qoi.retrieval` — the Algorithm 3 driver that iterates
+  fetch → recompose → estimate until the requested QoI tolerance holds.
+"""
+
+from repro.qoi.expressions import (
+    QoI,
+    add,
+    const,
+    estimate_qoi_error,
+    pointwise_qoi_error,
+    sqrt,
+    square,
+    var,
+    v_total,
+)
+from repro.qoi.eb_methods import (
+    EB_METHODS,
+    cp_update,
+    ma_update,
+    mape_update,
+)
+from repro.qoi.retrieval import (
+    QoIRetrievalResult,
+    actual_qoi_error,
+    retrieve_qoi,
+)
+
+__all__ = [
+    "QoI",
+    "var",
+    "const",
+    "add",
+    "square",
+    "sqrt",
+    "v_total",
+    "estimate_qoi_error",
+    "pointwise_qoi_error",
+    "EB_METHODS",
+    "cp_update",
+    "ma_update",
+    "mape_update",
+    "retrieve_qoi",
+    "QoIRetrievalResult",
+    "actual_qoi_error",
+]

@@ -1,0 +1,180 @@
+"""Algorithm 3: progressive retrieval with guaranteed QoI error control.
+
+The driver alternates fetching/recomposing each variable toward its
+current error bound (memory operations, pipelined in the paper) with the
+vectorized QoI error estimation kernel (compute), updating bounds via
+CP / MA / MAPE until the estimated supremum error meets the tolerance.
+Because the estimate is rigorous (interval arithmetic over rigorous
+per-variable L∞ bounds), the returned data *provably* satisfies the QoI
+tolerance — the Fig. 13 invariant.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field as dc_field
+
+import numpy as np
+
+from repro.core.reconstruct import Reconstructor
+from repro.core.stream import RefactoredField
+from repro.qoi.eb_methods import (
+    EB_METHODS,
+    cp_update,
+    ma_update,
+    mape_update,
+)
+from repro.qoi.expressions import QoI, estimate_qoi_error
+
+
+@dataclass
+class QoIIterationRecord:
+    """Telemetry for one Algorithm 3 iteration."""
+
+    iteration: int
+    error_bounds: dict[str, float]
+    estimated_error: float
+    fetched_bytes: int
+
+
+@dataclass
+class QoIRetrievalResult:
+    """Output of :func:`retrieve_qoi`."""
+
+    values: dict[str, np.ndarray]
+    qoi_values: np.ndarray
+    estimated_error: float
+    tolerance: float
+    iterations: int
+    fetched_bytes: int
+    num_elements: int
+    method: str
+    history: list[QoIIterationRecord] = dc_field(default_factory=list)
+
+    @property
+    def bitrate(self) -> float:
+        """Fetched bits per grid point, summed over all variables —
+        the metric of Tables 2 and 3 (lower is better)."""
+        return 8.0 * self.fetched_bytes / self.num_elements
+
+
+def retrieve_qoi(
+    fields: dict[str, RefactoredField],
+    qoi: QoI,
+    tolerance: float,
+    method: str = "mape",
+    switch_threshold: float = 10.0,
+    initial_bounds: dict[str, float] | None = None,
+    max_iterations: int = 200,
+) -> QoIRetrievalResult:
+    """Retrieve just enough bitplanes for ``|QoI error| ≤ tolerance``.
+
+    Parameters mirror Algorithm 3: ``fields`` maps variable names to
+    refactored streams (names must match the QoI's variables), ``method``
+    selects the next-error-bound estimator, and ``switch_threshold`` is
+    MAPE's ``c``. Initial bounds default to the tolerance itself — loose
+    enough that the loop genuinely iterates, as in the paper.
+    """
+    if method not in EB_METHODS:
+        raise ValueError(f"method must be one of {EB_METHODS}, got {method!r}")
+    if tolerance <= 0:
+        raise ValueError("tolerance must be > 0")
+    if switch_threshold <= 1.0:
+        raise ValueError("switch_threshold must be > 1")
+    needed = qoi.variables()
+    missing = needed - set(fields)
+    if missing:
+        raise ValueError(f"missing refactored variables: {sorted(missing)}")
+
+    recons = {name: Reconstructor(fields[name]) for name in needed}
+    # Initial bounds follow the paper: derived from each variable's
+    # value range rather than the tolerance, so the loop starts loose
+    # and genuinely iterates toward τ (the regime Tables 2/3 compare).
+    bounds = dict(initial_bounds) if initial_bounds else {
+        name: max(float(tolerance),
+                  0.05 * fields[name].value_range or float(tolerance))
+        for name in needed
+    }
+    for name, b in bounds.items():
+        if b <= 0:
+            raise ValueError(f"initial bound for {name!r} must be > 0")
+
+    history: list[QoIIterationRecord] = []
+    values: dict[str, np.ndarray] = {}
+    actual_bounds: dict[str, float] = {}
+    estimated = float("inf")
+    iteration = 0
+    while iteration < max_iterations:
+        iteration += 1
+        # Fetch + recompose every variable to its current bound
+        # (the pipelined memory/compute phase of Algorithm 3).
+        for name in sorted(needed):
+            result = recons[name].reconstruct(tolerance=bounds[name])
+            values[name] = result.data.astype(np.float64)
+            actual_bounds[name] = result.error_bound
+        estimated = estimate_qoi_error(qoi, values, actual_bounds)
+        fetched = sum(r.fetched_bytes for r in recons.values())
+        history.append(
+            QoIIterationRecord(
+                iteration=iteration,
+                error_bounds=dict(actual_bounds),
+                estimated_error=estimated,
+                fetched_bytes=fetched,
+            )
+        )
+        if estimated <= tolerance:
+            break
+        bounds = _next_bounds(
+            method, qoi, values, recons, actual_bounds, tolerance,
+            estimated, switch_threshold,
+        )
+        exhausted = all(
+            recons[name].fetched_groups == fields[name].max_groups()
+            for name in needed
+        )
+        if exhausted:
+            break  # nothing more to fetch; report the achieved estimate
+    num_elements = int(np.prod(next(iter(fields.values())).shape))
+    return QoIRetrievalResult(
+        values=values,
+        qoi_values=qoi.evaluate(values),
+        estimated_error=estimated,
+        tolerance=tolerance,
+        iterations=iteration,
+        fetched_bytes=sum(r.fetched_bytes for r in recons.values()),
+        num_elements=num_elements,
+        method=method,
+        history=history,
+    )
+
+
+def _next_bounds(
+    method: str,
+    qoi: QoI,
+    values: dict[str, np.ndarray],
+    recons: dict[str, Reconstructor],
+    bounds: dict[str, float],
+    tolerance: float,
+    estimated: float,
+    switch_threshold: float,
+) -> dict[str, float]:
+    fields = {name: r.field for name, r in recons.items()}
+    fetched = {name: r.fetched_groups for name, r in recons.items()}
+    if method == "cp":
+        return cp_update(qoi, values, bounds, tolerance)
+    if method == "ma":
+        return ma_update(fields, fetched, bounds)
+    return mape_update(
+        qoi, values, fields, fetched, bounds, tolerance, estimated,
+        switch_threshold,
+    )
+
+
+def actual_qoi_error(
+    qoi: QoI,
+    original: dict[str, np.ndarray],
+    reconstructed: dict[str, np.ndarray],
+) -> float:
+    """Max |QoI(original) − QoI(reconstructed)| — Fig. 13's ground truth."""
+    q_true = qoi.evaluate(original)
+    q_rec = qoi.evaluate(reconstructed)
+    return float(np.max(np.abs(q_true - q_rec)))

@@ -1,0 +1,81 @@
+"""Accuracy and performance metrics used throughout the evaluation.
+
+All error metrics operate on NumPy arrays of identical shape; performance
+metrics convert (bytes, seconds) pairs into the GB/s figures the paper
+reports.
+"""
+
+from __future__ import annotations
+
+import math
+
+import numpy as np
+
+
+def linf_error(original: np.ndarray, approx: np.ndarray) -> float:
+    """Maximum absolute pointwise error ``max|a - b|``."""
+    if original.shape != approx.shape:
+        raise ValueError(
+            f"shape mismatch: {original.shape} vs {approx.shape}"
+        )
+    if original.size == 0:
+        return 0.0
+    return float(
+        np.max(np.abs(original.astype(np.float64) - approx.astype(np.float64)))
+    )
+
+
+def relative_linf_error(original: np.ndarray, approx: np.ndarray) -> float:
+    """L-infinity error normalized by the value range of *original*.
+
+    This is the "relative error bound" convention used by SZ/MGARD/MDR:
+    ``max|a-b| / (max(a) - min(a))``. Returns the absolute error when the
+    value range is zero.
+    """
+    rng = float(np.max(original) - np.min(original)) if original.size else 0.0
+    err = linf_error(original, approx)
+    return err / rng if rng > 0 else err
+
+
+def l2_error(original: np.ndarray, approx: np.ndarray) -> float:
+    """Root-mean-square error."""
+    if original.shape != approx.shape:
+        raise ValueError(
+            f"shape mismatch: {original.shape} vs {approx.shape}"
+        )
+    if original.size == 0:
+        return 0.0
+    diff = original.astype(np.float64) - approx.astype(np.float64)
+    return float(np.sqrt(np.mean(diff * diff)))
+
+
+def psnr(original: np.ndarray, approx: np.ndarray) -> float:
+    """Peak signal-to-noise ratio in dB (``inf`` for exact match)."""
+    rmse = l2_error(original, approx)
+    rng = float(np.max(original) - np.min(original)) if original.size else 0.0
+    if rmse == 0:
+        return math.inf
+    if rng == 0:
+        return -math.inf
+    return 20.0 * math.log10(rng / rmse)
+
+
+def bitrate(compressed_bytes: int, num_elements: int) -> float:
+    """Bits per element — the retrieval-efficiency metric of Tables 2/3."""
+    if num_elements <= 0:
+        raise ValueError("num_elements must be positive")
+    return 8.0 * compressed_bytes / num_elements
+
+
+def compression_ratio(original_bytes: int, compressed_bytes: int) -> float:
+    """Original size over compressed size; ``inf`` when compressed is 0."""
+    if compressed_bytes <= 0:
+        return math.inf
+    return original_bytes / compressed_bytes
+
+
+def throughput_gbps(num_bytes: int, seconds: float) -> float:
+    """Throughput in GB/s (decimal GB, as HPC papers report)."""
+    if seconds <= 0:
+        raise ValueError("seconds must be positive")
+    return num_bytes / seconds / 1e9

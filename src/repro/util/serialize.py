@@ -1,0 +1,71 @@
+"""Minimal, dependency-free binary serialization for refactored streams.
+
+The on-disk format intentionally avoids pickle: every segment is a plain
+byte blob preceded by a small fixed header, so streams written by one
+"device" (or machine) are readable by any other — the portability property
+HP-MDR emphasizes.
+
+Header layout (little-endian):
+    magic   : 4 bytes  b"RPRO"
+    version : uint16
+    count   : uint32   number of payload blobs
+    lengths : count * uint64
+followed by the concatenated payloads.
+"""
+
+from __future__ import annotations
+
+import struct
+from typing import Sequence
+
+import numpy as np
+
+MAGIC = b"RPRO"
+VERSION = 1
+_HEADER_FMT = "<4sHI"
+
+
+def write_header(count: int, lengths: Sequence[int]) -> bytes:
+    """Serialize the stream header for *count* blobs with given lengths."""
+    if count != len(lengths):
+        raise ValueError("count does not match number of lengths")
+    head = struct.pack(_HEADER_FMT, MAGIC, VERSION, count)
+    body = struct.pack(f"<{count}Q", *lengths)
+    return head + body
+
+
+def read_header(buf: bytes) -> tuple[list[int], int]:
+    """Parse a header, returning (lengths, payload_offset)."""
+    head_size = struct.calcsize(_HEADER_FMT)
+    if len(buf) < head_size:
+        raise ValueError("buffer too small for stream header")
+    magic, version, count = struct.unpack_from(_HEADER_FMT, buf, 0)
+    if magic != MAGIC:
+        raise ValueError(f"bad magic {magic!r}; not a repro stream")
+    if version != VERSION:
+        raise ValueError(f"unsupported stream version {version}")
+    lengths_size = 8 * count
+    if len(buf) < head_size + lengths_size:
+        raise ValueError("buffer truncated inside header length table")
+    lengths = list(struct.unpack_from(f"<{count}Q", buf, head_size))
+    return lengths, head_size + lengths_size
+
+
+def pack_arrays(arrays: Sequence[np.ndarray]) -> bytes:
+    """Pack byte-viewable arrays into a single self-describing blob."""
+    payloads = [np.ascontiguousarray(a).tobytes() for a in arrays]
+    header = write_header(len(payloads), [len(p) for p in payloads])
+    return header + b"".join(payloads)
+
+
+def unpack_arrays(buf: bytes) -> list[bytes]:
+    """Inverse of :func:`pack_arrays`; returns raw payload bytes."""
+    lengths, offset = read_header(buf)
+    out: list[bytes] = []
+    for length in lengths:
+        end = offset + length
+        if end > len(buf):
+            raise ValueError("buffer truncated inside payload")
+        out.append(buf[offset:end])
+        offset = end
+    return out

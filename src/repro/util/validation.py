@@ -1,0 +1,46 @@
+"""Argument validation helpers used across the library.
+
+These raise early with actionable messages rather than letting NumPy
+broadcast errors surface deep inside kernels.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Sequence
+
+import numpy as np
+
+
+def require(condition: bool, message: str) -> None:
+    """Raise ``ValueError`` with *message* unless *condition* holds."""
+    if not condition:
+        raise ValueError(message)
+
+
+def check_positive(name: str, value: float) -> None:
+    """Validate that a scalar parameter is strictly positive."""
+    if not value > 0:
+        raise ValueError(f"{name} must be > 0, got {value!r}")
+
+
+def check_dtype_floating(arr: np.ndarray) -> None:
+    """Validate that *arr* holds float32 or float64 data."""
+    if arr.dtype not in (np.dtype(np.float32), np.dtype(np.float64)):
+        raise TypeError(
+            f"expected float32 or float64 array, got dtype {arr.dtype}"
+        )
+
+
+def check_shape_3d(shape: Sequence[int]) -> tuple[int, int, int]:
+    """Validate and normalize a 3-D shape tuple."""
+    shape = tuple(int(s) for s in shape)
+    if len(shape) != 3 or any(s <= 0 for s in shape):
+        raise ValueError(f"expected a positive 3-D shape, got {shape}")
+    return shape  # type: ignore[return-value]
+
+
+def as_contiguous_floats(data: Any) -> np.ndarray:
+    """Return *data* as a C-contiguous float array, validating dtype."""
+    arr = np.ascontiguousarray(data)
+    check_dtype_floating(arr)
+    return arr

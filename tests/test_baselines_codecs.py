@@ -1,0 +1,239 @@
+"""Tests for the ZFP-like, SZ3-like, and MGARD-lossy codecs."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.baselines.intcodec import (
+    decode_int_array,
+    encode_int_array,
+    zigzag_decode,
+    zigzag_encode,
+)
+from repro.baselines.mgard_lossy import MgardLossyCodec
+from repro.baselines.sz3 import Sz3Codec, _lorenzo_forward, _lorenzo_inverse
+from repro.baselines.zfp import (
+    ZfpCodec,
+    _forward_transform,
+    _from_negabinary,
+    _inverse_transform,
+    _to_negabinary,
+)
+from repro.data import generators as gen
+
+
+def smooth_field(shape=(16, 16, 16), seed=0, dtype=np.float32):
+    return gen.gaussian_random_field(shape, -3.0, seed=seed, dtype=dtype)
+
+
+class TestIntCodec:
+    def test_zigzag_roundtrip(self):
+        v = np.array([0, -1, 1, -2, 2, 12345, -98765], dtype=np.int64)
+        np.testing.assert_array_equal(zigzag_decode(zigzag_encode(v)), v)
+
+    def test_zigzag_known(self):
+        np.testing.assert_array_equal(
+            zigzag_encode(np.array([0, -1, 1, -2, 2])), [0, 1, 2, 3, 4]
+        )
+
+    def test_roundtrip_with_outliers(self):
+        rng = np.random.default_rng(0)
+        v = rng.integers(-50, 50, 5000)
+        v[::97] = rng.integers(-10**9, 10**9, v[::97].size)
+        np.testing.assert_array_equal(
+            decode_int_array(encode_int_array(v)), v
+        )
+
+    def test_empty(self):
+        assert decode_int_array(encode_int_array(np.array([], int))).size == 0
+
+    def test_compresses_small_codes(self):
+        v = np.zeros(1 << 16, dtype=np.int64)
+        assert len(encode_int_array(v)) < (1 << 16) // 4
+
+    def test_bad_magic(self):
+        with pytest.raises(ValueError):
+            decode_int_array(b"XXXX" + b"\0" * 20)
+
+
+class TestSz3:
+    def test_lorenzo_inverse(self):
+        rng = np.random.default_rng(1)
+        q = rng.integers(-100, 100, (7, 8, 9))
+        np.testing.assert_array_equal(
+            _lorenzo_inverse(_lorenzo_forward(q)), q
+        )
+
+    @pytest.mark.parametrize("eb", [1e-1, 1e-3, 1e-5])
+    def test_error_bound_exact(self, eb):
+        data = smooth_field(seed=2)
+        codec = Sz3Codec()
+        rec = codec.decompress(codec.compress(data, eb))
+        # float32 output adds at most half an ulp of cast rounding on
+        # top of the codec's float64 guarantee.
+        allowance = float(np.spacing(np.float32(np.max(np.abs(data)))))
+        assert np.max(np.abs(rec.astype(np.float64)
+                             - data.astype(np.float64))) \
+            <= eb * (1 + 1e-9) + allowance
+
+    def test_error_bound_too_small_rejected(self):
+        data = smooth_field(seed=2)
+        with pytest.raises(ValueError, match="too small"):
+            Sz3Codec().compress(data, 1e-30)
+
+    def test_smooth_data_compresses(self):
+        data = smooth_field((24, 24, 24), seed=3)
+        blob = Sz3Codec().compress(data, 1e-2 * float(np.ptp(data)))
+        assert len(blob) < data.nbytes / 3
+
+    def test_tighter_bound_bigger(self):
+        data = smooth_field(seed=4)
+        sizes = [
+            len(Sz3Codec().compress(data, eb)) for eb in (1e-1, 1e-3, 1e-5)
+        ]
+        assert sizes[0] < sizes[1] < sizes[2]
+
+    def test_float64(self):
+        data = smooth_field(seed=5, dtype=np.float64)
+        rec = Sz3Codec().decompress(Sz3Codec().compress(data, 1e-4))
+        assert rec.dtype == np.float64
+        assert np.max(np.abs(rec - data)) <= 1e-4
+
+    def test_validation(self):
+        codec = Sz3Codec()
+        with pytest.raises(ValueError):
+            codec.compress(smooth_field(), 0.0)
+        with pytest.raises(ValueError):
+            codec.compress(np.zeros((4, 4), dtype=np.float32), 1e-3)
+        with pytest.raises(ValueError):
+            codec.decompress(b"ZZZZ" + b"\0" * 40)
+
+
+class TestMgardLossy:
+    @pytest.mark.parametrize("eb", [1e-1, 1e-3])
+    @pytest.mark.parametrize("mode", ["hierarchical", "mgard"])
+    def test_error_bound(self, eb, mode):
+        data = smooth_field((17, 16, 15), seed=6, dtype=np.float64)
+        codec = MgardLossyCodec(mode=mode)
+        rec = codec.decompress(codec.compress(data, eb))
+        assert np.max(np.abs(rec - data)) <= eb * (1 + 1e-9)
+
+    def test_compresses(self):
+        data = smooth_field((24, 24, 24), seed=7)
+        blob = MgardLossyCodec().compress(data, 1e-2 * float(np.ptp(data)))
+        assert len(blob) < data.nbytes / 2
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            MgardLossyCodec().compress(smooth_field(), -1.0)
+        with pytest.raises(ValueError):
+            MgardLossyCodec().decompress(b"YYYY" + b"\0" * 40)
+
+
+class TestZfpTransform:
+    def test_integer_lifting_exact_inverse(self):
+        rng = np.random.default_rng(8)
+        ints = rng.integers(-(2**40), 2**40, (50, 4, 4, 4))
+        np.testing.assert_array_equal(
+            _inverse_transform(_forward_transform(ints)), ints
+        )
+
+    def test_negabinary_roundtrip(self):
+        rng = np.random.default_rng(9)
+        v = rng.integers(-(2**50), 2**50, 1000)
+        np.testing.assert_array_equal(
+            _from_negabinary(_to_negabinary(v)), v
+        )
+
+    def test_transform_decorrelates_constant_block(self):
+        # A constant block transforms to a single DC coefficient.
+        const = np.full((1, 4, 4, 4), 12345, dtype=np.int64)
+        t = _forward_transform(const)
+        assert abs(int(t[0, 0, 0, 0]) - 12345) <= 4  # floor-lifting drift
+        details = t.ravel()[1:]
+        assert np.max(np.abs(details)) <= 2
+
+    def test_transform_sparsifies_ramp(self):
+        # A linear ramp should leave most coefficients small relative
+        # to the input magnitude (energy compaction).
+        ramp = np.arange(64, dtype=np.int64).reshape(1, 4, 4, 4) * 1000
+        t = _forward_transform(ramp)
+        small = np.abs(t) < 1000
+        assert int(np.count_nonzero(small)) >= 32
+
+
+class TestZfpCodec:
+    @pytest.mark.parametrize("eb", [1e-1, 1e-3])
+    def test_fixed_accuracy_bound(self, eb):
+        data = smooth_field(seed=10)
+        codec = ZfpCodec(mode="fixed_accuracy")
+        blob = codec.compress(data, error_bound=eb)
+        rec = codec.decompress(blob)
+        assert np.max(np.abs(rec.astype(np.float64)
+                             - data.astype(np.float64))) <= eb * (1 + 1e-9)
+        assert ZfpCodec.achieved_error(blob) <= eb * (1 + 1e-9)
+
+    def test_fixed_rate_size(self):
+        data = smooth_field((16, 16, 16), seed=11)
+        codec = ZfpCodec(mode="fixed_rate")
+        blob = codec.compress(data, rate_bits=8)
+        # 8 bits/value plane payload + per-block headers
+        payload_bound = data.size + 5 * (data.size // 64) + 64
+        assert len(blob) <= payload_bound + 64
+
+    def test_fixed_rate_error_decreases_with_rate(self):
+        data = smooth_field(seed=12)
+        codec = ZfpCodec(mode="fixed_rate")
+        errs = []
+        for rate in (4, 8, 16):
+            rec = codec.decompress(codec.compress(data, rate_bits=rate))
+            errs.append(float(np.max(np.abs(
+                rec.astype(np.float64) - data.astype(np.float64)))))
+        assert errs[0] > errs[1] > errs[2]
+
+    def test_nondyadic_shape(self):
+        data = smooth_field((13, 10, 17), seed=13, dtype=np.float64)
+        codec = ZfpCodec(mode="fixed_accuracy")
+        rec = codec.decompress(codec.compress(data, error_bound=1e-3))
+        assert rec.shape == data.shape
+        assert np.max(np.abs(rec - data)) <= 1e-3 * (1 + 1e-9)
+
+    def test_zero_field(self):
+        data = np.zeros((8, 8, 8), dtype=np.float32)
+        codec = ZfpCodec(mode="fixed_accuracy")
+        rec = codec.decompress(codec.compress(data, error_bound=1e-6))
+        np.testing.assert_array_equal(rec, data)
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            ZfpCodec(mode="psychic")
+        codec = ZfpCodec(mode="fixed_rate")
+        with pytest.raises(ValueError):
+            codec.compress(smooth_field(), error_bound=1e-3)  # needs rate
+        codec2 = ZfpCodec(mode="fixed_accuracy")
+        with pytest.raises(ValueError):
+            codec2.compress(smooth_field())  # needs error_bound
+        with pytest.raises(ValueError):
+            codec2.decompress(b"QQQQ" + b"\0" * 64)
+
+
+@settings(max_examples=15, deadline=None)
+@given(seed=st.integers(0, 500), eb_exp=st.integers(-4, -1))
+def test_property_all_codecs_honor_bounds(seed, eb_exp):
+    """Hypothesis: every error-bounded codec honors its bound."""
+    rng = np.random.default_rng(seed)
+    data = rng.standard_normal((9, 9, 9)).astype(np.float32)
+    eb = 10.0 ** eb_exp
+    for codec in (Sz3Codec(), MgardLossyCodec(),
+                  ZfpCodec(mode="fixed_accuracy")):
+        if isinstance(codec, ZfpCodec):
+            blob = codec.compress(data, error_bound=eb)
+        else:
+            blob = codec.compress(data, eb)
+        rec = codec.decompress(blob)
+        err = np.max(np.abs(rec.astype(np.float64)
+                            - data.astype(np.float64)))
+        # float32 output adds at most one ulp of cast rounding.
+        allowance = float(np.spacing(np.float32(np.max(np.abs(data)))))
+        assert err <= eb * (1 + 1e-6) + allowance, type(codec).__name__

@@ -1,0 +1,96 @@
+"""Tests for the register-shuffle warp emulation (Section 4.2)."""
+
+import numpy as np
+import pytest
+
+from repro.bitplane.encoding import SHUFFLE_VARIANTS
+from repro.bitplane.register_shuffle import (
+    encode_warp_planes,
+    instruction_counts,
+    warp_ballot,
+    warp_match_any,
+    warp_reduce_add,
+    warp_shift_reduce,
+)
+
+
+class TestWarpPrimitives:
+    def test_ballot_known_pattern(self):
+        bits = np.array([1, 0, 1, 1], dtype=np.uint64)
+        assert warp_ballot(bits) == 0b1101
+
+    def test_all_variants_agree_random(self):
+        rng = np.random.default_rng(0)
+        for _ in range(50):
+            w = int(rng.integers(1, 65))
+            bits = rng.integers(0, 2, w).astype(np.uint64)
+            expected = warp_ballot(bits)
+            assert warp_shift_reduce(bits) == expected
+            assert warp_match_any(bits) == expected
+            assert warp_reduce_add(bits) == expected
+
+    def test_match_any_flip_path(self):
+        # Storing lane (lane 0) holds a zero predicate -> flip needed.
+        bits = np.array([0, 1, 1, 0], dtype=np.uint64)
+        assert warp_match_any(bits) == 0b0110
+
+    def test_all_zeros_and_ones(self):
+        zeros = np.zeros(32, dtype=np.uint64)
+        ones = np.ones(32, dtype=np.uint64)
+        for f in (warp_ballot, warp_shift_reduce, warp_match_any,
+                  warp_reduce_add):
+            assert f(zeros) == 0
+            assert f(ones) == (1 << 32) - 1
+
+    def test_rejects_nonbinary(self):
+        with pytest.raises(ValueError):
+            warp_ballot(np.array([2], dtype=np.uint64))
+
+    def test_rejects_oversized_warp(self):
+        with pytest.raises(ValueError):
+            warp_ballot(np.zeros(65, dtype=np.uint64))
+
+
+class TestWarpEncoding:
+    @pytest.mark.parametrize("variant", SHUFFLE_VARIANTS)
+    def test_words_match_manual_extraction(self, variant):
+        rng = np.random.default_rng(1)
+        values = rng.integers(0, 1 << 16, 32).astype(np.uint64)
+        words = encode_warp_planes(values, 16, variant=variant)
+        for i, word in enumerate(words):
+            b = 16 - 1 - i
+            expected = 0
+            for lane in range(32):
+                expected |= int((values[lane] >> b) & 1) << lane
+            assert word == expected
+
+    def test_variants_produce_identical_planes(self):
+        rng = np.random.default_rng(2)
+        values = rng.integers(0, 1 << 20, 32).astype(np.uint64)
+        results = [
+            encode_warp_planes(values, 20, variant=v)
+            for v in SHUFFLE_VARIANTS
+        ]
+        for other in results[1:]:
+            assert other == results[0]
+
+    def test_unknown_variant(self):
+        with pytest.raises(ValueError):
+            encode_warp_planes(np.zeros(4, np.uint64), 4, variant="teleport")
+
+
+class TestInstructionCounts:
+    def test_ballot_fewest_comm_ops(self):
+        counts = {v: instruction_counts(v) for v in SHUFFLE_VARIANTS}
+        assert counts["ballot"]["comm_ops"] <= counts["shift"]["comm_ops"]
+
+    def test_shift_scales_with_warp(self):
+        assert (instruction_counts("shift", 64)["comm_ops"]
+                > instruction_counts("shift", 16)["comm_ops"])
+
+    def test_reduce_add_flags_hardware(self):
+        assert "needs_reduce_unit" in instruction_counts("reduce_add")
+
+    def test_unknown_variant(self):
+        with pytest.raises(ValueError):
+            instruction_counts("warpspeed")

@@ -1,0 +1,103 @@
+"""Tests for the retrieval planner."""
+
+import numpy as np
+import pytest
+
+from repro.core.planner import (
+    plan_for_planes,
+    plan_full,
+    plan_greedy,
+    plan_round_robin,
+)
+from repro.core.refactor import RefactorConfig, refactor
+from repro.data import generators as gen
+
+
+@pytest.fixture(scope="module")
+def field():
+    data = gen.gaussian_random_field((16, 17, 18), -2.5, seed=2,
+                                     dtype=np.float64)
+    return refactor(data)
+
+
+class TestGreedy:
+    def test_bound_met(self, field):
+        for tol in (1e-1, 1e-3, 1e-5):
+            plan = plan_greedy(field, tol)
+            assert plan.error_bound <= tol
+
+    def test_zero_tolerance_fetches_everything(self, field):
+        plan = plan_greedy(field, 0.0)
+        assert plan.groups_per_level == field.max_groups()
+
+    def test_infinite_tolerance_fetches_nothing(self, field):
+        plan = plan_greedy(field, float("inf"))
+        assert plan.groups_per_level == [0] * len(field.levels)
+        assert plan.fetched_bytes == 0
+
+    def test_monotone_bytes(self, field):
+        plans = [plan_greedy(field, t) for t in (1e-1, 1e-2, 1e-3, 1e-4)]
+        sizes = [p.fetched_bytes for p in plans]
+        assert sizes == sorted(sizes)
+
+    def test_greedy_never_worse_than_round_robin(self, field):
+        for tol in (1e-1, 1e-2, 1e-3, 1e-4):
+            g = plan_greedy(field, tol)
+            rr = plan_round_robin(field, tol)
+            assert g.fetched_bytes <= rr.fetched_bytes
+
+    def test_start_seeds_plan(self, field):
+        base = plan_greedy(field, 1e-2)
+        refined = plan_greedy(field, 1e-4, start=base.groups_per_level)
+        assert refined.covers(base)
+
+    def test_rejects_negative_tolerance(self, field):
+        with pytest.raises(ValueError):
+            plan_greedy(field, -1.0)
+
+    def test_rejects_bad_start(self, field):
+        with pytest.raises(ValueError):
+            plan_greedy(field, 1e-2, start=[0])
+        bad = [lv.num_groups + 1 for lv in field.levels]
+        with pytest.raises(ValueError):
+            plan_greedy(field, 1e-2, start=bad)
+
+
+class TestRoundRobin:
+    def test_bound_met(self, field):
+        plan = plan_round_robin(field, 1e-3)
+        assert plan.error_bound <= 1e-3
+
+    def test_terminates_when_infeasible(self, field):
+        plan = plan_round_robin(field, 0.0)
+        assert plan.groups_per_level == field.max_groups()
+
+    def test_rejects_negative_tolerance(self, field):
+        with pytest.raises(ValueError):
+            plan_round_robin(field, -0.5)
+
+
+class TestHelpers:
+    def test_plan_full(self, field):
+        plan = plan_full(field)
+        assert plan.groups_per_level == field.max_groups()
+        assert plan.fetched_bytes == field.total_bytes()
+
+    def test_plan_for_planes(self, field):
+        want = [3] * len(field.levels)
+        plan = plan_for_planes(field, want)
+        for lv, g, w in zip(field.levels, plan.groups_per_level, want):
+            assert lv.planes_in_groups(g) >= min(
+                w, lv.planes_in_groups(lv.num_groups)
+            )
+
+    def test_plan_for_planes_validates(self, field):
+        with pytest.raises(ValueError):
+            plan_for_planes(field, [1])
+
+    def test_covers(self, field):
+        small = plan_greedy(field, 1e-1)
+        big = plan_greedy(field, 1e-4)
+        assert big.covers(small)
+        if big.fetched_bytes > small.fetched_bytes:
+            assert not small.covers(big)

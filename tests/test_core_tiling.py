@@ -1,0 +1,114 @@
+"""Tests for sub-domain tiling (the large-data streaming path)."""
+
+import numpy as np
+import pytest
+
+from repro.core.refactor import RefactorConfig
+from repro.core.tiling import (
+    TiledReconstructor,
+    TiledRefactorer,
+    plan_tiles,
+)
+from repro.data import generators as gen
+
+
+@pytest.fixture(scope="module")
+def field():
+    return gen.gaussian_random_field((20, 24, 28), -2.5, seed=9,
+                                     dtype=np.float64)
+
+
+class TestPlanTiles:
+    def test_exact_cover(self):
+        tiles = plan_tiles((16, 16), (8, 8))
+        assert len(tiles) == 4
+        covered = np.zeros((16, 16), dtype=int)
+        for t in tiles:
+            covered[t.slices()] += 1
+        assert np.all(covered == 1)
+
+    def test_ragged_cover(self):
+        tiles = plan_tiles((10, 7), (4, 4))
+        covered = np.zeros((10, 7), dtype=int)
+        for t in tiles:
+            covered[t.slices()] += 1
+        assert np.all(covered == 1)
+        shapes = {t.shape for t in tiles}
+        assert (2, 3) in shapes  # boundary remainder tile
+
+    def test_single_tile(self):
+        tiles = plan_tiles((8, 8), (16, 16))
+        assert len(tiles) == 1
+        assert tiles[0].shape == (8, 8)
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            plan_tiles((8, 8), (4,))
+        with pytest.raises(ValueError):
+            plan_tiles((8, 8), (0, 4))
+
+
+class TestTiledPipeline:
+    def test_roundtrip_error_control(self, field):
+        refac = TiledRefactorer((12, 12, 12))
+        tiled = refac.refactor(field)
+        recon = TiledReconstructor(tiled)
+        for tol in (1e-1, 1e-3, 1e-5):
+            data, bound = recon.reconstruct(tolerance=tol)
+            actual = float(np.max(np.abs(data - field)))
+            assert bound <= tol
+            assert actual <= tol
+
+    def test_relative_tolerance(self, field):
+        refac = TiledRefactorer((12, 12, 12))
+        tiled = refac.refactor(field)
+        recon = TiledReconstructor(tiled)
+        data, _ = recon.reconstruct(tolerance=1e-3, relative=True)
+        actual = float(np.max(np.abs(data - field)))
+        assert actual <= 1e-3 * tiled.value_range
+
+    def test_progressive_increments(self, field):
+        refac = TiledRefactorer((12, 12, 12))
+        tiled = refac.refactor(field)
+        recon = TiledReconstructor(tiled)
+        recon.reconstruct(tolerance=1e-1)
+        coarse_bytes = recon.fetched_bytes
+        recon.reconstruct(tolerance=1e-4)
+        assert recon.fetched_bytes > coarse_bytes
+
+    def test_tile_count_and_naming(self, field):
+        refac = TiledRefactorer((12, 12, 12))
+        tiled = refac.refactor(field, name="rho")
+        assert len(tiled.fields) == 2 * 2 * 3
+        assert tiled.fields[0].name.startswith("rho.T")
+
+    def test_boundary_tiles_share_refactorers(self, field):
+        refac = TiledRefactorer((12, 12, 12))
+        refac.refactor(field)
+        # 20x24x28 with 12^3 tiles -> shapes {12,8}x{12}x{12,4} etc.
+        assert len(refac._refactorers) <= 8
+
+    def test_matches_untiled_guarantee(self, field):
+        """Tiled and untiled reconstructions both honor the same bound
+        (values differ — different hierarchies — but both are valid)."""
+        from repro.core.refactor import refactor
+        from repro.core.reconstruct import reconstruct
+
+        tiled = TiledRefactorer((12, 12, 12)).refactor(field)
+        data_t, _ = TiledReconstructor(tiled).reconstruct(tolerance=1e-3)
+        data_u = reconstruct(refactor(field), tolerance=1e-3).data
+        assert np.max(np.abs(data_t - field)) <= 1e-3
+        assert np.max(np.abs(data_u - field)) <= 1e-3
+
+    def test_config_threads_through(self, field):
+        refac = TiledRefactorer(
+            (12, 12, 12), RefactorConfig(signed_encoding="negabinary")
+        )
+        tiled = refac.refactor(field)
+        assert tiled.fields[0].levels[0].signed_encoding == "negabinary"
+        data, bound = TiledReconstructor(tiled).reconstruct(tolerance=1e-2)
+        assert np.max(np.abs(data - field)) <= 1e-2
+
+    def test_rejects_integer_data(self):
+        with pytest.raises(TypeError):
+            TiledRefactorer((4, 4)).refactor(np.zeros((8, 8), dtype=int))

@@ -1,0 +1,105 @@
+"""Tests for the synthetic dataset generators (Table 1 substitutes)."""
+
+import numpy as np
+import pytest
+
+from repro.data import generators as gen
+from repro.data.registry import DATASETS, load_dataset, load_velocity_fields
+
+
+class TestGaussianRandomField:
+    def test_deterministic_in_seed(self):
+        a = gen.gaussian_random_field((16, 16, 16), seed=7)
+        b = gen.gaussian_random_field((16, 16, 16), seed=7)
+        np.testing.assert_array_equal(a, b)
+
+    def test_different_seeds_differ(self):
+        a = gen.gaussian_random_field((16, 16, 16), seed=1)
+        b = gen.gaussian_random_field((16, 16, 16), seed=2)
+        assert not np.array_equal(a, b)
+
+    def test_normalized(self):
+        f = gen.gaussian_random_field((32, 32, 32), seed=0, dtype=np.float64)
+        assert abs(f.std() - 1.0) < 1e-6
+        assert abs(f.mean()) < 0.5
+
+    def test_steeper_spectrum_is_smoother(self):
+        rough = gen.gaussian_random_field((32, 32, 32), 0.0, seed=3,
+                                          dtype=np.float64)
+        smooth = gen.gaussian_random_field((32, 32, 32), -4.0, seed=3,
+                                           dtype=np.float64)
+        # Smoothness proxy: variance of first differences relative to field.
+        def roughness(f):
+            return np.mean(np.diff(f, axis=0) ** 2) / np.var(f)
+        assert roughness(smooth) < roughness(rough)
+
+    def test_dtype_and_contiguity(self):
+        f = gen.gaussian_random_field((8, 8, 8), seed=0, dtype=np.float32)
+        assert f.dtype == np.float32
+        assert f.flags["C_CONTIGUOUS"]
+
+    def test_rejects_bad_shape(self):
+        with pytest.raises(ValueError):
+            gen.gaussian_random_field((8, 8), seed=0)  # type: ignore[arg-type]
+
+
+class TestDomainGenerators:
+    def test_lognormal_positive(self):
+        f = gen.lognormal_density((16, 16, 16), seed=0)
+        assert np.all(f > 0)
+        assert f.mean() == pytest.approx(1.0, rel=1e-3)
+
+    def test_interface_field_float64(self):
+        f = gen.interface_field((16, 16, 16), seed=0)
+        assert f.dtype == np.float64
+        assert np.isfinite(f).all()
+
+    def test_hurricane_has_vortex_peak(self):
+        f = gen.hurricane_field((8, 32, 32), seed=0, dtype=np.float64)
+        assert f.max() > 3 * f.std()
+
+    def test_turbulence_components_independent(self):
+        vx, vy, vz = gen.turbulence_velocity((16, 16, 16), seed=0)
+        assert not np.array_equal(vx, vy)
+        assert not np.array_equal(vy, vz)
+        corr = np.corrcoef(vx.ravel(), vy.ravel())[0, 1]
+        assert abs(corr) < 0.2
+
+    def test_letkf_finite(self):
+        f = gen.letkf_field((8, 16, 16), seed=0)
+        assert np.isfinite(f).all()
+
+
+class TestRegistry:
+    def test_all_paper_rows_present(self):
+        assert set(DATASETS) == {"NYX", "LETKF", "Miranda", "ISABEL", "JHTDB"}
+
+    def test_table1_dims_and_dtypes(self):
+        assert DATASETS["NYX"].paper_dims == (512, 512, 512)
+        assert DATASETS["LETKF"].paper_dims == (98, 1200, 1200)
+        assert DATASETS["Miranda"].dtype == np.float64
+        assert DATASETS["JHTDB"].paper_size_gb == pytest.approx(48.0)
+        assert DATASETS["NYX"].num_variables == 6
+
+    def test_load_dataset_default_dims(self):
+        f = load_dataset("Miranda")
+        assert f.shape == DATASETS["Miranda"].default_dims
+        assert f.dtype == np.float64
+
+    def test_load_dataset_custom_dims(self):
+        f = load_dataset("NYX", dims=(8, 8, 8))
+        assert f.shape == (8, 8, 8)
+        assert f.dtype == np.float32
+
+    def test_load_unknown_raises(self):
+        with pytest.raises(KeyError):
+            load_dataset("nope")
+
+    def test_velocity_fields(self):
+        vx, vy, vz = load_velocity_fields("NYX", dims=(8, 8, 8))
+        assert vx.shape == vy.shape == vz.shape == (8, 8, 8)
+        assert vx.dtype == np.float32
+
+    def test_jhtdb_scalar_is_velocity_component(self):
+        f = load_dataset("JHTDB", dims=(8, 8, 8))
+        assert f.dtype == np.float32

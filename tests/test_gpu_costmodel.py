@@ -1,0 +1,216 @@
+"""Tests for device specs and the kernel cost model.
+
+The ratio assertions mirror the paper's headline kernel results with
+generous tolerances — the model must land in the right regime, not on
+exact decimals.
+"""
+
+import pytest
+
+from repro.gpu.costmodel import CostModel, KernelCost
+from repro.gpu.device import (
+    CPU_EPYC_64,
+    H100,
+    MI250X,
+    DeviceSpec,
+    get_device,
+)
+
+N_LARGE = 1 << 26  # saturating input size
+
+
+@pytest.fixture(scope="module")
+def h100():
+    return CostModel(H100)
+
+
+@pytest.fixture(scope="module")
+def mi250x():
+    return CostModel(MI250X)
+
+
+class TestDeviceSpec:
+    def test_registry(self):
+        assert get_device("H100") is H100
+        with pytest.raises(KeyError):
+            get_device("TPU")
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            DeviceSpec(
+                name="bad", kind="fpga", memory_bandwidth_gbps=1,
+                link_bandwidth_gbps=1, compute_units=1, warp_size=1,
+                clock_ghz=1, lanes_per_unit=1, load_stride_penalty=1,
+                store_scatter_penalty=1, shuffle_cost_cycles=1,
+                decode_comm_multiplier=1, has_reduce_unit=False,
+                comm_contention=0,
+            )
+
+    def test_resident_threads(self):
+        assert H100.resident_threads == 132 * 32 * 16
+        assert CPU_EPYC_64.resident_threads == 64
+
+
+class TestKernelCost:
+    def test_throughput(self):
+        c = KernelCost(seconds=2.0, bytes_processed=4 * 10**9)
+        assert c.throughput_gbps == pytest.approx(2.0)
+
+    def test_add(self):
+        c = KernelCost(1.0, 100) + KernelCost(2.0, 200)
+        assert c.seconds == 3.0 and c.bytes_processed == 300
+
+
+def encode_tp(model, design, n=N_LARGE, variant="ballot"):
+    return model.bitplane_encode(n, 32, design=design,
+                                 variant=variant).throughput_gbps
+
+
+def decode_tp(model, design, n=N_LARGE, variant="ballot"):
+    return model.bitplane_decode(n, 32, design=design,
+                                 variant=variant).throughput_gbps
+
+
+class TestDesignRatios:
+    """Fig. 7 headline ratios (±35% tolerance)."""
+
+    @pytest.mark.parametrize("model_name", ["h100", "mi250x"])
+    def test_register_block_beats_locality_encode_2x(self, model_name,
+                                                     request):
+        model = request.getfixturevalue(model_name)
+        ratio = encode_tp(model, "register_block") / encode_tp(
+            model, "locality_block")
+        assert 2.1 * 0.65 <= ratio <= 2.1 * 1.35
+
+    def test_register_block_beats_locality_decode_h100(self, h100):
+        ratio = decode_tp(h100, "register_block") / decode_tp(
+            h100, "locality_block")
+        assert 4.7 * 0.65 <= ratio <= 4.7 * 1.35
+
+    def test_register_block_beats_locality_decode_mi250x(self, mi250x):
+        ratio = decode_tp(mi250x, "register_block") / decode_tp(
+            mi250x, "locality_block")
+        assert 8.3 * 0.65 <= ratio <= 8.3 * 1.35
+
+    @pytest.mark.parametrize("model_name", ["h100", "mi250x"])
+    def test_locality_beats_shuffle_encode(self, model_name, request):
+        model = request.getfixturevalue(model_name)
+        ratio = encode_tp(model, "locality_block") / encode_tp(
+            model, "register_shuffle")
+        assert 1.4 * 0.6 <= ratio <= 1.4 * 1.5
+
+    def test_locality_beats_shuffle_decode_h100(self, h100):
+        ratio = decode_tp(h100, "locality_block") / decode_tp(
+            h100, "register_shuffle")
+        assert 3.2 * 0.6 <= ratio <= 3.2 * 1.5
+
+    def test_locality_beats_shuffle_decode_mi250x(self, mi250x):
+        ratio = decode_tp(mi250x, "locality_block") / decode_tp(
+            mi250x, "register_shuffle")
+        assert 6.6 * 0.6 <= ratio <= 6.6 * 1.5
+
+    def test_throughput_rises_with_input_then_saturates(self, h100):
+        tps = [
+            encode_tp(h100, "register_block", n=1 << e)
+            for e in (14, 18, 24, 26)
+        ]
+        assert tps[0] < tps[1] < tps[2]
+        assert tps[3] <= tps[2] * 1.15  # saturated past 2^24
+
+
+class TestShuffleVariants:
+    """Fig. 6: instruction-variant ordering."""
+
+    def test_reduce_add_best_on_h100(self, h100):
+        tps = {
+            v: encode_tp(h100, "register_shuffle", variant=v)
+            for v in ("ballot", "shift", "match_any", "reduce_add")
+        }
+        assert tps["reduce_add"] == max(tps.values())
+        gain = tps["reduce_add"] / tps["ballot"]
+        assert 1.05 <= gain <= 1.35  # "up to 15%" improvement
+
+    def test_reduce_add_unavailable_on_mi250x(self, mi250x):
+        with pytest.raises(ValueError, match="reduce_add"):
+            encode_tp(mi250x, "register_shuffle", variant="reduce_add")
+
+    def test_ballot_best_on_mi250x(self, mi250x):
+        tps = {
+            v: encode_tp(mi250x, "register_shuffle", variant=v)
+            for v in ("ballot", "shift", "match_any")
+        }
+        assert tps["ballot"] == max(tps.values())
+
+    def test_mi250x_ballot_degrades_at_large_sizes(self, mi250x):
+        small = encode_tp(mi250x, "register_shuffle", n=1 << 22)
+        large = encode_tp(mi250x, "register_shuffle", n=1 << 26)
+        assert large < small
+
+    def test_h100_no_contention_degradation(self, h100):
+        small = encode_tp(h100, "register_shuffle", n=1 << 22)
+        large = encode_tp(h100, "register_shuffle", n=1 << 26)
+        assert large >= small * 0.95
+
+    def test_unknown_variant(self, h100):
+        with pytest.raises(ValueError):
+            h100.bitplane_encode(1024, 32, design="register_shuffle",
+                                 variant="psychic")
+
+
+class TestLosslessModel:
+    def test_huffman_calibration(self, h100):
+        c = h100.lossless("huffman", 1 << 30, "compress")
+        assert c.throughput_gbps == pytest.approx(5.7, rel=0.05)
+
+    def test_rle_faster_than_huffman(self, h100):
+        rle = h100.lossless("rle", 1 << 30, "compress")
+        huff = h100.lossless("huffman", 1 << 30, "compress")
+        assert rle.seconds < huff.seconds
+
+    def test_direct_fastest(self, h100):
+        dc = h100.lossless("direct", 1 << 30, "decompress")
+        rle = h100.lossless("rle", 1 << 30, "decompress")
+        assert dc.seconds < rle.seconds
+
+    def test_mix_weighted(self, h100):
+        mix = h100.lossless_mix(
+            {"huffman": 1 << 28, "direct": 1 << 28}, "compress"
+        )
+        pure_h = h100.lossless("huffman", 1 << 29, "compress")
+        pure_d = h100.lossless("direct", 1 << 29, "compress")
+        assert pure_d.seconds < mix.seconds < pure_h.seconds
+
+    def test_unknown_method(self, h100):
+        with pytest.raises(ValueError):
+            h100.lossless("zstd", 100, "compress")
+        with pytest.raises(ValueError):
+            h100.lossless("huffman", 100, "inflate")
+
+    def test_cpu_much_slower(self, h100):
+        cpu = CostModel(CPU_EPYC_64)
+        g = h100.lossless("huffman", 1 << 30, "decompress").seconds
+        c = cpu.lossless("huffman", 1 << 30, "decompress").seconds
+        assert c > 3 * g
+
+
+class TestTransformAndQoI:
+    def test_decompose_bandwidth_bound(self, h100):
+        c = h100.decompose(1 << 27, 4, 3, 5)
+        # multi-pass streaming with GPU-MGARD's pass overhead: a modest
+        # multiple of one memory sweep
+        sweep = (1 << 27) * 4 / (H100.memory_bandwidth_gbps * 1e9)
+        assert sweep < c.seconds < 100 * sweep
+
+    def test_qoi_kernel_scales_with_vars(self, h100):
+        three = h100.qoi_error_estimate(1 << 24, 3)
+        six = h100.qoi_error_estimate(1 << 24, 6)
+        assert six.seconds > three.seconds
+
+    def test_dma(self, h100):
+        assert h100.dma(55 * 10**9) == pytest.approx(1.0, rel=0.01)
+
+    def test_validation(self, h100):
+        with pytest.raises(ValueError):
+            h100.bitplane_encode(0, 32)
+        with pytest.raises(ValueError):
+            h100.bitplane_encode(100, 32, design="hologram")

@@ -1,0 +1,146 @@
+"""Tests for the discrete-event scheduler and HDEM."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.gpu.device import H100
+from repro.gpu.events import EventSimulator, Task, serial_makespan
+from repro.gpu.hdem import HDEM_ENGINES, HostDeviceModel
+
+
+def sim():
+    return EventSimulator(["a", "b"])
+
+
+class TestTask:
+    def test_negative_duration_rejected(self):
+        with pytest.raises(ValueError):
+            Task("t", "a", -1.0)
+
+
+class TestScheduler:
+    def test_single_task(self):
+        tl = sim().run([Task("t", "a", 2.0)])
+        assert tl.makespan == 2.0
+        assert tl.tasks["t"].start == 0.0
+
+    def test_independent_tasks_overlap(self):
+        tl = sim().run([Task("x", "a", 1.0), Task("y", "b", 1.0)])
+        assert tl.makespan == 1.0
+
+    def test_same_engine_serializes(self):
+        tl = sim().run([Task("x", "a", 1.0), Task("y", "a", 1.0)])
+        assert tl.makespan == 2.0
+
+    def test_dependency_ordering(self):
+        tl = sim().run([
+            Task("x", "a", 1.0),
+            Task("y", "b", 1.0, deps=("x",)),
+        ])
+        assert tl.tasks["y"].start == 1.0
+
+    def test_exclusive_blocks_everything(self):
+        tasks = [
+            Task("x", "a", 1.0),
+            Task("e", "b", 1.0, exclusive=True),
+            Task("y", "a", 1.0),
+        ]
+        tl = sim().run(tasks)
+        tl.validate(tasks)
+        e = tl.tasks["e"]
+        for name in ("x", "y"):
+            t = tl.tasks[name]
+            assert t.end <= e.start + 1e-12 or t.start >= e.end - 1e-12
+
+    def test_cycle_detected(self):
+        with pytest.raises(ValueError, match="cycle"):
+            sim().run([
+                Task("x", "a", 1.0, deps=("y",)),
+                Task("y", "a", 1.0, deps=("x",)),
+            ])
+
+    def test_unknown_engine(self):
+        with pytest.raises(ValueError, match="engine"):
+            sim().run([Task("x", "c", 1.0)])
+
+    def test_unknown_dep(self):
+        with pytest.raises(ValueError, match="dep"):
+            sim().run([Task("x", "a", 1.0, deps=("ghost",))])
+
+    def test_duplicate_names(self):
+        with pytest.raises(ValueError, match="duplicate"):
+            sim().run([Task("x", "a", 1.0), Task("x", "b", 1.0)])
+
+    def test_serial_makespan(self):
+        tasks = [Task("x", "a", 1.5), Task("y", "b", 2.5)]
+        assert serial_makespan(tasks) == 4.0
+
+    def test_validate_catches_engine_overlap(self):
+        tasks = [Task("x", "a", 1.0), Task("y", "a", 1.0)]
+        tl = sim().run(tasks)
+        bad = type(tl.tasks["y"])("y", "a", 0.5, 1.5, False)
+        tl.tasks["y"] = bad
+        with pytest.raises(ValueError, match="overlap"):
+            tl.validate(tasks)
+
+
+class TestHDEM:
+    def test_engines(self):
+        assert set(HDEM_ENGINES) == {"h2d", "d2h", "compute"}
+
+    def test_run_validates(self):
+        model = HostDeviceModel(H100)
+        tasks = [
+            Task("in", "h2d", 1e-3),
+            Task("k", "compute", 2e-3, deps=("in",)),
+            Task("out", "d2h", 1e-3, deps=("k",)),
+        ]
+        tl = model.run(tasks)
+        assert tl.makespan == pytest.approx(4e-3)
+
+    def test_link_override_caps(self):
+        model = HostDeviceModel(H100, link_bandwidth_override_gbps=10.0)
+        assert model.link_bandwidth_gbps == 10.0
+        assert model.dma_seconds(10**10) == pytest.approx(1.0)
+
+    def test_link_override_cannot_exceed_device(self):
+        model = HostDeviceModel(H100, link_bandwidth_override_gbps=999.0)
+        assert model.link_bandwidth_gbps == H100.link_bandwidth_gbps
+
+    def test_invalid_override(self):
+        with pytest.raises(ValueError):
+            HostDeviceModel(H100, link_bandwidth_override_gbps=0.0)
+
+
+@settings(max_examples=50, deadline=None)
+@given(
+    seed=st.integers(0, 10_000),
+    n_tasks=st.integers(1, 25),
+)
+def test_property_random_dags_schedule_validly(seed, n_tasks):
+    """Hypothesis: random DAGs produce valid schedules whose makespan is
+    bounded by [critical path, serial sum]."""
+    rng = np.random.default_rng(seed)
+    engines = ["e0", "e1", "e2"]
+    tasks = []
+    for i in range(n_tasks):
+        n_deps = int(rng.integers(0, min(i, 3) + 1))
+        deps = tuple(
+            f"t{j}" for j in rng.choice(i, size=n_deps, replace=False)
+        ) if i else ()
+        tasks.append(
+            Task(
+                f"t{i}",
+                engines[int(rng.integers(0, 3))],
+                float(rng.uniform(0.1, 2.0)),
+                deps,
+                exclusive=bool(rng.random() < 0.2),
+            )
+        )
+    simulator = EventSimulator(engines)
+    tl = simulator.run(tasks)
+    tl.validate(tasks)
+    assert tl.makespan <= serial_makespan(tasks) + 1e-9
+    assert tl.makespan >= max(t.duration for t in tasks) - 1e-9

@@ -1,0 +1,114 @@
+"""Tests for vectorized bit packing/peeking."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.lossless.bitio import MAX_PEEK_WIDTH, pack_varlen_bits, peek_bits
+
+
+class TestPackVarlen:
+    def test_single_code(self):
+        out = pack_varlen_bits(
+            np.array([0b101], dtype=np.uint64),
+            np.array([3]),
+            np.array([0]),
+            3,
+        )
+        assert out[0] == 0b10100000
+
+    def test_adjacent_codes(self):
+        out = pack_varlen_bits(
+            np.array([0b1, 0b01, 0b111], dtype=np.uint64),
+            np.array([1, 2, 3]),
+            np.array([0, 1, 3]),
+            6,
+        )
+        assert out[0] == 0b10111100
+
+    def test_positions_with_gap(self):
+        out = pack_varlen_bits(
+            np.array([0b11], dtype=np.uint64),
+            np.array([2]),
+            np.array([8]),
+            10,
+        )
+        assert out.tolist() == [0, 0b11000000]
+
+    def test_empty(self):
+        out = pack_varlen_bits(
+            np.empty(0, np.uint64), np.empty(0, int), np.empty(0, int), 0
+        )
+        assert out.size == 0
+
+    def test_overflow_rejected(self):
+        with pytest.raises(ValueError):
+            pack_varlen_bits(
+                np.array([1], dtype=np.uint64),
+                np.array([4]),
+                np.array([0]),
+                3,
+            )
+
+    def test_shape_mismatch(self):
+        with pytest.raises(ValueError):
+            pack_varlen_bits(
+                np.array([1], dtype=np.uint64),
+                np.array([1, 2]),
+                np.array([0]),
+                8,
+            )
+
+
+class TestPeekBits:
+    def test_reads_back_packed(self):
+        stream = np.array([0b10110100, 0b01000000], dtype=np.uint8)
+        assert peek_bits(stream, np.array([0]), 4)[0] == 0b1011
+        assert peek_bits(stream, np.array([4]), 4)[0] == 0b0100
+        assert peek_bits(stream, np.array([6]), 4)[0] == 0b0001
+
+    def test_cross_byte_boundary(self):
+        stream = np.array([0xFF, 0x00, 0xFF], dtype=np.uint8)
+        assert peek_bits(stream, np.array([4]), 16)[0] == 0xF00F
+
+    def test_past_end_reads_zero(self):
+        stream = np.array([0xFF], dtype=np.uint8)
+        assert peek_bits(stream, np.array([100]), 8)[0] == 0
+        assert peek_bits(stream, np.array([6]), 8)[0] == 0b11000000
+
+    def test_vectorized_positions(self):
+        stream = np.array([0b10101010], dtype=np.uint8)
+        vals = peek_bits(stream, np.arange(8), 1)
+        assert vals.tolist() == [1, 0, 1, 0, 1, 0, 1, 0]
+
+    def test_width_validation(self):
+        stream = np.zeros(4, dtype=np.uint8)
+        with pytest.raises(ValueError):
+            peek_bits(stream, np.array([0]), 0)
+        with pytest.raises(ValueError):
+            peek_bits(stream, np.array([0]), MAX_PEEK_WIDTH + 1)
+
+    def test_negative_position_rejected(self):
+        with pytest.raises(ValueError):
+            peek_bits(np.zeros(4, np.uint8), np.array([-1]), 4)
+
+
+@settings(max_examples=50, deadline=None)
+@given(
+    lengths=st.lists(st.integers(1, 24), min_size=1, max_size=200),
+    seed=st.integers(0, 2**31),
+)
+def test_property_pack_then_peek_roundtrip(lengths, seed):
+    """Packing codes back-to-back then peeking each one recovers it."""
+    rng = np.random.default_rng(seed)
+    lengths = np.asarray(lengths, dtype=np.int64)
+    codes = np.array(
+        [int(rng.integers(0, 1 << l)) for l in lengths], dtype=np.uint64
+    )
+    positions = np.cumsum(lengths) - lengths
+    total = int(lengths.sum())
+    stream = pack_varlen_bits(codes, lengths, positions, total)
+    for code, length, pos in zip(codes, lengths, positions):
+        got = peek_bits(stream, np.array([pos]), int(length))[0]
+        assert got == code

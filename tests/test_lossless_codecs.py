@@ -1,0 +1,222 @@
+"""Tests for the Huffman, RLE, and Direct-Copy codecs."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+from hypothesis.extra import numpy as hnp
+
+from repro.lossless.direct import direct_decode, direct_encode
+from repro.lossless.huffman import (
+    HuffmanCodec,
+    build_code_lengths,
+    canonical_codes,
+    estimate_huffman_ratio,
+    huffman_decode,
+    huffman_encode,
+)
+from repro.lossless.rle import estimate_rle_ratio, rle_decode, rle_encode
+
+
+def skewed_bytes(n, seed=0, zeros=0.8):
+    rng = np.random.default_rng(seed)
+    data = rng.integers(0, 256, n).astype(np.uint8)
+    mask = rng.random(n) < zeros
+    data[mask] = 0
+    return data
+
+
+class TestCodeLengths:
+    def test_kraft_inequality(self):
+        rng = np.random.default_rng(0)
+        freqs = rng.integers(0, 1000, 256)
+        lengths = build_code_lengths(freqs)
+        present = lengths[lengths > 0].astype(np.int64)
+        assert np.sum(2.0 ** (-present)) <= 1.0 + 1e-12
+
+    def test_two_symbols(self):
+        freqs = np.zeros(256, dtype=np.int64)
+        freqs[7] = 10
+        freqs[9] = 1
+        lengths = build_code_lengths(freqs)
+        assert lengths[7] == 1 and lengths[9] == 1
+
+    def test_single_symbol(self):
+        freqs = np.zeros(256, dtype=np.int64)
+        freqs[42] = 5
+        lengths = build_code_lengths(freqs)
+        assert lengths[42] == 1
+        assert np.count_nonzero(lengths) == 1
+
+    def test_empty(self):
+        assert np.all(build_code_lengths(np.zeros(256, dtype=np.int64)) == 0)
+
+    def test_max_length_respected_pathological(self):
+        # Fibonacci-like frequencies force deep trees without limiting.
+        freqs = np.zeros(64, dtype=np.int64)
+        a, b = 1, 1
+        for i in range(40):
+            freqs[i] = a
+            a, b = b, a + b
+        lengths = build_code_lengths(freqs, max_length=16)
+        present = lengths[lengths > 0].astype(np.int64)
+        assert present.max() <= 16
+        assert np.sum(2.0 ** (-present)) <= 1.0 + 1e-12
+
+    def test_frequent_symbols_get_short_codes(self):
+        freqs = np.zeros(256, dtype=np.int64)
+        freqs[0] = 1000
+        freqs[1:11] = 1
+        lengths = build_code_lengths(freqs)
+        assert lengths[0] < lengths[5]
+
+    def test_rejects_negative(self):
+        with pytest.raises(ValueError):
+            build_code_lengths(np.array([-1, 2]))
+
+
+class TestCanonicalCodes:
+    def test_prefix_free(self):
+        rng = np.random.default_rng(1)
+        freqs = rng.integers(0, 100, 256)
+        lengths = build_code_lengths(freqs)
+        codes = canonical_codes(lengths)
+        entries = [
+            (int(codes[s]), int(lengths[s]))
+            for s in np.flatnonzero(lengths)
+        ]
+        as_bits = [format(c, f"0{l}b") for c, l in entries]
+        for i, a in enumerate(as_bits):
+            for j, b in enumerate(as_bits):
+                if i != j:
+                    assert not b.startswith(a)
+
+    def test_ordering_canonical(self):
+        lengths = np.zeros(4, dtype=np.uint8)
+        lengths[:] = [2, 1, 3, 3]
+        codes = canonical_codes(lengths)
+        # canonical: shorter codes numerically precede when left-aligned
+        assert codes[1] == 0b0
+        assert codes[0] == 0b10
+        assert codes[2] == 0b110
+        assert codes[3] == 0b111
+
+
+class TestHuffmanRoundtrip:
+    @pytest.mark.parametrize("n", [0, 1, 2, 100, 1023, 1024, 1025, 10000])
+    def test_sizes(self, n):
+        data = skewed_bytes(n, seed=n)
+        decoded = huffman_decode(huffman_encode(data))
+        np.testing.assert_array_equal(decoded, data)
+
+    def test_uniform_data(self):
+        data = np.full(5000, 7, dtype=np.uint8)
+        blob = huffman_encode(data)
+        np.testing.assert_array_equal(huffman_decode(blob), data)
+        assert len(blob) < data.size  # ~1 bit per symbol + header
+
+    def test_random_data_roundtrip(self):
+        rng = np.random.default_rng(2)
+        data = rng.integers(0, 256, 8192).astype(np.uint8)
+        np.testing.assert_array_equal(
+            huffman_decode(huffman_encode(data)), data
+        )
+
+    def test_compresses_skewed_data(self):
+        data = skewed_bytes(1 << 16, seed=3, zeros=0.95)
+        assert len(huffman_encode(data)) < data.size // 2
+
+    def test_accepts_bytes_input(self):
+        blob = huffman_encode(b"hello world" * 100)
+        assert bytes(huffman_decode(blob)) == b"hello world" * 100
+
+    def test_custom_chunk_size(self):
+        codec = HuffmanCodec(chunk_symbols=64)
+        data = skewed_bytes(1000, seed=4)
+        np.testing.assert_array_equal(codec.decode(codec.encode(data)), data)
+
+    def test_bad_magic(self):
+        with pytest.raises(ValueError):
+            huffman_decode(b"JUNK" + b"\0" * 300)
+
+    def test_invalid_chunk_symbols(self):
+        with pytest.raises(ValueError):
+            HuffmanCodec(chunk_symbols=0)
+
+
+class TestHuffmanEstimate:
+    def test_estimate_close_to_actual(self):
+        data = skewed_bytes(1 << 16, seed=5, zeros=0.9)
+        est = estimate_huffman_ratio(data)
+        actual = data.size / len(huffman_encode(data))
+        assert abs(est - actual) / actual < 0.05
+
+    def test_empty(self):
+        assert estimate_huffman_ratio(np.empty(0, np.uint8)) == 1.0
+
+
+class TestRle:
+    def test_roundtrip_runs(self):
+        data = np.repeat(
+            np.array([0, 3, 0, 7, 7], dtype=np.uint8), [100, 5, 200, 1, 9]
+        )
+        np.testing.assert_array_equal(rle_decode(rle_encode(data)), data)
+
+    def test_roundtrip_no_runs(self):
+        data = np.arange(256, dtype=np.uint8)
+        np.testing.assert_array_equal(rle_decode(rle_encode(data)), data)
+
+    def test_empty(self):
+        assert rle_decode(rle_encode(np.empty(0, np.uint8))).size == 0
+
+    def test_compresses_zero_heavy(self):
+        data = np.zeros(1 << 16, dtype=np.uint8)
+        assert len(rle_encode(data)) < 64
+
+    def test_estimate_close_to_actual(self):
+        data = np.repeat(
+            np.arange(50, dtype=np.uint8), np.full(50, 100)
+        )
+        est = estimate_rle_ratio(data)
+        actual = data.size / len(rle_encode(data))
+        assert abs(est - actual) / actual < 0.1
+
+    def test_bytes_input(self):
+        blob = rle_encode(b"aaaabbb")
+        assert bytes(rle_decode(blob)) == b"aaaabbb"
+
+    def test_bad_magic(self):
+        with pytest.raises(ValueError):
+            rle_decode(b"XXXX" + b"\0" * 16)
+
+
+class TestDirect:
+    def test_roundtrip(self):
+        data = np.arange(100, dtype=np.uint8)
+        np.testing.assert_array_equal(direct_decode(direct_encode(data)), data)
+
+    def test_empty(self):
+        assert direct_decode(direct_encode(b"")).size == 0
+
+    def test_bad_magic(self):
+        with pytest.raises(ValueError):
+            direct_decode(b"YYYY" + b"\0" * 8)
+
+    def test_truncated(self):
+        blob = direct_encode(np.arange(10, dtype=np.uint8))
+        with pytest.raises(ValueError):
+            direct_decode(blob[:-2])
+
+
+@settings(max_examples=30, deadline=None)
+@given(
+    data=hnp.arrays(
+        dtype=np.uint8, shape=st.integers(0, 3000),
+        elements=st.integers(0, 255),
+    )
+)
+def test_property_all_codecs_roundtrip(data):
+    """Hypothesis: every codec is lossless on arbitrary byte content."""
+    np.testing.assert_array_equal(huffman_decode(huffman_encode(data)), data)
+    np.testing.assert_array_equal(rle_decode(rle_encode(data)), data)
+    np.testing.assert_array_equal(direct_decode(direct_encode(data)), data)

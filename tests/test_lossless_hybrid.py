@@ -1,0 +1,144 @@
+"""Tests for the hybrid lossless strategy (Algorithm 2)."""
+
+import numpy as np
+import pytest
+
+from repro.bitplane import encode_bitplanes
+from repro.lossless.hybrid import (
+    CompressedGroup,
+    HybridConfig,
+    compress_planes,
+    decompress_groups,
+)
+
+
+def bitplanes_of(n=4096, seed=0, dtype=np.float32):
+    rng = np.random.default_rng(seed)
+    data = rng.standard_normal(n).astype(dtype)
+    return encode_bitplanes(data, 32).planes
+
+
+class TestConfig:
+    def test_defaults(self):
+        cfg = HybridConfig()
+        assert cfg.group_size == 4
+        assert cfg.cr_threshold == 1.0
+
+    @pytest.mark.parametrize(
+        "kwargs", [{"group_size": 0}, {"size_threshold": -1},
+                   {"cr_threshold": 0.0}]
+    )
+    def test_validation(self, kwargs):
+        with pytest.raises(ValueError):
+            HybridConfig(**kwargs)
+
+
+class TestCompressPlanes:
+    def test_group_count(self):
+        planes = bitplanes_of()
+        groups = compress_planes(planes, HybridConfig(group_size=4))
+        assert len(groups) == -(-len(planes) // 4)
+
+    def test_roundtrip_all_groups(self):
+        planes = bitplanes_of()
+        groups = compress_planes(planes)
+        recovered = decompress_groups(groups)
+        assert len(recovered) == len(planes)
+        for a, b in zip(planes, recovered):
+            np.testing.assert_array_equal(a, b)
+
+    def test_partial_decompress(self):
+        planes = bitplanes_of()
+        groups = compress_planes(planes, HybridConfig(group_size=4))
+        recovered = decompress_groups(groups, num_groups=2)
+        assert len(recovered) == 8
+        for a, b in zip(planes[:8], recovered):
+            np.testing.assert_array_equal(a, b)
+
+    def test_high_order_planes_entropy_coded(self):
+        """Leading magnitude planes of Gaussian data are zero-dominated,
+        so Algorithm 2 must pick an entropy codec for them."""
+        planes = bitplanes_of(n=1 << 15)
+        groups = compress_planes(planes, HybridConfig())
+        assert groups[0].method in ("huffman", "rle")
+        assert groups[0].compressed_size < groups[0].original_size
+
+    def test_middle_planes_of_float64_direct(self):
+        """For float64 sources the sub-leading planes are incoherent
+        noise below the signal's mantissa structure — DC is selected."""
+        planes = bitplanes_of(n=1 << 15, dtype=np.float64)
+        groups = compress_planes(planes, HybridConfig())
+        methods = [g.method for g in groups]
+        assert "direct" in methods[1:]
+
+    def test_float32_trailing_planes_compressible(self):
+        """float32 inputs only carry 24 mantissa bits, so the trailing
+        fixed-point planes are zero-heavy and entropy coding wins — a
+        real effect of exponent alignment the hybrid must exploit."""
+        planes = bitplanes_of(n=1 << 15, dtype=np.float32)
+        groups = compress_planes(planes, HybridConfig())
+        assert groups[-1].method == "huffman"
+        assert groups[-1].compressed_size < groups[-1].original_size
+
+    def test_small_groups_forced_direct(self):
+        planes = bitplanes_of(n=64)
+        groups = compress_planes(
+            planes, HybridConfig(size_threshold=10**6)
+        )
+        assert all(g.method == "direct" for g in groups)
+
+    def test_higher_threshold_means_less_entropy_coding(self):
+        planes = bitplanes_of(n=1 << 14)
+        low = compress_planes(planes, HybridConfig(cr_threshold=1.0))
+        high = compress_planes(planes, HybridConfig(cr_threshold=4.0))
+        def entropy_count(groups):
+            return sum(g.method != "direct" for g in groups)
+        assert entropy_count(high) <= entropy_count(low)
+
+    def test_higher_threshold_larger_output(self):
+        planes = bitplanes_of(n=1 << 14)
+        sizes = []
+        for rc in (1.0, 4.0):
+            groups = compress_planes(planes, HybridConfig(cr_threshold=rc))
+            sizes.append(sum(g.compressed_size for g in groups))
+        assert sizes[0] <= sizes[1]
+
+    def test_group_size_one(self):
+        planes = bitplanes_of(n=512)
+        groups = compress_planes(planes, HybridConfig(group_size=1))
+        assert len(groups) == len(planes)
+        recovered = decompress_groups(groups)
+        for a, b in zip(planes, recovered):
+            np.testing.assert_array_equal(a, b)
+
+
+class TestGroupSerialization:
+    def test_roundtrip(self):
+        planes = bitplanes_of(n=2048)
+        groups = compress_planes(planes)
+        for g in groups:
+            g2 = CompressedGroup.from_bytes(g.to_bytes())
+            assert g2.method == g.method
+            assert g2.plane_sizes == g.plane_sizes
+            assert g2.first_plane == g.first_plane
+            assert g2.payload == g.payload
+
+    def test_bad_magic(self):
+        with pytest.raises(ValueError):
+            CompressedGroup.from_bytes(b"ZZZZ" + b"\0" * 32)
+
+    def test_truncated_payload(self):
+        g = compress_planes(bitplanes_of(n=256))[0]
+        with pytest.raises(ValueError):
+            CompressedGroup.from_bytes(g.to_bytes()[:-4])
+
+    def test_corrupt_size_detected(self):
+        g = compress_planes(bitplanes_of(n=256))[0]
+        bad = CompressedGroup(
+            method=g.method,
+            payload=g.payload,
+            plane_sizes=tuple(s + 1 for s in g.plane_sizes),
+            first_plane=0,
+        )
+        with pytest.raises(ValueError):
+            decompress_groups([bad])

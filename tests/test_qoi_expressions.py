@@ -1,0 +1,159 @@
+"""Tests for QoI expression trees and interval arithmetic."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.qoi.expressions import (
+    absval,
+    const,
+    estimate_qoi_error,
+    pointwise_qoi_error,
+    sqrt,
+    square,
+    v_total,
+    var,
+)
+
+
+def grids(seed=0, n=200):
+    rng = np.random.default_rng(seed)
+    return {
+        "vx": rng.standard_normal(n),
+        "vy": rng.standard_normal(n),
+        "vz": rng.standard_normal(n),
+    }
+
+
+class TestEvaluate:
+    def test_var_and_const(self):
+        v = var("x")
+        assert np.allclose(v.evaluate({"x": np.array([1.0, 2.0])}), [1, 2])
+        assert const(3.0).evaluate({}) == 3.0
+
+    def test_arithmetic_sugar(self):
+        x, y = var("x"), var("y")
+        expr = 2 * x + y - 1
+        out = expr.evaluate({"x": np.array([1.0]), "y": np.array([3.0])})
+        assert out[0] == 4.0
+
+    def test_neg(self):
+        out = (-var("x")).evaluate({"x": np.array([2.0])})
+        assert out[0] == -2.0
+
+    def test_v_total(self):
+        vals = grids()
+        vt = v_total()
+        expected = np.sqrt(vals["vx"]**2 + vals["vy"]**2 + vals["vz"]**2)
+        np.testing.assert_allclose(vt.evaluate(vals), expected)
+
+    def test_missing_variable(self):
+        with pytest.raises(KeyError):
+            var("q").evaluate({"x": np.zeros(3)})
+
+    def test_sqrt_rejects_negative(self):
+        with pytest.raises(ValueError):
+            sqrt(var("x")).evaluate({"x": np.array([-1.0])})
+
+    def test_variables_set(self):
+        assert v_total().variables() == {"vx", "vy", "vz"}
+        assert (var("a") * var("b") + 1).variables() == {"a", "b"}
+
+
+class TestIntervals:
+    def test_var_interval(self):
+        lo, hi = var("x").interval({"x": np.array([1.0])}, {"x": 0.25})
+        assert lo[0] == 0.75 and hi[0] == 1.25
+
+    def test_negative_bound_rejected(self):
+        with pytest.raises(ValueError):
+            var("x").interval({"x": np.zeros(1)}, {"x": -0.1})
+
+    def test_square_straddles_zero(self):
+        lo, hi = square(var("x")).interval(
+            {"x": np.array([0.1])}, {"x": 0.5}
+        )
+        assert lo[0] == 0.0
+        assert hi[0] == pytest.approx(0.36)
+
+    def test_mul_interval_signs(self):
+        expr = var("x") * var("y")
+        lo, hi = expr.interval(
+            {"x": np.array([-1.0]), "y": np.array([2.0])},
+            {"x": 0.5, "y": 0.5},
+        )
+        # x in [-1.5,-0.5], y in [1.5,2.5] -> product in [-3.75,-0.75]
+        assert lo[0] == pytest.approx(-3.75)
+        assert hi[0] == pytest.approx(-0.75)
+
+    def test_abs_interval(self):
+        lo, hi = absval(var("x")).interval(
+            {"x": np.array([-0.2])}, {"x": 0.5}
+        )
+        assert lo[0] == 0.0
+        assert hi[0] == pytest.approx(0.7)
+
+    def test_sqrt_clamps_negative_lower(self):
+        lo, hi = sqrt(var("x")).interval({"x": np.array([0.01])}, {"x": 0.1})
+        assert lo[0] == 0.0
+        assert hi[0] == pytest.approx(np.sqrt(0.11))
+
+
+class TestErrorEstimation:
+    def test_zero_bounds_zero_error(self):
+        vals = grids()
+        assert estimate_qoi_error(v_total(), vals,
+                                  {k: 0.0 for k in vals}) == 0.0
+
+    def test_estimate_is_max_of_pointwise(self):
+        vals = grids()
+        bounds = {k: 0.01 for k in vals}
+        pw = pointwise_qoi_error(v_total(), vals, bounds)
+        assert estimate_qoi_error(v_total(), vals, bounds) == np.max(pw)
+
+    def test_estimate_monotone_in_bounds(self):
+        vals = grids()
+        e1 = estimate_qoi_error(v_total(), vals, {k: 0.01 for k in vals})
+        e2 = estimate_qoi_error(v_total(), vals, {k: 0.1 for k in vals})
+        assert e1 < e2
+
+    def test_sound_against_sampled_perturbations(self):
+        """The interval bound must dominate any actual perturbation
+        within the per-variable boxes."""
+        rng = np.random.default_rng(5)
+        vals = grids(seed=5)
+        bounds = {k: 0.05 for k in vals}
+        vt = v_total()
+        base = vt.evaluate(vals)
+        pw = pointwise_qoi_error(vt, vals, bounds)
+        for _ in range(20):
+            pert = {
+                k: v + rng.uniform(-bounds[k], bounds[k], v.shape)
+                for k, v in vals.items()
+            }
+            moved = np.abs(vt.evaluate(pert) - base)
+            assert np.all(moved <= pw + 1e-12)
+
+
+@settings(max_examples=40, deadline=None)
+@given(
+    seed=st.integers(0, 10_000),
+    eb=st.floats(1e-6, 1.0),
+)
+def test_property_interval_soundness_vtotal(seed, eb):
+    """Hypothesis: worst-case corner perturbations never exceed the
+    interval estimate for V_total."""
+    rng = np.random.default_rng(seed)
+    vals = {k: rng.standard_normal(50) for k in ("vx", "vy", "vz")}
+    bounds = {k: eb for k in vals}
+    vt = v_total()
+    base = vt.evaluate(vals)
+    pw = pointwise_qoi_error(vt, vals, bounds)
+    for signs in ((1, 1, 1), (-1, -1, -1), (1, -1, 1)):
+        pert = {
+            k: v + s * eb
+            for (k, v), s in zip(sorted(vals.items()), signs)
+        }
+        moved = np.abs(vt.evaluate(pert) - base)
+        assert np.all(moved <= pw * (1 + 1e-9) + 1e-12)

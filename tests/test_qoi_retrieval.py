@@ -1,0 +1,144 @@
+"""Tests for Algorithm 3 and the CP/MA/MAPE error-bound methods."""
+
+import numpy as np
+import pytest
+
+from repro.core.refactor import refactor
+from repro.data import generators as gen
+from repro.qoi import (
+    EB_METHODS,
+    actual_qoi_error,
+    retrieve_qoi,
+    v_total,
+)
+from repro.qoi.eb_methods import next_group_bound
+
+
+@pytest.fixture(scope="module")
+def velocity_fields():
+    dims = (12, 12, 12)
+    vx, vy, vz = gen.turbulence_velocity(dims, seed=3, dtype=np.float64)
+    original = {"vx": vx, "vy": vy, "vz": vz}
+    fields = {k: refactor(v, name=k) for k, v in original.items()}
+    return original, fields
+
+
+class TestRetrieveQoI:
+    @pytest.mark.parametrize("method", EB_METHODS)
+    def test_tolerance_guaranteed(self, velocity_fields, method):
+        original, fields = velocity_fields
+        tol = 1e-2
+        result = retrieve_qoi(fields, v_total(), tol, method=method)
+        assert result.estimated_error <= tol
+        actual = actual_qoi_error(v_total(), original, result.values)
+        assert actual <= result.estimated_error
+
+    @pytest.mark.parametrize("method", EB_METHODS)
+    @pytest.mark.parametrize("tol", [1e-1, 1e-2, 1e-3])
+    def test_fig13_invariant(self, velocity_fields, method, tol):
+        """max actual <= max estimated <= requested tolerance."""
+        original, fields = velocity_fields
+        result = retrieve_qoi(fields, v_total(), tol, method=method)
+        actual = actual_qoi_error(v_total(), original, result.values)
+        assert actual <= result.estimated_error <= tol
+
+    def test_ma_bitrate_not_worse_than_cp(self, velocity_fields):
+        """MA fetches at the finest granularity — it should not fetch
+        more than CP's over-preserving decay (the Tables 2/3 ordering)."""
+        _, fields = velocity_fields
+        tol = 1e-2
+        ma = retrieve_qoi(fields, v_total(), tol, method="ma")
+        cp = retrieve_qoi(fields, v_total(), tol, method="cp")
+        assert ma.bitrate <= cp.bitrate + 1e-9
+
+    def test_cp_iterations_not_more_than_ma(self, velocity_fields):
+        _, fields = velocity_fields
+        tol = 1e-3
+        ma = retrieve_qoi(fields, v_total(), tol, method="ma")
+        cp = retrieve_qoi(fields, v_total(), tol, method="cp")
+        assert cp.iterations <= ma.iterations
+
+    def test_mape_between(self, velocity_fields):
+        """MAPE's bitrate and iterations land between (or equal to) CP's
+        and MA's — the tradeoff the paper reports."""
+        _, fields = velocity_fields
+        tol = 1e-3
+        ma = retrieve_qoi(fields, v_total(), tol, method="ma")
+        cp = retrieve_qoi(fields, v_total(), tol, method="cp")
+        mape = retrieve_qoi(fields, v_total(), tol, method="mape",
+                            switch_threshold=10.0)
+        assert mape.bitrate <= cp.bitrate + 1e-9
+        assert mape.iterations <= ma.iterations
+
+    def test_history_recorded(self, velocity_fields):
+        _, fields = velocity_fields
+        result = retrieve_qoi(fields, v_total(), 1e-2, method="ma")
+        assert len(result.history) == result.iterations
+        ests = [h.estimated_error for h in result.history]
+        assert ests[-1] <= 1e-2
+        fetched = [h.fetched_bytes for h in result.history]
+        assert all(a <= b for a, b in zip(fetched, fetched[1:]))
+
+    def test_tighter_tolerance_more_bytes(self, velocity_fields):
+        _, fields = velocity_fields
+        loose = retrieve_qoi(fields, v_total(), 1e-1, method="mape")
+        tight = retrieve_qoi(fields, v_total(), 1e-3, method="mape")
+        assert tight.fetched_bytes >= loose.fetched_bytes
+
+    def test_missing_variable_rejected(self, velocity_fields):
+        _, fields = velocity_fields
+        partial = {"vx": fields["vx"]}
+        with pytest.raises(ValueError, match="missing"):
+            retrieve_qoi(partial, v_total(), 1e-2)
+
+    def test_invalid_method(self, velocity_fields):
+        _, fields = velocity_fields
+        with pytest.raises(ValueError):
+            retrieve_qoi(fields, v_total(), 1e-2, method="oracle")
+
+    def test_invalid_tolerance(self, velocity_fields):
+        _, fields = velocity_fields
+        with pytest.raises(ValueError):
+            retrieve_qoi(fields, v_total(), 0.0)
+
+    def test_invalid_switch_threshold(self, velocity_fields):
+        _, fields = velocity_fields
+        with pytest.raises(ValueError):
+            retrieve_qoi(fields, v_total(), 1e-2, method="mape",
+                         switch_threshold=0.5)
+
+    def test_custom_initial_bounds(self, velocity_fields):
+        _, fields = velocity_fields
+        result = retrieve_qoi(
+            fields, v_total(), 1e-2, method="mape",
+            initial_bounds={k: 0.5 for k in fields},
+        )
+        assert result.estimated_error <= 1e-2
+
+    def test_qoi_values_shape(self, velocity_fields):
+        original, fields = velocity_fields
+        result = retrieve_qoi(fields, v_total(), 1e-2)
+        assert result.qoi_values.shape == original["vx"].shape
+
+
+class TestNextGroupBound:
+    def test_bound_decreases(self, velocity_fields):
+        _, fields = velocity_fields
+        f = fields["vx"]
+        start = [0] * len(f.levels)
+        base = sum(
+            w * lv.error_bound_for_groups(0)
+            for w, lv in zip(f.level_weights, f.levels)
+        )
+        nb = next_group_bound(f, start)
+        assert nb < base
+
+    def test_exhausted_returns_current(self, velocity_fields):
+        _, fields = velocity_fields
+        f = fields["vx"]
+        full = f.max_groups()
+        current = sum(
+            w * lv.error_bound_for_groups(g)
+            for w, lv, g in zip(f.level_weights, f.levels, full)
+        )
+        assert next_group_bound(f, full) == current

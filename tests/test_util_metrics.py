@@ -1,0 +1,80 @@
+"""Unit tests for repro.util.metrics."""
+
+import math
+
+import numpy as np
+import pytest
+
+from repro.util import metrics
+
+
+class TestLinfError:
+    def test_identical_arrays(self):
+        a = np.arange(10.0)
+        assert metrics.linf_error(a, a.copy()) == 0.0
+
+    def test_known_difference(self):
+        a = np.zeros(5)
+        b = np.array([0.0, -3.0, 1.0, 0.5, 0.0])
+        assert metrics.linf_error(a, b) == 3.0
+
+    def test_shape_mismatch_raises(self):
+        with pytest.raises(ValueError):
+            metrics.linf_error(np.zeros(3), np.zeros(4))
+
+    def test_empty(self):
+        assert metrics.linf_error(np.zeros(0), np.zeros(0)) == 0.0
+
+    def test_float32_inputs_promote(self):
+        a = np.float32([1e8])
+        b = np.float32([1e8 + 64])
+        assert metrics.linf_error(a, b) == pytest.approx(64.0)
+
+
+class TestRelativeLinf:
+    def test_normalizes_by_range(self):
+        a = np.array([0.0, 10.0])
+        b = np.array([1.0, 10.0])
+        assert metrics.relative_linf_error(a, b) == pytest.approx(0.1)
+
+    def test_zero_range_falls_back_to_absolute(self):
+        a = np.array([2.0, 2.0])
+        b = np.array([2.5, 2.0])
+        assert metrics.relative_linf_error(a, b) == pytest.approx(0.5)
+
+
+class TestL2Psnr:
+    def test_l2_known(self):
+        a = np.zeros(4)
+        b = np.array([1.0, -1.0, 1.0, -1.0])
+        assert metrics.l2_error(a, b) == pytest.approx(1.0)
+
+    def test_psnr_exact_match_is_inf(self):
+        a = np.linspace(0, 1, 16)
+        assert metrics.psnr(a, a.copy()) == math.inf
+
+    def test_psnr_decreases_with_noise(self):
+        rng = np.random.default_rng(0)
+        a = rng.standard_normal(1000)
+        small = a + 1e-6 * rng.standard_normal(1000)
+        large = a + 1e-2 * rng.standard_normal(1000)
+        assert metrics.psnr(a, small) > metrics.psnr(a, large)
+
+
+class TestRates:
+    def test_bitrate(self):
+        assert metrics.bitrate(100, 100) == 8.0
+        assert metrics.bitrate(50, 100) == 4.0
+
+    def test_bitrate_rejects_nonpositive_count(self):
+        with pytest.raises(ValueError):
+            metrics.bitrate(10, 0)
+
+    def test_compression_ratio(self):
+        assert metrics.compression_ratio(100, 25) == 4.0
+        assert metrics.compression_ratio(100, 0) == math.inf
+
+    def test_throughput(self):
+        assert metrics.throughput_gbps(2e9, 2.0) == pytest.approx(1.0)
+        with pytest.raises(ValueError):
+            metrics.throughput_gbps(1, 0.0)

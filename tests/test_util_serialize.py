@@ -1,0 +1,54 @@
+"""Unit tests for the pickle-free stream serialization."""
+
+import numpy as np
+import pytest
+
+from repro.util import serialize
+
+
+class TestHeader:
+    def test_roundtrip(self):
+        buf = serialize.write_header(3, [10, 0, 7])
+        lengths, offset = serialize.read_header(buf)
+        assert lengths == [10, 0, 7]
+        assert offset == len(buf)
+
+    def test_count_mismatch(self):
+        with pytest.raises(ValueError):
+            serialize.write_header(2, [1])
+
+    def test_bad_magic(self):
+        buf = b"XXXX" + serialize.write_header(0, [])[4:]
+        with pytest.raises(ValueError, match="magic"):
+            serialize.read_header(buf)
+
+    def test_truncated(self):
+        buf = serialize.write_header(2, [5, 5])
+        with pytest.raises(ValueError):
+            serialize.read_header(buf[:6])
+
+
+class TestPackArrays:
+    def test_roundtrip_bytes(self):
+        arrays = [
+            np.arange(10, dtype=np.uint8),
+            np.arange(5, dtype=np.float64),
+            np.zeros(0, dtype=np.uint32),
+        ]
+        blob = serialize.pack_arrays(arrays)
+        payloads = serialize.unpack_arrays(blob)
+        assert len(payloads) == 3
+        assert payloads[0] == arrays[0].tobytes()
+        assert payloads[1] == arrays[1].tobytes()
+        assert payloads[2] == b""
+
+    def test_truncated_payload_raises(self):
+        blob = serialize.pack_arrays([np.arange(100, dtype=np.uint8)])
+        with pytest.raises(ValueError, match="truncated"):
+            serialize.unpack_arrays(blob[:-1])
+
+    def test_noncontiguous_input(self):
+        arr = np.arange(20, dtype=np.int32)[::2]
+        blob = serialize.pack_arrays([arr])
+        (payload,) = serialize.unpack_arrays(blob)
+        assert np.frombuffer(payload, dtype=np.int32).tolist() == arr.tolist()
