@@ -1,0 +1,23 @@
+#!/usr/bin/env sh
+# Run the benchmark suites and refresh the repo-root perf baselines.
+#
+#   benchmarks/run_all.sh            # hot-path suite only (fast, refreshes BENCH_hotpaths.json)
+#   benchmarks/run_all.sh --figures  # additionally re-run the per-figure paper harnesses
+#
+# The hot-path suite is the perf trajectory every performance PR checks
+# against; the figure harnesses regenerate benchmarks/results/*.txt.
+set -eu
+
+REPO_ROOT=$(CDPATH= cd -- "$(dirname -- "$0")/.." && pwd)
+cd "$REPO_ROOT"
+PYTHONPATH="$REPO_ROOT/src${PYTHONPATH:+:$PYTHONPATH}"
+export PYTHONPATH
+
+echo "== hot-path suite (writes BENCH_hotpaths.json) =="
+python benchmarks/bench_hotpaths.py
+
+if [ "${1:-}" = "--figures" ]; then
+    echo "== per-figure harnesses =="
+    # `-o addopts=` clears the default `-m "not bench"` filter.
+    python -m pytest benchmarks -o addopts= -q -s
+fi

@@ -22,6 +22,20 @@ from repro.util.validation import check_dtype_floating
 MAX_BITPLANES = 60
 
 
+def scale_pow2(values: np.ndarray, shift_exp: int) -> np.ndarray:
+    """Multiply float64 *values* by ``2^shift_exp`` exactly, in place.
+
+    Scalar multiply when the scale factor is a normal double (exact,
+    and much faster than ldexp); element-wise ``np.ldexp`` handles the
+    extreme exponents where the scalar alone would over/underflow
+    (e.g. subnormal-magnitude data). The caller must own *values*.
+    """
+    if -1022 <= shift_exp <= 1023:
+        values *= math.ldexp(1.0, shift_exp)
+        return values
+    return np.ldexp(values, shift_exp)
+
+
 def compute_exponent(max_abs: float) -> int:
     """Smallest integer ``e`` with ``max_abs < 2^e`` (0 for all-zero data)."""
     if max_abs < 0 or not math.isfinite(max_abs):
@@ -59,13 +73,17 @@ def align_to_fixed_point(
             f"got {num_bitplanes}"
         )
     flat = np.ascontiguousarray(data).reshape(-1)
-    if flat.size and not np.isfinite(flat).all():
-        raise ValueError("bitplane encoding requires finite input data")
-    abs_vals = np.abs(flat.astype(np.float64, copy=False))
+    # One fused pass: |x| widened to float64 (the ufunc casts on write).
+    abs_vals = np.abs(flat, dtype=np.float64)
     max_abs = float(abs_vals.max()) if flat.size else 0.0
+    # NaN/Inf anywhere propagates into the max, so the finiteness check
+    # rides on the reduction instead of a separate full-array pass.
+    if not math.isfinite(max_abs):
+        raise ValueError("bitplane encoding requires finite input data")
     exponent = compute_exponent(max_abs)
-    scale = math.ldexp(1.0, num_bitplanes - exponent)
-    mags = np.floor(abs_vals * scale).astype(np.uint64)
+    scaled = scale_pow2(abs_vals, num_bitplanes - exponent)
+    # uint64 conversion truncates toward zero == floor for nonnegatives.
+    mags = scaled.astype(np.uint64)
     # Guard against float round-up at the top of the range.
     limit = np.uint64((1 << num_bitplanes) - 1)
     np.minimum(mags, limit, out=mags)
@@ -103,9 +121,20 @@ def from_fixed_point(
             truncated > 0, np.uint64(1 << (drop - 1)), np.uint64(0)
         )
         mags = truncated + center
-    scale = math.ldexp(1.0, aligned.exponent - B)
-    values = mags.astype(np.float64) * scale
-    values[aligned.signs.astype(bool)] *= -1.0
+    values = scale_pow2(mags.astype(np.float64), aligned.exponent - B)
+    # Values are nonnegative here, so ORing the IEEE sign bit in place
+    # negates exactly — far cheaper than a boolean-masked multiply. For
+    # narrower output dtypes, cast first and flip the narrow sign bit
+    # (positive-value rounding is sign-symmetric), halving the traffic.
+    if aligned.dtype == np.dtype(np.float32):
+        out = values.astype(np.float32)
+        out.view(np.uint32)[:] |= (
+            aligned.signs.astype(np.uint32) << np.uint32(31)
+        )
+        return out
+    values.view(np.uint64)[:] |= (
+        aligned.signs.astype(np.uint64) << np.uint64(63)
+    )
     return values.astype(aligned.dtype, copy=False)
 
 

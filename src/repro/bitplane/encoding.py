@@ -2,11 +2,16 @@
 
 The heavy lifting is a bit-matrix transpose: ``N`` fixed-point values of
 ``B`` bits become ``B`` packed bitplanes of ``N`` bits (plus one sign
-plane, stored first). Designs differ in the *order* bits land in the
-stream — ``natural`` element order for locality-block and
-register-shuffle, warp-transposed tiles for register-block — and in their
-simulated GPU cost (see :mod:`repro.gpu.costmodel`). Decoded values are
-identical across designs, which is HP-MDR's portability property.
+plane, stored first). The transpose runs as a *single pass* over the
+data through :mod:`repro.bitplane.transpose` — one ``unpackbits`` into
+an ``(N, B)`` bit matrix, one transpose, one row-wise ``packbits`` —
+instead of ``B`` separate shift/mask/pack sweeps (the retained
+``*_reference`` functions). Designs differ in the *order* bits land in
+the stream — ``natural`` element order for locality-block and
+register-shuffle, warp-transposed tiles for register-block — and in
+their simulated GPU cost (see :mod:`repro.gpu.costmodel`). Decoded
+values are identical across designs (HP-MDR's portability property) and
+byte-identical between the single-pass and reference transposes.
 """
 
 from __future__ import annotations
@@ -16,12 +21,13 @@ from dataclasses import dataclass, field
 
 import numpy as np
 
-from repro.bitplane import register_block
+from repro.bitplane import register_block, transpose
 from repro.bitplane.align import (
     AlignedFixedPoint,
     align_to_fixed_point,
     from_fixed_point,
     plane_error_bound,
+    scale_pow2,
 )
 from repro.util.serialize import pack_arrays, unpack_arrays
 
@@ -111,7 +117,8 @@ class BitplaneStream:
         return header + pack_arrays(self.planes)
 
     @classmethod
-    def from_bytes(cls, buf: bytes) -> "BitplaneStream":
+    def from_bytes(cls, buf: bytes | memoryview) -> "BitplaneStream":
+        """Zero-copy deserialization: planes are read-only views of *buf*."""
         head_size = struct.calcsize(_HEADER_FMT)
         (magic, version, design, layout, is64, n, b, exponent, enc_id,
          max_abs, warp) = struct.unpack_from(_HEADER_FMT, buf, 0)
@@ -121,8 +128,8 @@ class BitplaneStream:
             raise ValueError(f"unsupported bitplane stream version {version}")
         if enc_id >= len(SIGNED_ENCODINGS):
             raise ValueError(f"unknown signed encoding id {enc_id}")
-        payloads = unpack_arrays(buf[head_size:])
-        planes = [np.frombuffer(p, dtype=np.uint8).copy() for p in payloads]
+        payloads = unpack_arrays(memoryview(buf)[head_size:])
+        planes = [np.frombuffer(p, dtype=np.uint8) for p in payloads]
         return cls(
             planes=planes,
             num_elements=n,
@@ -145,14 +152,14 @@ def extract_planes(
 ) -> list[np.ndarray]:
     """Transpose sign+magnitude integers into packed bitplanes.
 
-    One vectorized pass per plane (the GPU kernels do the same amount of
-    work; this is the NumPy idiom for it), most significant first.
+    Single-pass bit-matrix transpose (see
+    :mod:`repro.bitplane.transpose`), most significant plane first;
+    byte-identical to :func:`extract_planes_reference` (which also
+    serves as the endian-neutral fallback on big-endian hosts).
     """
-    planes = [np.packbits(signs, bitorder="little")]
-    for b in range(num_bitplanes - 1, -1, -1):
-        bits = ((mags >> np.uint64(b)) & np.uint64(1)).astype(np.uint8)
-        planes.append(np.packbits(bits, bitorder="little"))
-    return planes
+    if not transpose.HOST_SUPPORTED:
+        return extract_planes_reference(signs, mags, num_bitplanes)
+    return transpose.transpose_sign_magnitude(signs, mags, num_bitplanes)
 
 
 def inject_planes(
@@ -164,6 +171,34 @@ def inject_planes(
 
     Missing trailing planes decode as zero bits (progressive truncation).
     """
+    if not transpose.HOST_SUPPORTED:
+        return inject_planes_reference(planes, num_elements, num_bitplanes)
+    return transpose.untranspose_sign_magnitude(
+        planes, num_elements, num_bitplanes
+    )
+
+
+def extract_planes_reference(
+    signs: np.ndarray, mags: np.ndarray, num_bitplanes: int
+) -> list[np.ndarray]:
+    """Per-plane reference transpose: one shift/mask/pack pass per plane.
+
+    Retained for equivalence tests and the ``bench_hotpaths`` baseline;
+    production call sites use the single-pass :func:`extract_planes`.
+    """
+    planes = [np.packbits(signs, bitorder="little")]
+    for b in range(num_bitplanes - 1, -1, -1):
+        bits = ((mags >> np.uint64(b)) & np.uint64(1)).astype(np.uint8)
+        planes.append(np.packbits(bits, bitorder="little"))
+    return planes
+
+
+def inject_planes_reference(
+    planes: list[np.ndarray],
+    num_elements: int,
+    num_bitplanes: int,
+) -> tuple[np.ndarray, np.ndarray]:
+    """Per-plane reference inverse of :func:`extract_planes_reference`."""
     signs = np.zeros(num_elements, dtype=np.uint8)
     mags = np.zeros(num_elements, dtype=np.uint64)
     if not planes:
@@ -185,6 +220,27 @@ def inject_planes(
 # ---------------------------------------------------------------------
 def extract_code_planes(codes: np.ndarray, width: int) -> list[np.ndarray]:
     """Transpose unsigned codes into *width* packed planes, MSB first."""
+    codes = np.ascontiguousarray(codes, dtype=np.uint64)
+    if not transpose.HOST_SUPPORTED:
+        return extract_code_planes_reference(codes, width)
+    return transpose.words_to_planes(codes, width)
+
+
+def inject_code_planes(
+    planes: list[np.ndarray], num_elements: int, width: int
+) -> np.ndarray:
+    """Inverse of :func:`extract_code_planes`; missing planes are zero."""
+    if len(planes) > width:
+        raise ValueError("more planes than code width")
+    if not transpose.HOST_SUPPORTED:
+        return inject_code_planes_reference(planes, num_elements, width)
+    return transpose.planes_to_words(planes, num_elements, width)
+
+
+def extract_code_planes_reference(
+    codes: np.ndarray, width: int
+) -> list[np.ndarray]:
+    """Per-plane reference for :func:`extract_code_planes`."""
     planes = []
     for b in range(width - 1, -1, -1):
         bits = ((codes >> np.uint64(b)) & np.uint64(1)).astype(np.uint8)
@@ -192,10 +248,10 @@ def extract_code_planes(codes: np.ndarray, width: int) -> list[np.ndarray]:
     return planes
 
 
-def inject_code_planes(
+def inject_code_planes_reference(
     planes: list[np.ndarray], num_elements: int, width: int
 ) -> np.ndarray:
-    """Inverse of :func:`extract_code_planes`; missing planes are zero."""
+    """Per-plane reference for :func:`inject_code_planes`."""
     if len(planes) > width:
         raise ValueError("more planes than code width")
     codes = np.zeros(num_elements, dtype=np.uint64)
@@ -227,16 +283,20 @@ def encode_bitplanes(
             f"signed_encoding must be one of {SIGNED_ENCODINGS}, "
             f"got {signed_encoding!r}"
         )
-    aligned = align_to_fixed_point(data, num_bitplanes)
-    signs, mags = aligned.signs, aligned.magnitudes
     layout = _NATURAL
     if design == "register_block":
+        # Permute the (narrow) float input instead of the sign +
+        # magnitude words: fixed-point conversion is elementwise apart
+        # from the global max reduction, so the planes are identical
+        # and the gather moves far fewer bytes.
+        flat = np.ascontiguousarray(data).reshape(-1)
         perm = register_block.tile_permutation(
-            aligned.num_elements, num_bitplanes, warp_size
+            flat.size, num_bitplanes, warp_size
         )
-        signs = signs[perm]
-        mags = mags[perm]
+        data = flat[perm]
         layout = _WARP
+    aligned = align_to_fixed_point(data, num_bitplanes)
+    signs, mags = aligned.signs, aligned.magnitudes
     if signed_encoding == "negabinary":
         from repro.bitplane.negabinary import negabinary_width, to_negabinary
 
@@ -278,12 +338,6 @@ def decode_bitplanes(
     signs, mags = inject_planes(
         stream.planes[:k], stream.num_elements, stream.num_bitplanes
     )
-    if stream.layout == _WARP:
-        inv = register_block.inverse_tile_permutation(
-            stream.num_elements, stream.num_bitplanes, stream.warp_size
-        )
-        signs = signs[inv]
-        mags = mags[inv]
     aligned = AlignedFixedPoint(
         signs=signs,
         magnitudes=mags,
@@ -293,13 +347,20 @@ def decode_bitplanes(
         dtype=stream.dtype,
     )
     kept = max(0, k - 1)
-    return from_fixed_point(aligned, kept_planes=kept)
+    values = from_fixed_point(aligned, kept_planes=kept)
+    if stream.layout == _WARP:
+        # Fixed-point -> float is elementwise, so un-permuting the final
+        # (narrower) float array moves fewer bytes than un-permuting the
+        # sign + magnitude words.
+        inv = register_block.inverse_tile_permutation(
+            stream.num_elements, stream.num_bitplanes, stream.warp_size
+        )
+        values = values[inv]
+    return values
 
 
 def _decode_negabinary(stream: BitplaneStream, k: int) -> np.ndarray:
     """Decode the leading *k* negabinary planes to float values."""
-    import math
-
     from repro.bitplane.negabinary import from_negabinary, negabinary_width
 
     width = negabinary_width(stream.num_bitplanes)
@@ -312,9 +373,11 @@ def _decode_negabinary(stream: BitplaneStream, k: int) -> np.ndarray:
         )
         codes = codes[inv]
     signed = from_negabinary(codes)
-    scale = math.ldexp(1.0, stream.exponent - stream.num_bitplanes)
-    return (signed.astype(np.float64) * scale).astype(stream.dtype,
-                                                      copy=False)
+    values = scale_pow2(
+        signed.astype(np.float64),
+        stream.exponent - stream.num_bitplanes,
+    )
+    return values.astype(stream.dtype, copy=False)
 
 
 # Short aliases used across the library.

@@ -1,0 +1,44 @@
+"""Shared worker-pool lifecycle for the pipeline classes.
+
+:class:`WorkerPoolMixin` gives a class one lazily-created
+``ThreadPoolExecutor`` reused across calls (NumPy releases the GIL on
+the big kernels, so threads overlap per-level work across cores), an
+idempotent :meth:`close`, context-manager support, and best-effort
+teardown on garbage collection. Hosts define :meth:`_pool_size`.
+"""
+
+from __future__ import annotations
+
+from concurrent.futures import ThreadPoolExecutor
+
+
+class WorkerPoolMixin:
+    """Lazy, instance-shared thread pool with deterministic teardown."""
+
+    _pool: ThreadPoolExecutor | None = None
+
+    def _pool_size(self) -> int:
+        raise NotImplementedError
+
+    def _worker_pool(self) -> ThreadPoolExecutor:
+        if self._pool is None:
+            self._pool = ThreadPoolExecutor(max_workers=self._pool_size())
+        return self._pool
+
+    def close(self) -> None:
+        """Shut down the instance's worker pool (idempotent)."""
+        if self._pool is not None:
+            self._pool.shutdown(wait=True)
+            self._pool = None
+
+    def __enter__(self):
+        return self
+
+    def __exit__(self, *exc) -> None:
+        self.close()
+
+    def __del__(self) -> None:
+        try:
+            self.close()
+        except Exception:
+            pass

@@ -14,6 +14,7 @@ from dataclasses import dataclass
 import numpy as np
 
 from repro.bitplane.encoding import decode_bitplanes
+from repro.core._pool import WorkerPoolMixin
 from repro.core.planner import RetrievalPlan, plan_full, plan_greedy
 from repro.core.stream import RefactoredField
 from repro.decompose import MultilevelTransform
@@ -36,11 +37,24 @@ class ReconstructionResult:
         return 8.0 * self.fetched_bytes / self.data.size
 
 
-class Reconstructor:
-    """Tolerance-driven, incremental reconstruction of one variable."""
+class Reconstructor(WorkerPoolMixin):
+    """Tolerance-driven, incremental reconstruction of one variable.
 
-    def __init__(self, field: RefactoredField) -> None:
+    ``num_workers > 1`` decodes the independent per-level streams
+    through a thread pool shared across this instance's calls —
+    created lazily on first use, reused by every subsequent
+    :meth:`reconstruct`/:meth:`progressive` step, and torn down with
+    the instance (NumPy releases the GIL on the big
+    decompression/transpose kernels). The default is serial.
+    """
+
+    def __init__(
+        self, field: RefactoredField, num_workers: int = 0
+    ) -> None:
+        if num_workers < 0:
+            raise ValueError("num_workers must be >= 0")
         self.field = field
+        self.num_workers = int(num_workers)
         self.transform = MultilevelTransform(
             field.shape,
             num_levels=field.num_levels,
@@ -49,6 +63,9 @@ class Reconstructor:
         )
         self._fetched = [0] * len(field.levels)
         self._fetched_bytes = 0
+
+    def _pool_size(self) -> int:
+        return self.num_workers
 
     @property
     def fetched_groups(self) -> list[int]:
@@ -92,14 +109,19 @@ class Reconstructor:
         self._fetched = groups
         self._fetched_bytes += incremental
 
-        level_values = [
-            decode_bitplanes(
+        def decode_level(job: tuple) -> np.ndarray:
+            lv, g = job
+            return decode_bitplanes(
                 lv.to_bitplane_stream(g, np.dtype(np.float64),
                                       self.field.design),
                 lv.planes_in_groups(g),
             )
-            for lv, g in zip(self.field.levels, groups)
-        ]
+
+        jobs = list(zip(self.field.levels, groups))
+        if self.num_workers > 1 and len(jobs) > 1:
+            level_values = list(self._worker_pool().map(decode_level, jobs))
+        else:
+            level_values = [decode_level(job) for job in jobs]
         coeffs = self.transform.assemble_levels(
             [v.astype(np.float64) for v in level_values]
         )
@@ -148,6 +170,9 @@ def reconstruct(
     field: RefactoredField,
     tolerance: float | None = None,
     relative: bool = False,
+    num_workers: int = 0,
 ) -> ReconstructionResult:
     """One-shot convenience wrapper around :class:`Reconstructor`."""
-    return Reconstructor(field).reconstruct(tolerance, relative=relative)
+    return Reconstructor(field, num_workers=num_workers).reconstruct(
+        tolerance, relative=relative
+    )

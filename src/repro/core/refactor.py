@@ -14,6 +14,7 @@ import numpy as np
 
 from repro.bitplane.align import MAX_BITPLANES
 from repro.bitplane.encoding import DESIGNS, encode_bitplanes
+from repro.core._pool import WorkerPoolMixin
 from repro.core.stream import LevelStream, RefactoredField
 from repro.decompose import MultilevelTransform
 from repro.decompose.norms import level_error_weights
@@ -38,12 +39,17 @@ class RefactorConfig:
     warp_size: int = 32
     signed_encoding: str = "sign_magnitude"
     hybrid: HybridConfig = field(default_factory=HybridConfig)
+    #: Levels encoded/decoded concurrently when > 1 (NumPy releases the
+    #: GIL on the big kernels); 0 or 1 keeps the pipeline serial.
+    num_workers: int = 0
 
     def __post_init__(self) -> None:
         if self.design not in DESIGNS:
             raise ValueError(
                 f"design must be one of {DESIGNS}, got {self.design!r}"
             )
+        if self.num_workers < 0:
+            raise ValueError("num_workers must be >= 0")
         if self.num_bitplanes is not None and not (
             1 <= self.num_bitplanes <= MAX_BITPLANES
         ):
@@ -57,11 +63,12 @@ class RefactorConfig:
             )
 
 
-class Refactorer:
+class Refactorer(WorkerPoolMixin):
     """Refactor float fields into progressive multi-precision streams.
 
     A single instance is reusable across fields of the same shape (the
-    transform geometry and error weights are cached).
+    transform geometry, error weights, and — with ``num_workers > 1`` —
+    the worker thread pool are all shared across calls).
     """
 
     def __init__(
@@ -80,6 +87,33 @@ class Refactorer:
     def shape(self) -> tuple[int, ...]:
         return self.transform.shape
 
+    def _pool_size(self) -> int:
+        return self.config.num_workers
+
+    def _encode_level(
+        self, lev: int, coeff: np.ndarray, num_bitplanes: int
+    ) -> LevelStream:
+        """Encode one coefficient level (a worker-pool unit of work)."""
+        stream = encode_bitplanes(
+            coeff,
+            num_bitplanes=num_bitplanes,
+            design=self.config.design,
+            warp_size=self.config.warp_size,
+            signed_encoding=self.config.signed_encoding,
+        )
+        groups = compress_planes(stream.planes, self.config.hybrid)
+        return LevelStream(
+            level=lev,
+            num_elements=stream.num_elements,
+            num_bitplanes=stream.num_bitplanes,
+            exponent=stream.exponent,
+            max_abs=stream.max_abs,
+            layout=stream.layout,
+            warp_size=stream.warp_size,
+            groups=groups,
+            signed_encoding=stream.signed_encoding,
+        )
+
     def refactor(self, data: np.ndarray, name: str = "var") -> RefactoredField:
         """Run the forward pipeline on *data*."""
         data = np.asarray(data)
@@ -94,29 +128,16 @@ class Refactorer:
         coeffs = self.transform.decompose(data)
         level_arrays = self.transform.extract_levels(coeffs)
 
-        levels: list[LevelStream] = []
-        for lev, coeff in enumerate(level_arrays):
-            stream = encode_bitplanes(
-                coeff,
-                num_bitplanes=num_bitplanes,
-                design=self.config.design,
-                warp_size=self.config.warp_size,
-                signed_encoding=self.config.signed_encoding,
-            )
-            groups = compress_planes(stream.planes, self.config.hybrid)
-            levels.append(
-                LevelStream(
-                    level=lev,
-                    num_elements=stream.num_elements,
-                    num_bitplanes=stream.num_bitplanes,
-                    exponent=stream.exponent,
-                    max_abs=stream.max_abs,
-                    layout=stream.layout,
-                    warp_size=stream.warp_size,
-                    groups=groups,
-                    signed_encoding=stream.signed_encoding,
-                )
-            )
+        def encode_one(job: tuple[int, np.ndarray]) -> LevelStream:
+            return self._encode_level(job[0], job[1], num_bitplanes)
+
+        jobs = list(enumerate(level_arrays))
+        if self.config.num_workers > 1 and len(jobs) > 1:
+            # Levels are independent; the transpose/codec kernels release
+            # the GIL, so a thread pool overlaps them across cores.
+            levels = list(self._worker_pool().map(encode_one, jobs))
+        else:
+            levels = [encode_one(job) for job in jobs]
         value_range = (
             float(np.max(data) - np.min(data)) if data.size else 0.0
         )

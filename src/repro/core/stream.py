@@ -162,19 +162,20 @@ class RefactoredField:
         return struct.pack("<4sH", b"MDRF", 1) + body
 
     @classmethod
-    def from_bytes(cls, buf: bytes) -> "RefactoredField":
+    def from_bytes(cls, buf: bytes | memoryview) -> "RefactoredField":
+        """Zero-copy deserialization: group payloads are views of *buf*."""
         magic, version = struct.unpack_from("<4sH", buf, 0)
         if magic != b"MDRF":
             raise ValueError("not a refactored field stream")
         if version != 1:
             raise ValueError(f"unsupported stream version {version}")
-        payloads = unpack_arrays(buf[struct.calcsize("<4sH"):])
+        payloads = unpack_arrays(memoryview(buf)[struct.calcsize("<4sH"):])
         meta = json.loads(bytes(payloads[0]).decode())
         levels: list[LevelStream] = []
         cursor = 1
         for lv_meta in meta["levels"]:
             groups = [
-                CompressedGroup.from_bytes(bytes(payloads[cursor + g]))
+                CompressedGroup.from_bytes(payloads[cursor + g])
                 for g in range(lv_meta["num_groups"])
             ]
             cursor += lv_meta["num_groups"]

@@ -12,10 +12,16 @@ at in-byte position ``7 - (p & 7)``.
 
 from __future__ import annotations
 
+import sys
+
 import numpy as np
 
 #: peek window is a big-endian uint64, so width + in-byte shift <= 64.
 MAX_PEEK_WIDTH = 56
+
+#: Native-endian window entries need a swap to read MSB-first on
+#: little-endian hosts; big-endian hosts read them MSB-first already.
+NEEDS_BYTESWAP = sys.byteorder == "little"
 
 
 def pack_varlen_bits(
@@ -54,6 +60,38 @@ def pack_varlen_bits(
     return np.packbits(bits)[: -(-n_bits_out // 8)]
 
 
+def sliding_windows_u64(stream: np.ndarray, extra: int = 0) -> np.ndarray:
+    """Every 8-byte MSB-first window of *stream* as one strided gather.
+
+    Returns a read-only uint64 array ``w`` of ``stream.size + extra + 1``
+    entries where ``w[i]`` is bytes ``i … i+7`` of the zero-padded
+    stream interpreted big-endian — i.e. bit ``p`` of the stream is bit
+    ``63 - (p - 8*i)`` of ``w[i]`` for any ``i <= p//8``. ``extra``
+    extends the valid window range past the stream end (all-zero
+    windows) so cursors that legitimately run past ragged tails need no
+    clamping. Built as a byte-stride
+    :func:`numpy.lib.stride_tricks.as_strided` view over one padded
+    copy, so materializing a window for every cursor is a single
+    fancy-index gather instead of eight byte gathers. Entries are read
+    native-endian; callers byteswap gathered slices on little-endian
+    hosts (big-endian hosts read MSB-first natively).
+    """
+    if extra < 0:
+        raise ValueError("extra must be >= 0")
+    stream = np.ascontiguousarray(stream, dtype=np.uint8)
+    pad_len = stream.size + extra + 8
+    pad_len += (-pad_len) % 8  # uint64-viewable length
+    padded = np.zeros(pad_len, dtype=np.uint8)
+    padded[: stream.size] = stream
+    windows = np.lib.stride_tricks.as_strided(
+        padded.view(np.uint64),
+        shape=(stream.size + extra + 1,),
+        strides=(1,),
+        writeable=False,
+    )
+    return windows
+
+
 def peek_bits(
     stream: np.ndarray, bit_positions: np.ndarray, width: int
 ) -> np.ndarray:
@@ -61,7 +99,8 @@ def peek_bits(
 
     Cursors at or beyond the stream end read zeros (the stream is
     virtually zero-padded), which lets lockstep chunk decoding run
-    uniformly past ragged chunk tails.
+    uniformly past ragged chunk tails. One 64-bit strided gather per
+    cursor (see :func:`sliding_windows_u64`), not eight byte gathers.
     """
     if not 1 <= width <= MAX_PEEK_WIDTH:
         raise ValueError(f"width must be in [1, {MAX_PEEK_WIDTH}]")
@@ -69,14 +108,11 @@ def peek_bits(
     pos = np.asarray(bit_positions, dtype=np.int64)
     if pos.size and int(pos.min()) < 0:
         raise ValueError("bit positions must be nonnegative")
-    padded = np.zeros(stream.size + 8, dtype=np.uint8)
-    padded[: stream.size] = stream
+    windows = sliding_windows_u64(stream)
     byte_idx = np.minimum(pos >> 3, stream.size)  # clamp fully-past reads
     shift = (pos & 7).astype(np.uint64)
-    window = np.zeros(pos.shape, dtype=np.uint64)
-    for k in range(8):
-        window |= padded[byte_idx + k].astype(np.uint64) << np.uint64(
-            8 * (7 - k)
-        )
+    window = windows[byte_idx]
+    if NEEDS_BYTESWAP:
+        window.byteswap(inplace=True)
     mask = np.uint64((1 << width) - 1)
     return (window >> (np.uint64(64 - width) - shift)) & mask

@@ -6,7 +6,13 @@ assignment) over the byte alphabet. The stream is divided into fixed-size
 header — exactly how GPU Huffman decoders (e.g. Tian et al., IPDPS'21)
 expose block-level parallelism. Decoding walks all chunks in lockstep
 with vectorized gathers, the NumPy analogue of one thread block per
-chunk.
+chunk: each lockstep step performs a *single* unaligned 64-bit window
+gather per chunk (a byte-stride ``as_strided`` view of the zero-padded
+payload, byteswapped to MSB-first) instead of eight byte gathers, and
+every per-step temporary is allocated once outside the loop and reused
+via ``out=`` kernels. The original eight-gather formulation is retained
+as :meth:`HuffmanCodec.decode_reference` for equivalence tests and the
+``bench_hotpaths`` baseline.
 
 Code lengths are limited to :data:`MAX_CODE_LENGTH` so the decoder can
 use a flat prefix LUT of ``2^maxlen`` entries.
@@ -19,7 +25,11 @@ import struct
 
 import numpy as np
 
-from repro.lossless.bitio import pack_varlen_bits, peek_bits
+from repro.lossless.bitio import (
+    NEEDS_BYTESWAP,
+    pack_varlen_bits,
+    sliding_windows_u64,
+)
 
 MAX_CODE_LENGTH = 16
 DEFAULT_CHUNK_SYMBOLS = 1024
@@ -87,13 +97,30 @@ def _limit_lengths(
         raise ValueError("alphabet too large for max_length")
     unit = 1 << max_length  # Kraft capacity in 2^-max_length units
     used = int(np.sum(1 << (max_length - depths)))
-    order = np.argsort(-depths * (10**12) - freqs)  # deepest, rarest first
-    while used > unit:
-        # Lengthen the deepest sub-limit code; costs least entropy.
-        candidates = np.flatnonzero(depths < max_length)
-        pick = candidates[np.argmax(depths[candidates])]
-        used -= 1 << (max_length - depths[pick] - 1)
-        depths[pick] += 1
+    if used > unit:
+        # Lengthen the deepest sub-limit code each round (costs least
+        # entropy), lowest symbol index first on ties. One precomputed
+        # depth-bucketed order replaces the O(n) flatnonzero/argmax scan
+        # the seed ran on every iteration: `buckets[d]` is a min-heap of
+        # sub-limit symbol indices at depth d, and a lengthened symbol
+        # just migrates to the next bucket.
+        buckets: list[list[int]] = [[] for _ in range(max_length)]
+        for idx in np.argsort(depths, kind="stable"):
+            d = int(depths[idx])
+            if d < max_length:
+                buckets[d].append(int(idx))
+        for b in buckets:
+            heapq.heapify(b)
+        deepest = max_length - 1
+        while used > unit:
+            while not buckets[deepest]:
+                deepest -= 1
+            pick = heapq.heappop(buckets[deepest])
+            used -= 1 << (max_length - depths[pick] - 1)
+            depths[pick] += 1
+            if depths[pick] < max_length:
+                heapq.heappush(buckets[int(depths[pick])], pick)
+                deepest = int(depths[pick])
     # Tighten: shorten the most frequent codes while slack allows.
     for idx in np.argsort(-freqs):
         while depths[idx] > 1:
@@ -102,7 +129,6 @@ def _limit_lengths(
                 break
             used += gain
             depths[idx] -= 1
-    del order
     return depths
 
 
@@ -177,8 +203,11 @@ class HuffmanCodec:
         )
 
     # -- decode ---------------------------------------------------------
-    def decode(self, blob: bytes) -> np.ndarray:
+    def _parse_stream(self, blob: bytes):
+        """Header + tables + payload view shared by both decode paths."""
         head_size = struct.calcsize(_HEADER_FMT)
+        if len(blob) < head_size + 256 + 4:
+            raise ValueError("truncated Huffman stream")
         magic, n, chunk, max_len = struct.unpack_from(_HEADER_FMT, blob, 0)
         if magic != _MAGIC:
             raise ValueError("not a Huffman stream")
@@ -189,20 +218,119 @@ class HuffmanCodec:
         (n_chunks,) = struct.unpack_from("<I", blob, off)
         off += 4
         if n == 0:
-            return np.empty(0, dtype=np.uint8)
+            return n, chunk, max_len, lengths_table, 0, None, None
         offsets = np.frombuffer(blob, dtype=np.uint32,
                                 count=n_chunks + 1, offset=off).astype(np.int64)
         off += 4 * (n_chunks + 1)
         payload = np.frombuffer(blob, dtype=np.uint8, offset=off)
+        if n_chunks and int(offsets.max()) > payload.size:
+            # A consistent header's chunk offsets all land inside the
+            # payload; catching truncation here keeps the decode loops
+            # free of per-step bounds clamping.
+            raise ValueError("truncated Huffman stream")
+        return n, chunk, max_len, lengths_table, n_chunks, offsets, payload
+
+    def decode(self, blob: bytes) -> np.ndarray:
+        """Lockstep chunked decode, one 64-bit window gather per round.
+
+        Each round decodes several symbols in every chunk (the
+        per-thread-block loop of a GPU decoder): a single fancy-index
+        gather materializes one unaligned 64-bit window per chunk from a
+        byte-stride view of the zero-padded payload (byteswapped once,
+        up front, to MSB-first), and since a 64-bit window starting at
+        the cursor's byte always covers ``1 + (57 - max_len)//max_len``
+        worst-case codes, each gathered window is re-shifted in place to
+        peel that many symbols before the next gather. All per-round
+        temporaries are allocated once and reused through ``out=``
+        kernels, and the symbol/length LUTs are fused into one uint16
+        table so each symbol costs a single gather. Steps past a short
+        final chunk read zero padding and are discarded. Byte-identical
+        to :meth:`decode_reference`.
+        """
+        parsed = self._parse_stream(blob)
+        n, chunk, max_len, lengths_table, n_chunks, offsets, payload = parsed
+        if n == 0:
+            return np.empty(0, dtype=np.uint8)
+
+        codes_table = canonical_codes(lengths_table)
+        lut_sym, lut_len = self._build_lut(lengths_table, codes_table, max_len)
+        # Fused LUT: high byte = code length, low byte = symbol.
+        lut16 = (lut_len.astype(np.uint16) << 8) | lut_sym.astype(np.uint16)
+
+        steps = min(chunk, n)
+        # Symbols safely decodable from one 64-bit window: symbol s needs
+        # bits [r + sum(l_1..l_s), +max_len) with r <= 7, l_i <= max_len.
+        per_gather = 1 + (64 - 7 - max_len) // max_len
+        # Pad so unclamped cursors (which advance past ragged chunk tails
+        # by <= max_len bits/step) always have a full window to read.
+        # The windows stay a zero-copy byte-strided view (materializing
+        # them would transiently cost ~8 bytes per payload byte); each
+        # round byteswaps only its small gathered slice.
+        extra = ((steps * max_len + 7) >> 3) + 8
+        windows = sliding_windows_u64(payload, extra=extra)
+
+        # Signed lane state: a lane's shift may legitimately go negative
+        # after its final symbol of a round (int64 makes that harmless);
+        # a symbol is extracted only while every lane's shift is still
+        # provably >= 0 at use time.
+        shift_base = np.int64(64 - max_len)
+        mask = np.int64((1 << max_len) - 1)
+        cursors = (offsets[:-1] * 8).astype(np.int64)
+        out16 = np.empty((n_chunks, chunk), dtype=np.uint16)
+        byte_idx = np.empty(n_chunks, dtype=np.int64)
+        shift = np.empty(n_chunks, dtype=np.int64)
+        val = np.empty(n_chunks, dtype=np.int64)
+        comb = np.empty(n_chunks, dtype=np.uint16)
+        lens = np.empty(n_chunks, dtype=np.uint16)
+        step = 0
+        while step < steps:
+            np.right_shift(cursors, 3, out=byte_idx)
+            # Fancy indexing, not take(out=): np.take's buffered path on
+            # the byte-strided source is ~60x slower than this gather.
+            # The int64 view makes the arithmetic shift below type-clean;
+            # sign-extension only pollutes bits the mask discards.
+            win = windows[byte_idx]
+            if NEEDS_BYTESWAP:
+                win.byteswap(inplace=True)  # MSB-first window values
+            win = win.view(np.int64)
+            np.bitwise_and(cursors, 7, out=shift)
+            np.subtract(shift_base, shift, out=shift)
+            peel = min(per_gather, steps - step)
+            while peel > 0:
+                for _ in range(peel):
+                    np.right_shift(win, shift, out=val)
+                    np.bitwise_and(val, mask, out=val)
+                    np.take(lut16, val, out=comb)
+                    out16[:, step] = comb
+                    np.right_shift(comb, 8, out=lens)
+                    np.subtract(shift, lens, out=shift, casting="unsafe")
+                    np.add(cursors, lens, out=cursors, casting="unsafe")
+                    step += 1
+                if step >= steps:
+                    break
+                # Short codes rarely exhaust the window in `per_gather`
+                # worst-case peels: keep peeling from the same gather
+                # while the tightest lane still has a full-length code
+                # (min//max_len more subtractions provably stay valid).
+                peel = min(int(shift.min()) // max_len + 1, steps - step)
+        return (out16 & np.uint16(0xFF)).astype(np.uint8).reshape(-1)[:n]
+
+    def decode_reference(self, blob: bytes) -> np.ndarray:
+        """Seed lockstep decoder: eight byte gathers per step.
+
+        Retained for equivalence tests and the ``bench_hotpaths``
+        baseline; production callers use :meth:`decode`.
+        """
+        parsed = self._parse_stream(blob)
+        n, chunk, max_len, lengths_table, n_chunks, offsets, payload = parsed
+        if n == 0:
+            return np.empty(0, dtype=np.uint8)
 
         codes_table = canonical_codes(lengths_table)
         lut_sym, lut_len = self._build_lut(lengths_table, codes_table, max_len)
 
         cursors = offsets[:-1] * 8
         out = np.empty((n_chunks, chunk), dtype=np.uint8)
-        # Lockstep decode: one step decodes one symbol in every chunk
-        # (the per-thread-block loop of a GPU decoder). Steps past a
-        # short final chunk read zero padding and are discarded.
         padded = np.zeros(payload.size + 8, dtype=np.uint8)
         padded[: payload.size] = payload
         steps = min(chunk, n)

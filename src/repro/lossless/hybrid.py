@@ -57,10 +57,15 @@ class HybridConfig:
 
 @dataclass
 class CompressedGroup:
-    """One merged-and-compressed bitplane group (a retrieval unit)."""
+    """One merged-and-compressed bitplane group (a retrieval unit).
+
+    ``payload`` may be any bytes-like object; deserializing with
+    :meth:`from_bytes` keeps it as a zero-copy view of the source
+    buffer.
+    """
 
     method: str
-    payload: bytes
+    payload: bytes | memoryview
     plane_sizes: tuple[int, ...]
     first_plane: int
 
@@ -88,10 +93,11 @@ class CompressedGroup:
         sizes = struct.pack(
             f"<{len(self.plane_sizes)}Q", *self.plane_sizes
         )
-        return head + sizes + self.payload
+        return b"".join((head, sizes, self.payload))
 
     @classmethod
-    def from_bytes(cls, buf: bytes) -> "CompressedGroup":
+    def from_bytes(cls, buf: bytes | memoryview) -> "CompressedGroup":
+        """Zero-copy deserialization: ``payload`` is a view of *buf*."""
         head_size = struct.calcsize(_GROUP_FMT)
         magic, method_id, first, m, payload_len = struct.unpack_from(
             _GROUP_FMT, buf, 0
@@ -102,7 +108,7 @@ class CompressedGroup:
             raise ValueError(f"unknown method id {method_id}")
         sizes = struct.unpack_from(f"<{m}Q", buf, head_size)
         off = head_size + 8 * m
-        payload = buf[off : off + payload_len]
+        payload = memoryview(buf)[off : off + payload_len]
         if len(payload) != payload_len:
             raise ValueError("truncated hybrid group")
         return cls(
@@ -192,7 +198,8 @@ def decompress_groups(
                 f"expected {group.original_size}"
             )
         offset = 0
+        # Zero-copy split: each plane is a view into the decoded unit.
         for size in group.plane_sizes:
-            planes.append(merged[offset : offset + size].copy())
+            planes.append(merged[offset : offset + size])
             offset += size
     return planes

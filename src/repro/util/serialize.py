@@ -34,7 +34,7 @@ def write_header(count: int, lengths: Sequence[int]) -> bytes:
     return head + body
 
 
-def read_header(buf: bytes) -> tuple[list[int], int]:
+def read_header(buf: bytes | memoryview) -> tuple[list[int], int]:
     """Parse a header, returning (lengths, payload_offset)."""
     head_size = struct.calcsize(_HEADER_FMT)
     if len(buf) < head_size:
@@ -58,14 +58,22 @@ def pack_arrays(arrays: Sequence[np.ndarray]) -> bytes:
     return header + b"".join(payloads)
 
 
-def unpack_arrays(buf: bytes) -> list[bytes]:
-    """Inverse of :func:`pack_arrays`; returns raw payload bytes."""
+def unpack_arrays(buf: bytes | memoryview) -> list[memoryview]:
+    """Inverse of :func:`pack_arrays`; returns zero-copy payload views.
+
+    Each returned segment is a read-only :class:`memoryview` into *buf*
+    (no per-payload copies; callers needing independent bytes wrap with
+    ``bytes(...)``). The views keep *buf* alive.
+    """
     lengths, offset = read_header(buf)
-    out: list[bytes] = []
+    view = memoryview(buf)
+    if not view.readonly:
+        view = view.toreadonly()
+    out: list[memoryview] = []
     for length in lengths:
         end = offset + length
         if end > len(buf):
             raise ValueError("buffer truncated inside payload")
-        out.append(buf[offset:end])
+        out.append(view[offset:end])
         offset = end
     return out

@@ -1,0 +1,154 @@
+"""Fast-path behavior introduced by the hot-loop PR: vectorized Huffman
+decode equivalence, worker-pool determinism, and zero-copy
+deserialization."""
+
+import numpy as np
+import pytest
+
+from repro.bitplane.encoding import BitplaneStream, encode_bitplanes
+from repro.core.reconstruct import Reconstructor, reconstruct
+from repro.core.refactor import RefactorConfig, Refactorer
+from repro.core.stream import RefactoredField
+from repro.lossless.bitio import peek_bits, sliding_windows_u64
+from repro.lossless.huffman import HuffmanCodec
+from repro.lossless.hybrid import CompressedGroup
+
+
+class TestHuffmanFastDecode:
+    @pytest.mark.parametrize("n", [0, 1, 5, 1023, 1024, 1025, 4096 + 7])
+    @pytest.mark.parametrize("spread", [1, 5, 256])
+    def test_fast_decode_matches_reference(self, n, spread):
+        rng = np.random.default_rng(n * 3 + spread)
+        data = rng.integers(0, spread, n).astype(np.uint8)
+        codec = HuffmanCodec()
+        blob = codec.encode(data)
+        fast = codec.decode(blob)
+        ref = codec.decode_reference(blob)
+        np.testing.assert_array_equal(fast, ref)
+        np.testing.assert_array_equal(fast, data)
+
+    @pytest.mark.parametrize("chunk", [1, 7, 100, 4096])
+    def test_nondefault_chunk_sizes(self, chunk):
+        rng = np.random.default_rng(chunk)
+        data = rng.integers(0, 17, 5000).astype(np.uint8)
+        codec = HuffmanCodec(chunk_symbols=chunk)
+        blob = codec.encode(data)
+        np.testing.assert_array_equal(codec.decode(blob), data)
+        np.testing.assert_array_equal(codec.decode_reference(blob), data)
+
+    def test_constant_data_max_skew(self):
+        codec = HuffmanCodec()
+        data = np.zeros(10000, dtype=np.uint8)
+        blob = codec.encode(data)
+        np.testing.assert_array_equal(codec.decode(blob), data)
+
+    def test_full_alphabet_max_code_length(self):
+        rng = np.random.default_rng(1)
+        # Skewed full-byte alphabet drives code lengths to the limit.
+        data = np.minimum(
+            (rng.exponential(8.0, 200000)).astype(np.int64), 255
+        ).astype(np.uint8)
+        codec = HuffmanCodec()
+        blob = codec.encode(data)
+        np.testing.assert_array_equal(
+            codec.decode(blob), codec.decode_reference(blob)
+        )
+
+
+class TestSlidingWindows:
+    def test_windows_cover_stream_and_padding(self):
+        stream = np.arange(1, 11, dtype=np.uint8)
+        w = sliding_windows_u64(stream, extra=4)
+        assert w.shape == (15,)
+        assert not w.flags.writeable
+        expect0 = int.from_bytes(bytes(range(1, 9)), "little")
+        assert int(w[0]) == expect0
+        assert int(w[10]) == 0  # fully past the end: zero padding
+
+    def test_peek_bits_matches_manual_windows(self):
+        rng = np.random.default_rng(3)
+        stream = rng.integers(0, 256, 500).astype(np.uint8)
+        pos = rng.integers(0, 8 * stream.size + 64, 300)
+        for width in (1, 8, 13, 56):
+            got = peek_bits(stream, pos, width)
+            padded = np.zeros(stream.size + 8, np.uint8)
+            padded[: stream.size] = stream
+            byte_idx = np.minimum(pos >> 3, stream.size)
+            window = np.zeros(pos.shape, np.uint64)
+            for k in range(8):
+                window |= padded[byte_idx + k].astype(np.uint64) \
+                    << np.uint64(8 * (7 - k))
+            exp = (
+                window >> (np.uint64(64 - width)
+                           - (pos & 7).astype(np.uint64))
+            ) & np.uint64((1 << width) - 1)
+            np.testing.assert_array_equal(got, exp)
+
+
+class TestWorkerPool:
+    @pytest.fixture(scope="class")
+    def data(self):
+        return np.random.default_rng(0).standard_normal(
+            (24, 24, 24)
+        ).astype(np.float32)
+
+    def test_parallel_refactor_bitwise_equals_serial(self, data):
+        serial = Refactorer(data.shape, RefactorConfig()).refactor(data)
+        parallel = Refactorer(
+            data.shape, RefactorConfig(num_workers=4)
+        ).refactor(data)
+        assert serial.to_bytes() == parallel.to_bytes()
+
+    def test_parallel_reconstruct_equals_serial(self, data):
+        field = Refactorer(data.shape, RefactorConfig()).refactor(data)
+        serial = Reconstructor(field).reconstruct(1e-3)
+        parallel = Reconstructor(field, num_workers=4).reconstruct(1e-3)
+        np.testing.assert_array_equal(serial.data, parallel.data)
+        assert serial.error_bound == parallel.error_bound
+
+    def test_one_shot_wrapper_accepts_workers(self, data):
+        field = Refactorer(data.shape, RefactorConfig()).refactor(data)
+        res = reconstruct(field, 1e-2, num_workers=2)
+        assert np.max(np.abs(res.data - data)) <= res.error_bound + 1e-12
+
+    def test_invalid_workers_rejected(self, data):
+        with pytest.raises(ValueError):
+            RefactorConfig(num_workers=-1)
+        field = Refactorer(data.shape, RefactorConfig()).refactor(data)
+        with pytest.raises(ValueError):
+            Reconstructor(field, num_workers=-1)
+
+
+class TestZeroCopyDeserialization:
+    def test_bitplane_stream_planes_view_source_buffer(self):
+        data = np.random.default_rng(2).standard_normal(300) \
+            .astype(np.float32)
+        blob = encode_bitplanes(data, 16).to_bytes()
+        stream = BitplaneStream.from_bytes(blob)
+        # Views, not copies: read-only and byte-identical to reserialize.
+        assert all(not p.flags.writeable for p in stream.planes)
+        assert stream.to_bytes() == blob
+
+    def test_compressed_group_payload_views_source_buffer(self):
+        from repro.lossless.direct import direct_encode
+
+        payload = direct_encode(np.arange(64, dtype=np.uint8))
+        group = CompressedGroup(
+            method="direct", payload=payload,
+            plane_sizes=(64,), first_plane=0,
+        )
+        blob = group.to_bytes()
+        restored = CompressedGroup.from_bytes(blob)
+        assert isinstance(restored.payload, memoryview)
+        assert restored.to_bytes() == blob
+
+    def test_refactored_field_roundtrip_is_byte_stable(self):
+        data = np.random.default_rng(4).standard_normal(
+            (16, 16, 16)
+        ).astype(np.float32)
+        field = Refactorer(data.shape, RefactorConfig()).refactor(data)
+        blob = field.to_bytes()
+        restored = RefactoredField.from_bytes(blob)
+        assert restored.to_bytes() == blob
+        rec = Reconstructor(restored).reconstruct()
+        assert np.max(np.abs(rec.data - data)) <= rec.error_bound + 1e-12
