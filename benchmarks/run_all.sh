@@ -1,11 +1,12 @@
 #!/usr/bin/env sh
 # Run the benchmark suites and refresh the repo-root perf baselines.
 #
-#   benchmarks/run_all.sh            # hot-path suite only (fast, refreshes BENCH_hotpaths.json)
+#   benchmarks/run_all.sh            # hot-path + service suites (refresh BENCH_hotpaths.json, BENCH_service.json)
 #   benchmarks/run_all.sh --figures  # additionally re-run the per-figure paper harnesses
 #
-# The hot-path suite is the perf trajectory every performance PR checks
-# against; the figure harnesses regenerate benchmarks/results/*.txt.
+# The hot-path and service suites are the perf trajectories every
+# performance PR checks against; the figure harnesses regenerate
+# benchmarks/results/*.txt.
 set -eu
 
 REPO_ROOT=$(CDPATH= cd -- "$(dirname -- "$0")/.." && pwd)
@@ -15,6 +16,9 @@ export PYTHONPATH
 
 echo "== hot-path suite (writes BENCH_hotpaths.json) =="
 python benchmarks/bench_hotpaths.py
+
+echo "== retrieval-service suite (writes BENCH_service.json) =="
+python benchmarks/bench_service.py
 
 if [ "${1:-}" = "--figures" ]; then
     echo "== per-figure harnesses =="

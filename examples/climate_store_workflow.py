@@ -17,7 +17,7 @@ from pathlib import Path
 import numpy as np
 
 from repro import Reconstructor, refactor
-from repro.core.store import DirectoryStore, load_field, store_field
+from repro.core.store import DirectoryStore, open_field, store_field
 from repro.data.generators import letkf_field
 
 
@@ -46,24 +46,21 @@ def main() -> None:
         print(f"\n{'analysis':>18} {'tolerance':>10} {'segments':>9} "
               f"{'bytes read':>11} {'modeled I/O':>12} {'max error':>10}")
         for name, tol in analyses:
+            # Open lazily: planning runs on index metadata, and the
+            # reconstruction fetches exactly the plane groups its
+            # tolerance requires — no probe load, no second pass.
+            lazy = open_field(store, "temperature")
             store.reads = store.bytes_read = 0
-            # Plan on metadata, then load only the needed groups.
-            probe = load_field(store, "temperature",
-                               groups_per_level=None)
-            recon = Reconstructor(probe)
-            result = recon.reconstruct(tolerance=tol, relative=True)
-            plan = result.plan
-            store.reads = store.bytes_read = 0
-            partial = load_field(store, "temperature",
-                                 groups_per_level=plan.groups_per_level)
-            out = Reconstructor(partial).reconstruct(plan=plan)
+            out = Reconstructor(lazy).reconstruct(tolerance=tol,
+                                                  relative=True)
             actual = float(np.max(np.abs(
                 out.data.astype(np.float64) - data.astype(np.float64))))
             io_t = store.io_time_estimate(bandwidth_gbps=2.0)
             print(f"{name:>18} {tol:>10.0e} {store.reads:>9} "
                   f"{store.bytes_read / 1e6:>9.2f}MB {io_t * 1e3:>10.2f}ms "
                   f"{actual:>10.2e}")
-            assert actual <= tol * probe.value_range
+            assert actual <= tol * lazy.value_range
+            assert store.bytes_read == out.incremental_bytes
 
         print("\nEach analysis read only what its precision demanded; "
               "per-file open latency is the dominant I/O cost for the "

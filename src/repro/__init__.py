@@ -6,19 +6,21 @@ multilevel decomposition, optimized bitplane encoding designs, hybrid
 lossless compression, HDEM pipeline optimization, QoI-controlled
 progressive retrieval, and all evaluation baselines.
 
-Quickstart::
+Quickstart (doctested — see README.md for the store-backed service flow):
 
-    import numpy as np
-    from repro import refactor, reconstruct
+    >>> import numpy as np
+    >>> from repro import refactor, reconstruct
+    >>> data = np.linspace(-1.0, 1.0, 32 * 32).reshape(32, 32)
+    >>> field = refactor(data)                      # write once
+    >>> coarse = reconstruct(field, tolerance=1e-2)   # read cheap
+    >>> fine = reconstruct(field, tolerance=1e-8)     # read precise
+    >>> bool(np.max(np.abs(coarse.data - data)) <= 1e-2)
+    True
+    >>> fine.fetched_bytes > coarse.fetched_bytes
+    True
 
-    data = np.random.default_rng(0).standard_normal((64, 64, 64))
-    field = refactor(data)                     # write once
-    coarse = reconstruct(field, tolerance=1e-2)  # read cheap
-    fine = reconstruct(field, tolerance=1e-5)    # read precise
-    assert np.max(np.abs(coarse.data - data)) <= 1e-2
-
-See DESIGN.md for the full system inventory and EXPERIMENTS.md for the
-paper-vs-measured record of every table and figure.
+See README.md for install/usage, docs/architecture.md for the
+paper-section → module map, and ROADMAP.md for the perf trajectory.
 """
 
 from repro.core.reconstruct import (
@@ -27,11 +29,20 @@ from repro.core.reconstruct import (
     reconstruct,
 )
 from repro.core.refactor import RefactorConfig, Refactorer, refactor
-from repro.core.stream import RefactoredField
+from repro.core.service import RetrievalService, SegmentCache
+from repro.core.store import (
+    DirectoryStore,
+    MemoryStore,
+    ShardedDirectoryStore,
+    load_field,
+    open_field,
+    store_field,
+)
+from repro.core.stream import LazyRefactoredField, RefactoredField
 from repro.lossless.hybrid import HybridConfig
 from repro.qoi import retrieve_qoi, v_total
 
-__version__ = "1.0.0"
+__version__ = "1.1.0"
 
 __all__ = [
     "refactor",
@@ -41,7 +52,16 @@ __all__ = [
     "RefactorConfig",
     "HybridConfig",
     "RefactoredField",
+    "LazyRefactoredField",
     "ReconstructionResult",
+    "MemoryStore",
+    "DirectoryStore",
+    "ShardedDirectoryStore",
+    "store_field",
+    "load_field",
+    "open_field",
+    "RetrievalService",
+    "SegmentCache",
     "retrieve_qoi",
     "v_total",
     "__version__",

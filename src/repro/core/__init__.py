@@ -16,16 +16,40 @@ Public API:
 - :class:`~repro.core.reconstruct.Reconstructor` — tolerance-driven and
   incremental (progressive) reconstruction.
 - :class:`~repro.core.stream.RefactoredField` — the portable stream
-  format (serializable, device-independent).
-- :mod:`~repro.core.store` — in-memory and directory-backed segment
-  stores.
+  format (serializable, device-independent) — and its store-backed
+  :class:`~repro.core.stream.LazyRefactoredField` twin that resolves
+  segments on first decode touch.
+- :mod:`~repro.core.store` — in-memory, directory-backed, and sharded
+  segment stores behind the :class:`~repro.core.store.SegmentReader`
+  protocol, plus :func:`~repro.core.store.store_field` /
+  :func:`~repro.core.store.load_field` /
+  :func:`~repro.core.store.open_field`.
+- :mod:`~repro.core.service` — the
+  :class:`~repro.core.service.RetrievalService` layer that multiplexes
+  concurrent progressive sessions over one byte-budgeted shared
+  :class:`~repro.core.service.SegmentCache`.
 """
 
 from repro.core.planner import RetrievalPlan, plan_greedy, plan_round_robin
 from repro.core.reconstruct import ReconstructionResult, Reconstructor
 from repro.core.refactor import Refactorer, RefactorConfig
-from repro.core.store import DirectoryStore, MemoryStore
-from repro.core.stream import LevelStream, RefactoredField
+from repro.core.service import RetrievalService, SegmentCache, ServiceSession
+from repro.core.store import (
+    DirectoryStore,
+    MemoryStore,
+    SegmentReader,
+    SegmentStore,
+    ShardedDirectoryStore,
+    load_field,
+    open_field,
+    store_field,
+)
+from repro.core.stream import (
+    LazyRefactoredField,
+    LevelStream,
+    RefactoredField,
+    SegmentRef,
+)
 
 __all__ = [
     "Refactorer",
@@ -33,10 +57,21 @@ __all__ = [
     "Reconstructor",
     "ReconstructionResult",
     "RefactoredField",
+    "LazyRefactoredField",
     "LevelStream",
+    "SegmentRef",
     "RetrievalPlan",
     "plan_greedy",
     "plan_round_robin",
+    "SegmentReader",
+    "SegmentStore",
     "MemoryStore",
     "DirectoryStore",
+    "ShardedDirectoryStore",
+    "store_field",
+    "load_field",
+    "open_field",
+    "RetrievalService",
+    "SegmentCache",
+    "ServiceSession",
 ]

@@ -22,7 +22,14 @@ from repro.decompose import MultilevelTransform
 
 @dataclass
 class ReconstructionResult:
-    """One progressive retrieval step's output."""
+    """One progressive retrieval step's output.
+
+    ``cold_bytes`` / ``cache_hit_bytes`` split this step's actual segment
+    traffic into backing-store reads versus shared-cache hits. They are
+    populated only for store-backed lazy fields (see
+    :func:`repro.core.store.open_field`); for in-memory eager fields the
+    data never crosses an I/O boundary and both stay 0.
+    """
 
     data: np.ndarray
     error_bound: float
@@ -30,6 +37,8 @@ class ReconstructionResult:
     fetched_bytes: int  # cumulative bytes fetched so far
     incremental_bytes: int  # bytes newly fetched by this step
     plan: RetrievalPlan
+    cold_bytes: int = 0  # this step's bytes read from the backing store
+    cache_hit_bytes: int = 0  # this step's bytes served by a shared cache
 
     @property
     def bitrate(self) -> float:
@@ -89,6 +98,11 @@ class Reconstructor(WorkerPoolMixin):
         paper's evaluation). ``tolerance=None`` retrieves everything
         (near-lossless). An explicit ``plan`` overrides planning.
         """
+        # Store-backed lazy fields track actual segment traffic; snapshot
+        # before planning (a pre-metadata index can force fetches there)
+        # to report this step's cold vs. cached split.
+        io = getattr(self.field, "io_counters", None)
+        io_before = io.snapshot() if io is not None else None
         if plan is None:
             if tolerance is None:
                 plan = plan_full(self.field)
@@ -135,12 +149,20 @@ class Reconstructor(WorkerPoolMixin):
         requested = (
             float("nan") if tolerance is None else float(tolerance)
         )
+        if io_before is not None:
+            io_step = self.field.io_counters.since(io_before)
+            cold_bytes = io_step.cold_bytes
+            cache_hit_bytes = io_step.cache_hit_bytes
+        else:
+            cold_bytes = cache_hit_bytes = 0
         return ReconstructionResult(
             data=data,
             error_bound=bound,
             tolerance=requested,
             fetched_bytes=self._fetched_bytes,
             incremental_bytes=incremental,
+            cold_bytes=cold_bytes,
+            cache_hit_bytes=cache_hit_bytes,
             plan=RetrievalPlan(
                 groups_per_level=groups,
                 error_bound=bound,

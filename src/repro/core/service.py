@@ -1,0 +1,383 @@
+"""Store-backed retrieval service: many sessions, one segment cache.
+
+The paper's progressive-retrieval economics assume each tolerance query
+fetches only the bitplane increments it needs. A server answering many
+tolerance queries over many variables additionally wants those fetches
+*shared*: two analysts asking for the same variable at the same
+tolerance should pay the backing store once. This module provides that
+layer:
+
+* :class:`SegmentCache` — a byte-budgeted, thread-safe LRU over raw
+  segment blobs, fronting any :class:`~repro.core.store.SegmentReader`;
+* :class:`RetrievalService` — multiplexes concurrent
+  :class:`~repro.core.reconstruct.Reconstructor` sessions and
+  :func:`~repro.qoi.retrieval.retrieve_qoi` calls over one shared cache,
+  with optional background prefetch of each session's next planned plane
+  group (reusing the :class:`~repro.core._pool.WorkerPoolMixin` pool);
+* :class:`ServiceSession` — one client's stateful progressive session.
+
+Everything decodes from zero-copy views of the cached blobs. The cache
+budget bounds the bytes the *shared* cache itself keeps resident; each
+live session additionally memoizes the segments it has touched (so its
+own refinement steps never refetch), releasing them when the session's
+field is dropped.
+"""
+
+from __future__ import annotations
+
+import threading
+from collections import OrderedDict
+from concurrent.futures import Future
+
+from repro.core._pool import WorkerPoolMixin
+from repro.core.reconstruct import ReconstructionResult, Reconstructor
+from repro.core.store import open_field
+from repro.core.stream import LazyRefactoredField
+from repro.core.planner import RetrievalPlan
+
+
+class SegmentCache:
+    """Byte-budgeted LRU cache of raw segment blobs.
+
+    Parameters
+    ----------
+    reader:
+        Backing :class:`~repro.core.store.SegmentReader`; misses read
+        through it.
+    max_bytes:
+        Resident-byte budget. Inserting past it evicts least-recently-used
+        entries until the budget holds again; a single blob larger than
+        the whole budget is served but never cached (counted in
+        ``oversize``).
+
+    Cache state is guarded by an internal lock, but backing-store reads
+    happen *outside* it: concurrent misses on different keys fetch in
+    parallel, cache hits never wait on an in-flight disk read, and
+    concurrent misses on the *same* key are deduplicated through a
+    shared in-flight future (the store is read once; the followers count
+    as hits because they cost no extra store read).
+    """
+
+    def __init__(self, reader, max_bytes: int = 256 << 20) -> None:
+        if max_bytes <= 0:
+            raise ValueError("max_bytes must be > 0")
+        self._reader = reader
+        self.max_bytes = int(max_bytes)
+        self._lock = threading.RLock()
+        self._entries: "OrderedDict[str, bytes]" = OrderedDict()
+        self._inflight: dict[str, Future] = {}
+        self.current_bytes = 0
+        self.hits = 0
+        self.misses = 0
+        self.hit_bytes = 0
+        self.miss_bytes = 0
+        self.evictions = 0
+        self.oversize = 0
+
+    def resolve(self, key: str) -> tuple[bytes, bool]:
+        """Return ``(blob, cold)``: the segment plus whether it was a miss.
+
+        A hit refreshes the entry's recency; a miss reads through the
+        backing store (without holding the cache lock) and inserts,
+        evicting LRU entries past the budget.
+        """
+        with self._lock:
+            blob = self._entries.get(key)
+            if blob is not None:
+                self._entries.move_to_end(key)
+                self.hits += 1
+                self.hit_bytes += len(blob)
+                return blob, False
+            pending = self._inflight.get(key)
+            if pending is None:
+                pending = self._inflight[key] = Future()
+                leader = True
+            else:
+                leader = False
+        if not leader:
+            blob = pending.result()  # piggyback on the in-flight read
+            with self._lock:
+                self.hits += 1
+                self.hit_bytes += len(blob)
+            return blob, False
+        try:
+            blob = self._reader.get(key)
+        except BaseException as exc:
+            with self._lock:
+                self._inflight.pop(key, None)
+            pending.set_exception(exc)
+            raise
+        with self._lock:
+            self.misses += 1
+            self.miss_bytes += len(blob)
+            self._insert(key, blob)
+            self._inflight.pop(key, None)
+        pending.set_result(blob)
+        return blob, True
+
+    def get(self, key: str) -> bytes:
+        """The blob alone — :meth:`resolve` without the cold flag."""
+        return self.resolve(key)[0]
+
+    def warm(self, key: str) -> None:
+        """Ensure *key* is resident (the prefetch entry point)."""
+        self.resolve(key)
+
+    def _insert(self, key: str, blob: bytes) -> None:
+        if len(blob) > self.max_bytes:
+            self.oversize += 1
+            return
+        self._entries[key] = blob
+        self.current_bytes += len(blob)
+        while self.current_bytes > self.max_bytes:
+            _, evicted = self._entries.popitem(last=False)
+            self.current_bytes -= len(evicted)
+            self.evictions += 1
+
+    def __contains__(self, key: str) -> bool:
+        with self._lock:
+            return key in self._entries
+
+    def __len__(self) -> int:
+        with self._lock:
+            return len(self._entries)
+
+    @property
+    def hit_rate(self) -> float:
+        """Fraction of :meth:`resolve` calls served without a store read."""
+        total = self.hits + self.misses
+        return self.hits / total if total else 0.0
+
+    def clear(self) -> None:
+        """Drop every entry (counters are kept)."""
+        with self._lock:
+            self._entries.clear()
+            self.current_bytes = 0
+
+    def stats(self) -> dict:
+        """Counter snapshot, JSON-ready."""
+        with self._lock:
+            return {
+                "entries": len(self._entries),
+                "current_bytes": self.current_bytes,
+                "max_bytes": self.max_bytes,
+                "hits": self.hits,
+                "misses": self.misses,
+                "hit_bytes": self.hit_bytes,
+                "miss_bytes": self.miss_bytes,
+                "hit_rate": self.hit_rate,
+                "evictions": self.evictions,
+                "oversize": self.oversize,
+            }
+
+
+class ServiceSession:
+    """One client's progressive retrieval session over the service.
+
+    Wraps a stateful :class:`~repro.core.reconstruct.Reconstructor` on a
+    lazily-opened field whose fetches route through the service's shared
+    :class:`SegmentCache`. After each step the service may prefetch the
+    next planned plane group per level in the background, so a client
+    walking a tolerance staircase finds its next increment already warm.
+    """
+
+    def __init__(
+        self,
+        service: "RetrievalService",
+        field: LazyRefactoredField,
+        num_workers: int = 0,
+    ) -> None:
+        self.service = service
+        self.field = field
+        self.reconstructor = Reconstructor(field, num_workers=num_workers)
+
+    def reconstruct(
+        self,
+        tolerance: float | None = None,
+        relative: bool = False,
+        plan: RetrievalPlan | None = None,
+    ) -> ReconstructionResult:
+        """One progressive step — see :meth:`Reconstructor.reconstruct`."""
+        result = self.reconstructor.reconstruct(
+            tolerance=tolerance, relative=relative, plan=plan
+        )
+        self.service._schedule_prefetch(
+            self.field, self.reconstructor.fetched_groups
+        )
+        return result
+
+    def progressive(
+        self, tolerances: list[float], relative: bool = False
+    ) -> list[ReconstructionResult]:
+        """Walk a decreasing tolerance schedule, one result per step."""
+        return [
+            self.reconstruct(tolerance=t, relative=relative)
+            for t in tolerances
+        ]
+
+    @property
+    def fetched_bytes(self) -> int:
+        """Cumulative payload bytes this session's plans required."""
+        return self.reconstructor.fetched_bytes
+
+    @property
+    def fetched_groups(self) -> list[int]:
+        """Cumulative per-level group counts fetched so far."""
+        return self.reconstructor.fetched_groups
+
+    def close(self) -> None:
+        """Tear down the session's decode worker pool (idempotent)."""
+        self.reconstructor.close()
+
+    def __enter__(self) -> "ServiceSession":
+        return self
+
+    def __exit__(self, *exc) -> None:
+        self.close()
+
+
+class RetrievalService(WorkerPoolMixin):
+    """Multiplex progressive retrieval sessions over one segment cache.
+
+    Parameters
+    ----------
+    store:
+        Backing :class:`~repro.core.store.SegmentReader` holding fields
+        written by :func:`~repro.core.store.store_field`.
+    cache_bytes:
+        Byte budget of the shared :class:`SegmentCache`.
+    prefetch:
+        When true, each session step schedules a background warm of the
+        next unfetched plane group per level — the segments a tighter
+        follow-up tolerance would need first — hiding store latency
+        behind client compute.
+    num_workers:
+        Prefetch worker threads (only used — and only validated — when
+        ``prefetch`` is true).
+
+    The service object is safe to share across threads: sessions are
+    independent, and the cache serializes its own state.
+    """
+
+    def __init__(
+        self,
+        store,
+        cache_bytes: int = 256 << 20,
+        prefetch: bool = False,
+        num_workers: int = 2,
+    ) -> None:
+        if prefetch and num_workers < 1:
+            raise ValueError("num_workers must be >= 1 when prefetching")
+        self.store = store
+        self.cache = SegmentCache(store, max_bytes=cache_bytes)
+        self.prefetch = bool(prefetch)
+        self.num_workers = int(num_workers)
+        self.prefetch_requests = 0
+        self.prefetch_failures = 0
+        self._prefetch_futures: list = []
+        self._futures_lock = threading.Lock()
+
+    def _pool_size(self) -> int:
+        return max(1, self.num_workers)
+
+    def open(self, name: str) -> LazyRefactoredField:
+        """Open *name* lazily with fetches routed through the shared cache.
+
+        Each call returns a fresh field (sessions must not share
+        progressive state); the segment bytes behind them are shared.
+        """
+        return open_field(self.store, name, cache=self.cache)
+
+    def session(self, name: str, num_workers: int = 0) -> ServiceSession:
+        """Start a progressive session over variable *name*.
+
+        ``num_workers`` is forwarded to the session's
+        :class:`~repro.core.reconstruct.Reconstructor` for per-level
+        decode parallelism; it is independent of the service's prefetch
+        pool.
+        """
+        return ServiceSession(self, self.open(name), num_workers=num_workers)
+
+    def retrieve_qoi(self, qoi, tolerance: float, **kwargs):
+        """QoI-controlled retrieval over lazily-opened variables.
+
+        Opens every variable the QoI references through the shared cache
+        and runs :func:`repro.qoi.retrieval.retrieve_qoi` (Algorithm 3);
+        ``kwargs`` are forwarded (``method``, ``initial_bounds``, ...).
+        The result's ``cold_bytes``/``cache_hit_bytes`` report how much
+        of the fetched traffic the cache absorbed.
+        """
+        from repro.qoi.retrieval import retrieve_qoi
+
+        fields = {name: self.open(name) for name in qoi.variables()}
+        return retrieve_qoi(fields, qoi, tolerance, **kwargs)
+
+    # -- prefetch ---------------------------------------------------------
+    def _schedule_prefetch(
+        self, field: LazyRefactoredField, fetched_groups: list[int]
+    ) -> None:
+        """Warm the next unfetched group per level in the background."""
+        if not self.prefetch:
+            return
+        keys = []
+        for lv, have in zip(field.levels, fetched_groups):
+            refs = getattr(lv, "refs", None)
+            if refs and have < len(refs):
+                key = refs[have].key
+                if key not in self.cache:
+                    keys.append(key)
+        if not keys:
+            return
+        pool = self._worker_pool()
+        with self._futures_lock:
+            self._prefetch_futures = [
+                f for f in self._prefetch_futures if not f.done()
+            ]
+            for key in keys:
+                self.prefetch_requests += 1
+                self._prefetch_futures.append(
+                    pool.submit(self._safe_warm, key)
+                )
+
+    def _safe_warm(self, key: str) -> None:
+        """Speculative cache warm: failures are counted, never raised.
+
+        A prefetched segment the client never asked for must not crash
+        anything; if the client *does* ask for it later, the resolve
+        retries the store and surfaces the real error then.
+        """
+        try:
+            self.cache.warm(key)
+        except Exception:
+            self.prefetch_failures += 1
+
+    def drain_prefetch(self) -> None:
+        """Block until every scheduled prefetch has settled.
+
+        Prefetch failures never raise here (they are speculative); see
+        ``prefetch_failures``.
+        """
+        with self._futures_lock:
+            futures, self._prefetch_futures = self._prefetch_futures, []
+        for f in futures:
+            f.result()
+
+    def stats(self) -> dict:
+        """Cache counters plus backing-store read accounting, JSON-ready."""
+        return {
+            "cache": self.cache.stats(),
+            "prefetch_requests": self.prefetch_requests,
+            "prefetch_failures": self.prefetch_failures,
+            "store_reads": getattr(self.store, "reads", None),
+            "store_bytes_read": getattr(self.store, "bytes_read", None),
+        }
+
+    def close(self) -> None:
+        """Drain outstanding prefetches and stop the worker pool."""
+        try:
+            self.drain_prefetch()
+        finally:
+            super().close()
+
+
+__all__ = ["SegmentCache", "RetrievalService", "ServiceSession"]

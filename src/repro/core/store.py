@@ -8,7 +8,16 @@ benchmarks reproduce that effect we provide:
 * :class:`DirectoryStore` — one file per segment plus a JSON manifest
   (the actual layout MDR-style stores use), with an accounting model of
   per-file open latency so end-to-end timing studies can charge the
-  small-file penalty without real disks dominating CI.
+  small-file penalty without real disks dominating CI;
+* :class:`ShardedDirectoryStore` — the same layout hashed across a fixed
+  number of shard subdirectories, the standard mitigation once a campaign
+  writes more segments than one directory (or one metadata server)
+  comfortably holds.
+
+All three satisfy the :class:`SegmentReader` protocol that the lazy
+retrieval layer (:func:`open_field`, :class:`repro.core.service.RetrievalService`)
+is written against, so any object with ``get``/``size_of``/``keys`` —
+an object store client, a test double — can back progressive sessions.
 
 Keys are ``(variable, level, group)`` triples flattened to strings.
 """
@@ -16,12 +25,47 @@ Keys are ``(variable, level, group)`` triples flattened to strings.
 from __future__ import annotations
 
 import json
+import threading
+import zlib
+from contextlib import contextmanager, nullcontext
 from pathlib import Path
+from typing import Callable, Protocol, runtime_checkable
 
 import numpy as np
 
-from repro.core.stream import RefactoredField
+from repro.core.stream import (
+    LazyRefactoredField,
+    LevelStream,
+    RefactoredField,
+    SegmentRef,
+)
 from repro.lossless.hybrid import CompressedGroup
+
+
+@runtime_checkable
+class SegmentReader(Protocol):
+    """Read side of a segment store — what retrieval needs.
+
+    ``get(key)`` returns the segment blob (raising ``KeyError`` when
+    absent), ``size_of(key)`` its serialized size *without* fetching it
+    (manifest lookup), ``keys()`` the sorted stored keys, and membership
+    tests route through ``__contains__``.
+    """
+
+    def get(self, key: str) -> bytes: ...
+
+    def size_of(self, key: str) -> int: ...
+
+    def keys(self) -> list[str]: ...
+
+    def __contains__(self, key: str) -> bool: ...
+
+
+@runtime_checkable
+class SegmentStore(SegmentReader, Protocol):
+    """A :class:`SegmentReader` that also accepts writes."""
+
+    def put(self, key: str, blob: bytes) -> None: ...
 
 
 def segment_key(variable: str, level: int, group: int) -> str:
@@ -32,19 +76,27 @@ def segment_key(variable: str, level: int, group: int) -> str:
 
 
 class MemoryStore:
-    """In-memory segment store."""
+    """In-memory segment store (dict-backed).
+
+    Counts ``reads``/``writes`` so tests can assert exactly how many
+    segments an operation touched.
+    """
 
     def __init__(self) -> None:
         self._blobs: dict[str, bytes] = {}
+        self._stats_lock = threading.Lock()
         self.reads = 0
         self.writes = 0
 
     def put(self, key: str, blob: bytes) -> None:
+        """Store *blob* under *key*, overwriting any previous value."""
         self._blobs[key] = bytes(blob)
         self.writes += 1
 
     def get(self, key: str) -> bytes:
-        self.reads += 1
+        """Return the blob stored under *key* (KeyError when absent)."""
+        with self._stats_lock:  # concurrent sessions share one store
+            self.reads += 1
         try:
             return self._blobs[key]
         except KeyError:
@@ -54,21 +106,37 @@ class MemoryStore:
         return key in self._blobs
 
     def keys(self) -> list[str]:
+        """Sorted list of stored segment keys."""
         return sorted(self._blobs)
 
     def size_of(self, key: str) -> int:
+        """Serialized size of *key*'s blob, without counting as a read."""
         return len(self._blobs[key])
 
     def total_bytes(self) -> int:
+        """Sum of all stored blob sizes."""
         return sum(len(b) for b in self._blobs.values())
 
 
 class DirectoryStore:
-    """One-file-per-segment store with a manifest.
+    """One-file-per-segment store with a JSON manifest.
 
-    ``file_open_latency_s`` is *accounted*, not slept: ``io_time_estimate``
-    returns the modeled wall time of the reads performed so far given a
-    bandwidth, which the Fig. 14 benchmark charges on top of kernel time.
+    Parameters
+    ----------
+    root:
+        Directory holding the segment files plus ``manifest.json``
+        (created if missing; an existing manifest is loaded).
+    file_open_latency_s:
+        Modeled per-file open cost. It is *accounted*, not slept:
+        :meth:`io_time_estimate` returns the modeled wall time of the
+        reads performed so far given a bandwidth, which the Fig. 14
+        benchmark charges on top of kernel time.
+
+    Writes update the manifest file immediately by default; bulk writers
+    should wrap their puts in :meth:`batch` (as :func:`store_field` does)
+    so the manifest is flushed once instead of rewritten per segment —
+    the manifest is O(#segments), so per-put flushes are quadratic.
+    ``manifest_writes`` counts actual manifest rewrites.
     """
 
     MANIFEST = "manifest.json"
@@ -81,44 +149,82 @@ class DirectoryStore:
         if file_open_latency_s < 0:
             raise ValueError("file_open_latency_s must be >= 0")
         self.file_open_latency_s = file_open_latency_s
+        self._stats_lock = threading.Lock()
         self.reads = 0
         self.writes = 0
         self.bytes_read = 0
+        self.manifest_writes = 0
+        self._deferring = False
+        self._dirty = False
         self._manifest_path = self.root / self.MANIFEST
         if self._manifest_path.exists():
             self._manifest = json.loads(self._manifest_path.read_text())
         else:
             self._manifest = {}
 
+    def _path_for(self, key: str) -> Path:
+        """Filesystem location of *key* — the shard hook subclasses override."""
+        return self.root / key
+
     def _flush_manifest(self) -> None:
         self._manifest_path.write_text(json.dumps(self._manifest, indent=0))
+        self.manifest_writes += 1
+        self._dirty = False
+
+    @contextmanager
+    def batch(self):
+        """Defer manifest flushes across a bulk write.
+
+        Within the context, :meth:`put` updates the in-memory manifest
+        only; one flush happens on exit (if anything changed). Nestable —
+        only the outermost context flushes.
+        """
+        if self._deferring:  # nested: outermost context owns the flush
+            yield self
+            return
+        self._deferring = True
+        try:
+            yield self
+        finally:
+            self._deferring = False
+            if self._dirty:
+                self._flush_manifest()
 
     def put(self, key: str, blob: bytes) -> None:
-        path = self.root / key
+        """Write *blob* as its own file and record it in the manifest."""
+        path = self._path_for(key)
+        path.parent.mkdir(parents=True, exist_ok=True)
         path.write_bytes(blob)
         self._manifest[key] = len(blob)
-        self._flush_manifest()
+        self._dirty = True
+        if not self._deferring:
+            self._flush_manifest()
         self.writes += 1
 
     def get(self, key: str) -> bytes:
-        path = self.root / key
+        """Read one segment file, charging the accounting counters."""
+        path = self._path_for(key)
         if not path.exists():
             raise KeyError(f"segment {key!r} not in store")
         blob = path.read_bytes()
-        self.reads += 1
-        self.bytes_read += len(blob)
+        with self._stats_lock:  # concurrent sessions share one store
+            self.reads += 1
+            self.bytes_read += len(blob)
         return blob
 
     def __contains__(self, key: str) -> bool:
-        return (self.root / key).exists()
+        return self._path_for(key).exists()
 
     def keys(self) -> list[str]:
+        """Sorted list of manifest-recorded segment keys."""
         return sorted(self._manifest)
 
     def size_of(self, key: str) -> int:
+        """Manifest-recorded size of *key* — no file access."""
         return self._manifest[key]
 
     def total_bytes(self) -> int:
+        """Sum of all manifest-recorded segment sizes."""
         return sum(self._manifest.values())
 
     def io_time_estimate(self, bandwidth_gbps: float = 2.0) -> float:
@@ -131,12 +237,74 @@ class DirectoryStore:
         )
 
 
+class ShardedDirectoryStore(DirectoryStore):
+    """A :class:`DirectoryStore` hashed across shard subdirectories.
+
+    Segments land in ``root/shard_<xx>/<key>`` where ``<xx>`` is a stable
+    CRC32 of the key modulo ``num_shards``. This keeps any single
+    directory's entry count bounded — the standard fix once the paper's
+    "many small files" effect starts stressing directory metadata. Keys,
+    segment bytes, and the root ``manifest.json`` are identical to
+    :class:`DirectoryStore`'s, but the on-disk segment *paths* differ:
+    a store written with one layout must be reopened with the same
+    class (reopening a flat store sharded would list keys whose files
+    sit elsewhere).
+
+    Parameters
+    ----------
+    root:
+        Store root; shard subdirectories are created beneath it on write.
+    num_shards:
+        Number of hash buckets (≥ 1). Persisted to ``shards.json`` at
+        the root on first use; reopening an existing sharded store with
+        a different count raises (segments would resolve to the wrong
+        shard directories).
+    file_open_latency_s:
+        As for :class:`DirectoryStore`.
+    """
+
+    SHARD_MARKER = "shards.json"
+
+    def __init__(
+        self,
+        root: str | Path,
+        num_shards: int = 16,
+        file_open_latency_s: float = 2e-4,
+    ) -> None:
+        if num_shards < 1:
+            raise ValueError("num_shards must be >= 1")
+        self.num_shards = int(num_shards)
+        super().__init__(root, file_open_latency_s=file_open_latency_s)
+        marker = self.root / self.SHARD_MARKER
+        if marker.exists():
+            stored = int(json.loads(marker.read_text())["num_shards"])
+            if stored != self.num_shards:
+                raise ValueError(
+                    f"store at {self.root} was written with "
+                    f"num_shards={stored}, reopened with "
+                    f"num_shards={self.num_shards}"
+                )
+        else:
+            marker.write_text(json.dumps({"num_shards": self.num_shards}))
+
+    def shard_of(self, key: str) -> int:
+        """Stable shard index of *key* (CRC32 mod ``num_shards``)."""
+        return zlib.crc32(key.encode()) % self.num_shards
+
+    def _path_for(self, key: str) -> Path:
+        return self.root / f"shard_{self.shard_of(key):02x}" / key
+
+
 def store_field(store, field: RefactoredField) -> dict:
     """Write every plane group of *field* as its own segment.
 
-    Returns the index record (metadata + keys) that
-    :func:`load_field_groups` needs; store it under
-    ``<name>.index`` as JSON-encoded bytes.
+    Returns the index record that :func:`load_field` / :func:`open_field`
+    need; it is also written to the store under ``<name>.index`` as
+    JSON-encoded bytes. Besides the per-level key lists the index carries
+    a ``"segments"`` table with each segment's serialized size and plane
+    count, which is what lets :func:`open_field` plan retrievals without
+    fetching a single group. Directory-backed stores get their manifest
+    flushed once (via :meth:`DirectoryStore.batch`), not per segment.
     """
     meta_field = RefactoredField(
         shape=field.shape,
@@ -148,7 +316,7 @@ def store_field(store, field: RefactoredField) -> dict:
         design=field.design,
         level_weights=field.level_weights,
         levels=[
-            type(lv)(
+            LevelStream(
                 level=lv.level,
                 num_elements=lv.num_elements,
                 num_bitplanes=lv.num_bitplanes,
@@ -167,27 +335,44 @@ def store_field(store, field: RefactoredField) -> dict:
     index = {
         "field": meta_field.to_bytes().hex(),
         "groups": {},
+        "segments": {},
     }
-    for lv in field.levels:
-        for g, group in enumerate(lv.groups):
-            key = segment_key(field.name, lv.level, g)
-            store.put(key, group.to_bytes())
-            index["groups"].setdefault(str(lv.level), []).append(key)
-    store.put(
-        f"{field.name}.index", json.dumps(index).encode()
-    )
+    batch = store.batch() if hasattr(store, "batch") else nullcontext()
+    with batch:
+        for lv in field.levels:
+            for g, group in enumerate(lv.groups):
+                key = segment_key(field.name, lv.level, g)
+                blob = group.to_bytes()
+                store.put(key, blob)
+                index["groups"].setdefault(str(lv.level), []).append(key)
+                index["segments"][key] = {
+                    "bytes": len(blob),
+                    "planes": group.num_planes,
+                }
+        store.put(
+            f"{field.name}.index", json.dumps(index).encode()
+        )
     return index
+
+
+def _read_index(
+    get: Callable[[str], bytes], name: str
+) -> tuple[dict, RefactoredField]:
+    index = json.loads(bytes(get(f"{name}.index")).decode())
+    field = RefactoredField.from_bytes(bytes.fromhex(index["field"]))
+    return index, field
 
 
 def load_field(store, name: str, groups_per_level: list[int] | None = None):
     """Load a field's metadata and the requested prefix of groups.
 
-    ``groups_per_level=None`` loads everything. This is the read path
-    the end-to-end retrieval benchmarks time: one ``get`` per segment,
-    exactly as many segments as the plan requires.
+    ``groups_per_level=None`` loads everything *eagerly*: one ``get`` per
+    segment up front. This is the baseline read path the end-to-end
+    retrieval benchmarks time; services answering tolerance queries
+    should prefer :func:`open_field`, which defers each segment fetch
+    until a decode touches it.
     """
-    index = json.loads(bytes(store.get(f"{name}.index")).decode())
-    field = RefactoredField.from_bytes(bytes.fromhex(index["field"]))
+    index, field = _read_index(store.get, name)
     for li, lv in enumerate(field.levels):
         keys = index["groups"].get(str(lv.level), [])
         want = (
@@ -201,10 +386,71 @@ def load_field(store, name: str, groups_per_level: list[int] | None = None):
     return field
 
 
+def open_field(
+    store,
+    name: str,
+    cache=None,
+) -> LazyRefactoredField:
+    """Open a stored field lazily: fetch segments on first decode touch.
+
+    Parameters
+    ----------
+    store:
+        Any :class:`SegmentReader` holding ``<name>.index`` plus the
+        segments :func:`store_field` wrote.
+    name:
+        Variable name the field was stored under.
+    cache:
+        Optional shared :class:`repro.core.service.SegmentCache` (or any
+        object with ``resolve(key) -> (blob, cold)``). When given, all
+        fetches route through it, so concurrent sessions opened against
+        the same cache share segment bytes; without it every fetch is a
+        cold store read.
+
+    Returns a :class:`LazyRefactoredField`: planning runs on index
+    metadata alone, and only the plane groups a reconstruction actually
+    decodes are fetched — strictly fewer bytes than :func:`load_field`
+    whenever the tolerance stops short of near-lossless. With a cache,
+    the (immutable) index blob itself is also served from it, so warm
+    session opens touch the backing store not at all.
+    """
+    if cache is not None:
+        index, template = _read_index(cache.get, name)
+    else:
+        index, template = _read_index(store.get, name)
+    segments = index.get("segments", {})
+    level_refs: list[list[SegmentRef]] = []
+    for lv in template.levels:
+        refs = []
+        for key in index["groups"].get(str(lv.level), []):
+            meta = segments.get(key)
+            if meta is not None:
+                refs.append(
+                    SegmentRef(
+                        key=key,
+                        nbytes=int(meta["bytes"]),
+                        num_planes=int(meta["planes"]),
+                    )
+                )
+            else:  # pre-metadata index: sizes via manifest, planes lazily
+                refs.append(SegmentRef(key=key, nbytes=store.size_of(key)))
+        level_refs.append(refs)
+    if cache is not None:
+        resolver: Callable[[str], tuple[bytes, bool]] = cache.resolve
+    else:
+        def resolver(key: str) -> tuple[bytes, bool]:
+            return store.get(key), True
+    return LazyRefactoredField(template, level_refs, resolver)
+
+
 __all__ = [
+    "SegmentReader",
+    "SegmentStore",
     "MemoryStore",
     "DirectoryStore",
+    "ShardedDirectoryStore",
     "segment_key",
     "store_field",
     "load_field",
+    "open_field",
 ]

@@ -6,12 +6,23 @@ the multilevel metadata, and for every coefficient level a
 hybrid-compressed plane groups. Everything serializes to plain bytes
 (no pickle), so streams written under one simulated device decode under
 any other: the portability property of the paper.
+
+The lazy variants (:class:`LazyRefactoredField` / :class:`LazyLevelStream`)
+present the *same* interface but resolve each ``(variable, level, group)``
+segment from a backing store only when a decode actually touches it.
+Planning (``bytes_for_groups`` / ``planes_in_groups`` /
+``error_bound_for_groups``) runs entirely on :class:`SegmentRef` metadata,
+so a tolerance query over a store fetches exactly the plane groups its
+retrieval plan requires — the incremental-fetch economics of the paper's
+progressive retrieval, extended to the storage layer.
 """
 
 from __future__ import annotations
 
 import json
 import struct
+import threading
+from collections.abc import Callable, Sequence
 from dataclasses import dataclass, field
 
 import numpy as np
@@ -206,3 +217,217 @@ class RefactoredField:
             value_range=float(meta["value_range"]),
             name=meta["name"],
         )
+
+
+# -- lazy, store-backed variants ------------------------------------------
+
+
+@dataclass
+class SegmentRef:
+    """Metadata handle for one stored plane-group segment.
+
+    Parameters
+    ----------
+    key:
+        Store key of the segment (``segment_key(variable, level, group)``).
+    nbytes:
+        Serialized size of the segment, i.e. ``len(group.to_bytes())`` —
+        what a fetch of this segment costs. Known without fetching.
+    num_planes:
+        Bitplanes contained in the group, or ``None`` when the index that
+        produced this ref predates per-segment metadata (then the first
+        plan that needs it fetches the group once to learn it).
+    """
+
+    key: str
+    nbytes: int
+    num_planes: int | None = None
+
+
+class _LazyGroupSequence(Sequence):
+    """Sequence of :class:`CompressedGroup` resolved from a store on touch.
+
+    Parsed groups are memoized per instance (i.e. per opened field), so a
+    progressive session re-slicing ``groups[:n]`` on every refinement step
+    only pays the backing store for segments it has never seen — the
+    per-session analogue of the service's shared byte cache. The memo
+    (holding zero-copy views of the fetched blobs) lives as long as the
+    opened field does, independent of any shared cache's eviction budget.
+    """
+
+    def __init__(
+        self, refs: list[SegmentRef], fetch: Callable[[str], bytes]
+    ) -> None:
+        self._refs = refs
+        self._fetch = fetch
+        self._parsed: dict[int, CompressedGroup] = {}
+
+    def __len__(self) -> int:
+        return len(self._refs)
+
+    def __getitem__(self, index):
+        if isinstance(index, slice):
+            return [self[i] for i in range(*index.indices(len(self)))]
+        if index < 0:
+            index += len(self)
+        if not 0 <= index < len(self):
+            raise IndexError(index)
+        group = self._parsed.get(index)
+        if group is None:
+            blob = self._fetch(self._refs[index].key)
+            group = CompressedGroup.from_bytes(blob)
+            self._parsed[index] = group
+            ref = self._refs[index]
+            if ref.num_planes is None:
+                ref.num_planes = group.num_planes
+        return group
+
+    @property
+    def resolved_indices(self) -> list[int]:
+        """Indices fetched (and parsed) so far — testing/telemetry hook."""
+        return sorted(self._parsed)
+
+
+class LazyLevelStream(LevelStream):
+    """A :class:`LevelStream` whose groups live in a segment store.
+
+    Planning queries (:meth:`bytes_for_groups`, :meth:`planes_in_groups`,
+    and through it :meth:`error_bound_for_groups`) are answered from
+    :class:`SegmentRef` metadata without touching the store; only
+    :meth:`to_bitplane_stream` — an actual decode — fetches segments.
+    """
+
+    def __init__(
+        self,
+        *,
+        level: int,
+        num_elements: int,
+        num_bitplanes: int,
+        exponent: int,
+        max_abs: float,
+        layout: str,
+        warp_size: int,
+        refs: list[SegmentRef],
+        fetch: Callable[[str], bytes],
+        signed_encoding: str = "sign_magnitude",
+    ) -> None:
+        self.refs = refs
+        super().__init__(
+            level=level,
+            num_elements=num_elements,
+            num_bitplanes=num_bitplanes,
+            exponent=exponent,
+            max_abs=max_abs,
+            layout=layout,
+            warp_size=warp_size,
+            groups=_LazyGroupSequence(refs, fetch),
+            signed_encoding=signed_encoding,
+        )
+
+    def bytes_for_groups(self, num_groups: int) -> int:
+        """Serialized bytes of the first *num_groups* groups (no fetch)."""
+        return sum(r.nbytes for r in self.refs[:num_groups])
+
+    def planes_in_groups(self, num_groups: int) -> int:
+        """Bitplanes in the first *num_groups* groups.
+
+        Served from ref metadata; refs written by old (pre-metadata)
+        indexes resolve their group once and memoize the count.
+        """
+        total = 0
+        for i, ref in enumerate(self.refs[:num_groups]):
+            if ref.num_planes is None:
+                ref.num_planes = self.groups[i].num_planes
+            total += ref.num_planes
+        return total
+
+
+@dataclass
+class IOCounters:
+    """Cumulative fetch accounting of one :class:`LazyRefactoredField`."""
+
+    segment_reads: int = 0
+    bytes_fetched: int = 0
+    cold_bytes: int = 0
+    cache_hit_bytes: int = 0
+
+    def snapshot(self) -> "IOCounters":
+        return IOCounters(
+            self.segment_reads, self.bytes_fetched,
+            self.cold_bytes, self.cache_hit_bytes,
+        )
+
+    def since(self, earlier: "IOCounters") -> "IOCounters":
+        """Counter deltas accumulated after *earlier* was snapshotted."""
+        return IOCounters(
+            self.segment_reads - earlier.segment_reads,
+            self.bytes_fetched - earlier.bytes_fetched,
+            self.cold_bytes - earlier.cold_bytes,
+            self.cache_hit_bytes - earlier.cache_hit_bytes,
+        )
+
+
+class LazyRefactoredField(RefactoredField):
+    """A :class:`RefactoredField` whose plane groups resolve on first touch.
+
+    Built by :func:`repro.core.store.open_field` from a field-less metadata
+    template plus per-level :class:`SegmentRef` lists. ``resolver`` maps a
+    segment key to ``(blob, cold)`` where ``cold`` says the blob came from
+    the backing store rather than a shared cache; the field keeps
+    cumulative :class:`IOCounters` so callers (``Reconstructor``,
+    ``retrieve_qoi``) can report cache-hit vs. cold traffic per step.
+    """
+
+    def __init__(
+        self,
+        template: RefactoredField,
+        level_refs: list[list[SegmentRef]],
+        resolver: Callable[[str], tuple[bytes, bool]],
+    ) -> None:
+        if len(level_refs) != len(template.levels):
+            raise ValueError("level_refs must have one entry per level")
+        self._resolver = resolver
+        self.io_counters = IOCounters()
+        # A Reconstructor with num_workers > 1 decodes levels in a thread
+        # pool, so concurrent _fetch calls must not lose counter updates.
+        self._io_lock = threading.Lock()
+        levels = [
+            LazyLevelStream(
+                level=lv.level,
+                num_elements=lv.num_elements,
+                num_bitplanes=lv.num_bitplanes,
+                exponent=lv.exponent,
+                max_abs=lv.max_abs,
+                layout=lv.layout,
+                warp_size=lv.warp_size,
+                refs=refs,
+                fetch=self._fetch,
+                signed_encoding=lv.signed_encoding,
+            )
+            for lv, refs in zip(template.levels, level_refs)
+        ]
+        super().__init__(
+            shape=template.shape,
+            dtype=template.dtype,
+            mode=template.mode,
+            num_levels=template.num_levels,
+            min_size=template.min_size,
+            group_size=template.group_size,
+            design=template.design,
+            level_weights=list(template.level_weights),
+            levels=levels,
+            value_range=template.value_range,
+            name=template.name,
+        )
+
+    def _fetch(self, key: str) -> bytes:
+        blob, cold = self._resolver(key)
+        with self._io_lock:
+            c = self.io_counters
+            c.segment_reads += 1
+            c.bytes_fetched += len(blob)
+            if cold:
+                c.cold_bytes += len(blob)
+            else:
+                c.cache_hit_bytes += len(blob)
+        return blob

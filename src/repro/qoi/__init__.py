@@ -13,6 +13,11 @@ the paper evaluates. This package provides:
   augmentation with proportional estimation);
 * :mod:`~repro.qoi.retrieval` — the Algorithm 3 driver that iterates
   fetch → recompose → estimate until the requested QoI tolerance holds.
+
+The driver accepts eager and store-backed lazy fields alike; served
+through :meth:`repro.core.service.RetrievalService.retrieve_qoi`, every
+variable resolves its plane groups through the service's shared segment
+cache and the result reports cold vs. cache-hit traffic.
 """
 
 from repro.qoi.expressions import (

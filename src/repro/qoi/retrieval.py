@@ -28,17 +28,30 @@ from repro.qoi.expressions import QoI, estimate_qoi_error
 
 @dataclass
 class QoIIterationRecord:
-    """Telemetry for one Algorithm 3 iteration."""
+    """Telemetry for one Algorithm 3 iteration.
+
+    ``cold_bytes`` is the cumulative backing-store traffic after this
+    iteration; it stays 0 for in-memory eager fields (see
+    :class:`~repro.core.reconstruct.ReconstructionResult`).
+    """
 
     iteration: int
     error_bounds: dict[str, float]
     estimated_error: float
     fetched_bytes: int
+    cold_bytes: int = 0
 
 
 @dataclass
 class QoIRetrievalResult:
-    """Output of :func:`retrieve_qoi`."""
+    """Output of :func:`retrieve_qoi`.
+
+    For store-backed lazy fields (:func:`repro.core.store.open_field`,
+    typically via :meth:`repro.core.service.RetrievalService.retrieve_qoi`)
+    ``cold_bytes``/``cache_hit_bytes`` split the segment traffic this call
+    caused into backing-store reads versus shared-cache hits; both stay 0
+    for in-memory eager fields.
+    """
 
     values: dict[str, np.ndarray]
     qoi_values: np.ndarray
@@ -49,6 +62,8 @@ class QoIRetrievalResult:
     num_elements: int
     method: str
     history: list[QoIIterationRecord] = dc_field(default_factory=list)
+    cold_bytes: int = 0
+    cache_hit_bytes: int = 0
 
     @property
     def bitrate(self) -> float:
@@ -86,6 +101,22 @@ def retrieve_qoi(
         raise ValueError(f"missing refactored variables: {sorted(missing)}")
 
     recons = {name: Reconstructor(fields[name]) for name in needed}
+    # Store-backed lazy fields carry cumulative fetch counters; snapshot
+    # them so this call reports only the traffic it caused itself.
+    io_start = {
+        name: io.snapshot()
+        for name in needed
+        if (io := getattr(fields[name], "io_counters", None)) is not None
+    }
+
+    def _io_totals() -> tuple[int, int]:
+        cold = hit = 0
+        for name, start in io_start.items():
+            step = fields[name].io_counters.since(start)
+            cold += step.cold_bytes
+            hit += step.cache_hit_bytes
+        return cold, hit
+
     # Initial bounds follow the paper: derived from each variable's
     # value range rather than the tolerance, so the loop starts loose
     # and genuinely iterates toward τ (the regime Tables 2/3 compare).
@@ -119,6 +150,7 @@ def retrieve_qoi(
                 error_bounds=dict(actual_bounds),
                 estimated_error=estimated,
                 fetched_bytes=fetched,
+                cold_bytes=_io_totals()[0],
             )
         )
         if estimated <= tolerance:
@@ -134,6 +166,7 @@ def retrieve_qoi(
         if exhausted:
             break  # nothing more to fetch; report the achieved estimate
     num_elements = int(np.prod(next(iter(fields.values())).shape))
+    cold_bytes, cache_hit_bytes = _io_totals()
     return QoIRetrievalResult(
         values=values,
         qoi_values=qoi.evaluate(values),
@@ -144,6 +177,8 @@ def retrieve_qoi(
         num_elements=num_elements,
         method=method,
         history=history,
+        cold_bytes=cold_bytes,
+        cache_hit_bytes=cache_hit_bytes,
     )
 
 

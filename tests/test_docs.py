@@ -1,0 +1,42 @@
+"""Doctest runs for the user-facing documentation.
+
+The README quickstart and the ``repro`` package docstring must execute
+verbatim — documentation that drifts from the API fails CI here.
+"""
+
+import doctest
+from pathlib import Path
+
+import repro
+
+REPO_ROOT = Path(__file__).resolve().parents[1]
+
+DOCTEST_FLAGS = doctest.NORMALIZE_WHITESPACE | doctest.ELLIPSIS
+
+
+def test_readme_quickstart_runs_verbatim():
+    readme = REPO_ROOT / "README.md"
+    assert readme.exists(), "README.md missing from repo root"
+    result = doctest.testfile(
+        str(readme), module_relative=False, optionflags=DOCTEST_FLAGS,
+        verbose=False,
+    )
+    assert result.attempted > 0, "README quickstart has no doctest examples"
+    assert result.failed == 0
+
+def test_package_docstring_quickstart():
+    finder = doctest.DocTestFinder(exclude_empty=True)
+    runner = doctest.DocTestRunner(optionflags=DOCTEST_FLAGS)
+    tests = [t for t in finder.find(repro, name="repro") if t.examples]
+    assert tests, "repro package docstring lost its quickstart example"
+    for t in tests:
+        runner.run(t)
+    assert runner.failures == 0
+
+
+def test_architecture_doc_exists_and_maps_modules():
+    doc = REPO_ROOT / "docs" / "architecture.md"
+    assert doc.exists(), "docs/architecture.md missing"
+    text = doc.read_text()
+    for anchor in ("bitplane", "qoi", "planner", "hdem", "service"):
+        assert anchor in text.lower(), f"architecture.md lacks {anchor!r}"
