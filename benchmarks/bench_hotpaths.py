@@ -47,10 +47,13 @@ N_ELEMENTS = 1 << 20
 NUM_BITPLANES = 32
 REPS = 7
 
-#: Acceptance floors for this PR (ISSUE 1): combined encode+decode and
-#: Huffman decode speedups at 1M elements versus the seed paths.
+#: Acceptance floors for ISSUE 1: combined encode+decode and Huffman
+#: decode speedups at 1M elements versus the seed paths.
 MIN_CODEC_SPEEDUP = 5.0
 MIN_HUFFMAN_SPEEDUP = 3.0
+#: Acceptance floor for ISSUE 3: word-packed Huffman encode versus the
+#: retained per-bit reference packer, measured in the same run.
+MIN_HUFFMAN_ENCODE_SPEEDUP = 5.0
 
 
 # ---------------------------------------------------------------------
@@ -165,7 +168,12 @@ def run_benchmarks(
     # -- Huffman ---------------------------------------------------------
     codec = HuffmanCodec()
     hdata = (rng.standard_normal(n) * 6).astype(np.int64).astype(np.uint8)
+    t_henc_ref, blob_ref = _best_time(
+        lambda: codec.encode_reference(hdata), reps
+    )
     t_henc, blob = _best_time(lambda: codec.encode(hdata), reps)
+    assert blob == blob_ref, \
+        "word-packed encode diverged from the per-bit reference encoder"
     t_hdec_ref, out_ref = _best_time(
         lambda: codec.decode_reference(blob), reps
     )
@@ -214,7 +222,9 @@ def run_benchmarks(
             "decode_throughput_meps": mb / t_dec,
         },
         "huffman": {
+            "encode_reference_ms": t_henc_ref * 1e3,
             "encode_ms": t_henc * 1e3,
+            "encode_speedup": t_henc_ref / t_henc,
             "decode_reference_ms": t_hdec_ref * 1e3,
             "decode_fast_ms": t_hdec * 1e3,
             "decode_speedup": t_hdec_ref / t_hdec,
@@ -246,6 +256,7 @@ def test_hotpaths_meet_speedup_floors():
     huff = results["huffman"]
     assert codec["combined_speedup"] >= MIN_CODEC_SPEEDUP, codec
     assert huff["decode_speedup"] >= MIN_HUFFMAN_SPEEDUP, huff
+    assert huff["encode_speedup"] >= MIN_HUFFMAN_ENCODE_SPEEDUP, huff
 
 
 def main() -> None:
@@ -265,7 +276,10 @@ def main() -> None:
         f"decode {codec['decode_speedup']:.1f}x "
         f"(combined {codec['combined_speedup']:.1f}x)"
     )
-    print(f"huffman decode: {huff['decode_speedup']:.1f}x")
+    print(
+        f"huffman: encode {huff['encode_speedup']:.1f}x, "
+        f"decode {huff['decode_speedup']:.1f}x"
+    )
     print(
         f"rle: encode {results['rle']['encode_throughput_mbps']:.0f} MB/s, "
         f"decode {results['rle']['decode_throughput_mbps']:.0f} MB/s"

@@ -1,0 +1,85 @@
+"""Guard the recorded bench speedups: fail loudly on >20% regressions.
+
+``benchmarks/run_all.sh`` snapshots each ``BENCH_*.json`` before
+regenerating it, then calls::
+
+    python benchmarks/check_regression.py <old.json> <new.json>
+
+Every numeric value whose key contains ``speedup`` (at any nesting
+depth) is compared; if the fresh measurement falls below 80% of the
+recorded one, the script prints the offending paths and exits nonzero,
+failing the ``set -eu`` runner. Speedups are same-run ratios against the
+retained reference implementations, so they are comparable across
+machines — absolute milliseconds and MB/s are not, and are ignored.
+"""
+
+from __future__ import annotations
+
+import json
+import sys
+from pathlib import Path
+
+#: A fresh speedup below this fraction of the recorded one is a failure.
+ALLOWED_FRACTION = 0.80
+
+
+def collect_speedups(node, prefix: str = "") -> dict[str, float]:
+    """Flatten every numeric ``*speedup*`` entry to ``path -> value``."""
+    found: dict[str, float] = {}
+    if isinstance(node, dict):
+        for key, value in node.items():
+            path = f"{prefix}.{key}" if prefix else str(key)
+            if isinstance(value, (int, float)) and "speedup" in str(key):
+                found[path] = float(value)
+            else:
+                found.update(collect_speedups(value, path))
+    elif isinstance(node, list):
+        for i, value in enumerate(node):
+            found.update(collect_speedups(value, f"{prefix}[{i}]"))
+    return found
+
+
+def compare(old: dict, new: dict) -> list[str]:
+    """Regression messages for every recorded speedup the new run lost."""
+    old_speedups = collect_speedups(old)
+    new_speedups = collect_speedups(new)
+    problems = []
+    for path, recorded in sorted(old_speedups.items()):
+        fresh = new_speedups.get(path)
+        if fresh is None:
+            problems.append(
+                f"{path}: recorded speedup {recorded:.2f}x disappeared "
+                "from the regenerated results"
+            )
+        elif fresh < ALLOWED_FRACTION * recorded:
+            problems.append(
+                f"{path}: {fresh:.2f}x is a >20% regression from the "
+                f"recorded {recorded:.2f}x"
+            )
+    return problems
+
+
+def main(argv: list[str]) -> int:
+    if len(argv) != 3:
+        print("usage: check_regression.py <old.json> <new.json>",
+              file=sys.stderr)
+        return 2
+    old_path, new_path = Path(argv[1]), Path(argv[2])
+    if not old_path.exists():
+        print(f"no recorded baseline at {old_path}; nothing to compare")
+        return 0
+    old = json.loads(old_path.read_text())
+    new = json.loads(new_path.read_text())
+    problems = compare(old, new)
+    if problems:
+        print(f"PERF REGRESSION ({new_path.name}):", file=sys.stderr)
+        for line in problems:
+            print(f"  {line}", file=sys.stderr)
+        return 1
+    n = len(collect_speedups(old))
+    print(f"{new_path.name}: {n} recorded speedup(s) held (>=80%)")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main(sys.argv))

@@ -1,12 +1,19 @@
 #!/usr/bin/env sh
 # Run the benchmark suites and refresh the repo-root perf baselines.
 #
-#   benchmarks/run_all.sh            # hot-path + service suites (refresh BENCH_hotpaths.json, BENCH_service.json)
+#   benchmarks/run_all.sh            # hot-path + refactor + service suites
+#                                    # (refresh BENCH_hotpaths.json,
+#                                    #  BENCH_refactor.json, BENCH_service.json)
 #   benchmarks/run_all.sh --figures  # additionally re-run the per-figure paper harnesses
 #
-# The hot-path and service suites are the perf trajectories every
-# performance PR checks against; the figure harnesses regenerate
-# benchmarks/results/*.txt.
+# The hot-path, refactor/store, and service suites are the perf
+# trajectories every performance PR checks against; the figure harnesses
+# regenerate benchmarks/results/*.txt. After each suite the recorded
+# *speedups* (same-run fast-vs-reference ratios, so machine-portable —
+# currently in the hot-path and service JSONs; BENCH_refactor.json
+# records absolute wall times only and has none yet) are compared
+# against the pre-run baseline JSON (benchmarks/check_regression.py):
+# any speedup that regresses by more than 20% fails the run loudly.
 set -eu
 
 REPO_ROOT=$(CDPATH= cd -- "$(dirname -- "$0")/.." && pwd)
@@ -14,11 +21,35 @@ cd "$REPO_ROOT"
 PYTHONPATH="$REPO_ROOT/src${PYTHONPATH:+:$PYTHONPATH}"
 export PYTHONPATH
 
+SNAPSHOT_DIR=$(mktemp -d)
+trap 'rm -rf "$SNAPSHOT_DIR"' EXIT
+
+snapshot() {
+    # Keep the pre-run baseline so regressions are caught after regen.
+    if [ -f "$1" ]; then
+        cp "$1" "$SNAPSHOT_DIR/$1"
+    fi
+}
+
+check() {
+    python benchmarks/check_regression.py "$SNAPSHOT_DIR/$1" "$1"
+}
+
+snapshot BENCH_hotpaths.json
+snapshot BENCH_refactor.json
+snapshot BENCH_service.json
+
 echo "== hot-path suite (writes BENCH_hotpaths.json) =="
 python benchmarks/bench_hotpaths.py
+check BENCH_hotpaths.json
+
+echo "== refactor/store round-trip suite (writes BENCH_refactor.json) =="
+python benchmarks/bench_refactor_store.py
+check BENCH_refactor.json
 
 echo "== retrieval-service suite (writes BENCH_service.json) =="
 python benchmarks/bench_service.py
+check BENCH_service.json
 
 if [ "${1:-}" = "--figures" ]; then
     echo "== per-figure harnesses =="

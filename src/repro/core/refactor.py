@@ -91,9 +91,16 @@ class Refactorer(WorkerPoolMixin):
         return self.config.num_workers
 
     def _encode_level(
-        self, lev: int, coeff: np.ndarray, num_bitplanes: int
+        self, lev: int, coeff: np.ndarray, num_bitplanes: int,
+        pool=None,
     ) -> LevelStream:
-        """Encode one coefficient level (a worker-pool unit of work)."""
+        """Encode one coefficient level (a worker-pool unit of work).
+
+        ``pool`` fans the level's independent plane-group compressions
+        out across the worker pool; it must only be passed when the
+        level loop itself is serial (nesting pool tasks inside pool
+        tasks can deadlock a saturated thread pool).
+        """
         stream = encode_bitplanes(
             coeff,
             num_bitplanes=num_bitplanes,
@@ -101,7 +108,7 @@ class Refactorer(WorkerPoolMixin):
             warp_size=self.config.warp_size,
             signed_encoding=self.config.signed_encoding,
         )
-        groups = compress_planes(stream.planes, self.config.hybrid)
+        groups = compress_planes(stream.planes, self.config.hybrid, pool=pool)
         return LevelStream(
             level=lev,
             num_elements=stream.num_elements,
@@ -134,8 +141,20 @@ class Refactorer(WorkerPoolMixin):
         jobs = list(enumerate(level_arrays))
         if self.config.num_workers > 1 and len(jobs) > 1:
             # Levels are independent; the transpose/codec kernels release
-            # the GIL, so a thread pool overlaps them across cores.
+            # the GIL, so a thread pool overlaps them across cores. The
+            # per-level group compression stays serial here — nesting
+            # group tasks inside level tasks on the same pool could
+            # deadlock it (ThreadPoolExecutor does not steal work).
             levels = list(self._worker_pool().map(encode_one, jobs))
+        elif self.config.num_workers > 1:
+            # Single level: push the pool one layer down instead, so the
+            # level's independent plane groups compress concurrently.
+            levels = [
+                self._encode_level(
+                    job[0], job[1], num_bitplanes, pool=self._worker_pool()
+                )
+                for job in jobs
+            ]
         else:
             levels = [encode_one(job) for job in jobs]
         value_range = (

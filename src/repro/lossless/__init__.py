@@ -31,7 +31,12 @@ from repro.lossless.hybrid import (
     decompress_groups,
     estimate_group_ratios,
 )
-from repro.lossless.rle import estimate_rle_ratio, rle_decode, rle_encode
+from repro.lossless.rle import (
+    estimate_rle_ratio,
+    rle_decode,
+    rle_encode,
+    run_boundaries,
+)
 
 __all__ = [
     "HuffmanCodec",
@@ -41,6 +46,7 @@ __all__ = [
     "rle_encode",
     "rle_decode",
     "estimate_rle_ratio",
+    "run_boundaries",
     "direct_encode",
     "direct_decode",
     "CompressedGroup",

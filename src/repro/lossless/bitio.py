@@ -1,10 +1,23 @@
 """Vectorized variable-length bit packing and random-access bit peeking.
 
 These are the NumPy counterparts of the bit-fiddling inner loops of GPU
-entropy coders: :func:`pack_varlen_bits` writes all symbols' codes in one
-vectorized scatter, and :func:`peek_bits` gathers fixed-width windows at
-arbitrary (vectorized) bit cursors — the primitive that lets many chunks
-decode in lockstep.
+entropy coders: :func:`pack_varlen_bits` merges all symbols' codes into
+64-bit stream words in one vectorized pass (the chunk-parallel word-merge
+of GPU Huffman encoders), and :func:`peek_bits` gathers fixed-width
+windows at arbitrary (vectorized) bit cursors — the primitive that lets
+many chunks decode in lockstep.
+
+The packer's word-packed layout: bit position ``p`` lives in 64-bit lane
+``p >> 6``. A code ending at in-lane bit offset ``e = (p & 63) + len``
+contributes ``code << (64 - e)`` to its lane when it fits (``e <= 64``),
+else it splits into ``code >> (e - 64)`` for the lane and
+``code << (128 - e)`` for the next one. Per-lane contributions are
+OR-merged with one ``np.bitwise_or.reduceat`` over the lane-change
+boundaries; since disjoint codes can cross any given lane boundary at
+most once, the spill contributions have *unique* target lanes and
+scatter directly. The seed per-bit formulation (one output element per
+code *bit*) is retained as :func:`pack_varlen_bits_reference` for
+equivalence tests and the ``bench_hotpaths`` baseline.
 
 Stream bit order is MSB-first: bit position ``p`` lives in byte ``p >> 3``
 at in-byte position ``7 - (p & 7)``.
@@ -24,6 +37,79 @@ MAX_PEEK_WIDTH = 56
 NEEDS_BYTESWAP = sys.byteorder == "little"
 
 
+def _merge_codes_into_lanes(
+    codes: np.ndarray, lengths: np.ndarray, positions: np.ndarray,
+    lanes: np.ndarray, consume: bool = False,
+) -> None:
+    """OR all codes into the 64-bit *lanes* array (trusted inner kernel).
+
+    Preconditions (validated by :func:`pack_varlen_bits`, guaranteed by
+    construction in :meth:`HuffmanCodec.encode`): ``codes`` hold only
+    their low ``lengths`` bits, ``lengths`` are integers in [1, 64],
+    ``positions`` are nondecreasing int64 with disjoint in-range bit
+    targets. With ``consume=True`` the kernel shifts ``codes`` and
+    rebases ``positions`` in place instead of allocating copies — the
+    encoder's per-call temporaries are the dominant cost at this point,
+    every element array here is O(stream) bytes.
+    """
+    lane = positions >> 6
+    if consume:
+        off_end = np.bitwise_and(positions, 63, out=positions)
+    else:
+        off_end = positions & 63
+    off_end += lengths  # in-lane end offset, [1, 127]
+    spill = np.flatnonzero(off_end > 64)
+    if spill.size:
+        # A lane boundary is a single bit position, so at most one code
+        # crosses it: spill targets are unique and scatter directly.
+        c_s = codes[spill]
+        e_s = off_end[spill]
+        lanes[lane[spill] + 1] |= c_s << (128 - e_s).astype(np.uint64)
+    left = np.subtract(64, off_end, out=off_end if consume else None)
+    np.maximum(left, 0, out=left)
+    if consume:
+        vals = np.left_shift(codes, left.view(np.uint64), out=codes)
+    else:
+        vals = codes << left.view(np.uint64)
+    if spill.size:
+        vals[spill] = c_s >> (e_s - 64).astype(np.uint64)
+    starts = np.concatenate(
+        ([0], np.flatnonzero(lane[1:] != lane[:-1]) + 1)
+    )
+    lanes[lane[starts]] |= np.bitwise_or.reduceat(vals, starts)
+
+
+def _lanes_to_stream(lanes: np.ndarray, n_bytes_out: int) -> np.ndarray:
+    """Native 64-bit lanes -> MSB-first uint8 stream of *n_bytes_out*."""
+    if NEEDS_BYTESWAP:
+        lanes.byteswap(inplace=True)
+    return lanes.view(np.uint8)[:n_bytes_out]
+
+
+def pack_sorted_canonical_bits(
+    codes: np.ndarray, lengths: np.ndarray, positions: np.ndarray,
+    total_bits: int, consume: bool = False,
+) -> np.ndarray:
+    """Trusted fast path of :func:`pack_varlen_bits` — no validation.
+
+    Callers (the Huffman encoder) guarantee: ``codes`` are uint64 holding
+    only their low ``lengths`` bits (canonical codes are), ``lengths``
+    are integers in [1, 64], ``positions`` are nondecreasing int64 with
+    all code bits inside ``[0, total_bits)``. Out-of-range positions
+    still fault loudly (NumPy bounds-checks the lane scatter) but skip
+    the descriptive :class:`ValueError` of the public wrapper.
+    ``consume=True`` additionally lets the kernel clobber ``codes`` and
+    ``positions`` instead of allocating stream-sized copies.
+    """
+    n_bits_out = int(total_bits)
+    n_bytes_out = -(-n_bits_out // 8)
+    lanes = np.zeros(-(-n_bytes_out // 8), dtype=np.uint64)
+    if codes.size:
+        _merge_codes_into_lanes(codes, lengths, positions, lanes,
+                                consume=consume)
+    return _lanes_to_stream(lanes, n_bytes_out)
+
+
 def pack_varlen_bits(
     codes: np.ndarray, lengths: np.ndarray, positions: np.ndarray,
     total_bits: int,
@@ -32,8 +118,61 @@ def pack_varlen_bits(
 
     ``codes[i]`` (its low ``lengths[i]`` bits, MSB emitted first) is
     written starting at bit ``positions[i]``. Caller guarantees the
-    target ranges are disjoint. Returns the packed uint8 buffer of
-    ``ceil(total_bits / 8)`` bytes.
+    target ranges are disjoint (any order). Returns the packed uint8
+    buffer of ``ceil(total_bits / 8)`` bytes. Byte-identical to
+    :func:`pack_varlen_bits_reference`, but word-packed: two lane-aligned
+    64-bit contributions per symbol instead of one output element per
+    code *bit*.
+    """
+    codes = np.asarray(codes, dtype=np.uint64)
+    lengths = np.asarray(lengths, dtype=np.int64)
+    positions = np.asarray(positions, dtype=np.int64)
+    if not (codes.shape == lengths.shape == positions.shape):
+        raise ValueError("codes, lengths, positions must align")
+    if lengths.size and int(lengths.min()) < 0:
+        raise ValueError("lengths must be nonnegative")
+    if lengths.size and int(lengths.max()) > 64:
+        raise ValueError("lengths must be <= 64 (codes are uint64)")
+    n_bits_out = int(total_bits)
+    n_bytes_out = -(-n_bits_out // 8)
+    lanes = np.zeros(-(-n_bytes_out // 8), dtype=np.uint64)
+    if codes.size:
+        keep = lengths > 0
+        if not keep.all():  # zero-length symbols contribute no bits
+            codes, lengths, positions = (
+                codes[keep], lengths[keep], positions[keep]
+            )
+    if codes.size:
+        if int(positions.min()) < 0:
+            raise ValueError("bit positions must be nonnegative")
+        if int((positions + lengths).max()) > n_bits_out:
+            raise ValueError("code bits exceed total_bits")
+        if np.any(positions[1:] < positions[:-1]):
+            order = np.argsort(positions, kind="stable")
+            codes, lengths, positions = (
+                codes[order], lengths[order], positions[order]
+            )
+        # Mask to the low `length` bits; `(2^(l-1) - 1)*2 + 1 = 2^l - 1`
+        # stays inside uint64 for l = 64 (a plain `1 << l` would not).
+        one = np.uint64(1)
+        l_u = lengths.astype(np.uint64)
+        codes = codes & (
+            ((one << (l_u - one)) - one) * np.uint64(2) + one
+        )
+        _merge_codes_into_lanes(codes, lengths, positions, lanes)
+    return _lanes_to_stream(lanes, n_bytes_out)
+
+
+def pack_varlen_bits_reference(
+    codes: np.ndarray, lengths: np.ndarray, positions: np.ndarray,
+    total_bits: int,
+) -> np.ndarray:
+    """Seed per-bit packer: one scattered output element per code bit.
+
+    Retained for equivalence tests and the ``bench_hotpaths`` baseline;
+    production callers use :func:`pack_varlen_bits`. Allocates several
+    O(total_bits) int64 temporaries, which is exactly what the
+    word-packed fast path avoids.
     """
     codes = np.asarray(codes, dtype=np.uint64)
     lengths = np.asarray(lengths, dtype=np.int64)

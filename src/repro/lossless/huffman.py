@@ -27,7 +27,8 @@ import numpy as np
 
 from repro.lossless.bitio import (
     NEEDS_BYTESWAP,
-    pack_varlen_bits,
+    pack_sorted_canonical_bits,
+    pack_varlen_bits_reference,
     sliding_windows_u64,
 )
 
@@ -152,6 +153,20 @@ def canonical_codes(lengths: np.ndarray) -> np.ndarray:
     return codes
 
 
+def _check_offsets_u32(offsets: np.ndarray) -> None:
+    """Reject payload offsets the uint32 header field cannot represent.
+
+    The stream header stores per-chunk byte offsets as uint32; streams
+    whose payload exceeds ``2**32 - 1`` bytes must fail loudly instead
+    of silently wrapping into a decodable-but-wrong header.
+    """
+    if offsets.size and int(offsets[-1]) > 0xFFFFFFFF:
+        raise ValueError(
+            f"payload of {int(offsets[-1])} bytes exceeds the uint32 "
+            "chunk-offset range; split the input before encoding"
+        )
+
+
 class HuffmanCodec:
     """Byte-alphabet canonical Huffman codec with chunked streams."""
 
@@ -161,12 +176,53 @@ class HuffmanCodec:
         self.chunk_symbols = int(chunk_symbols)
 
     # -- encode ---------------------------------------------------------
-    def encode(self, data: np.ndarray | bytes) -> bytes:
+    def encode(
+        self, data: np.ndarray | bytes, freqs: np.ndarray | None = None
+    ) -> bytes:
+        """Word-packed chunked encode (byte-identical to the seed encoder).
+
+        Each symbol's canonical code is shifted into its destination
+        64-bit stream lane and the per-lane contributions are OR-merged
+        in one pass (:func:`repro.lossless.bitio.pack_sorted_canonical_bits`)
+        — the NumPy analogue of the chunk-parallel word-merge GPU Huffman
+        encoders use — instead of scattering individual bits.
+
+        ``freqs``, when given, must be ``np.bincount(data, minlength=256)``
+        (callers that already histogrammed the buffer, e.g. the hybrid
+        selector, pass it through to skip the second scan). A histogram
+        whose total disagrees with ``data.size`` is rejected; a wrong
+        distribution with the right total would silently produce a
+        corrupt stream, so only trusted callers should pass it.
+        """
+        return self._encode_impl(data, freqs, fast=True)
+
+    def encode_reference(
+        self, data: np.ndarray | bytes, freqs: np.ndarray | None = None
+    ) -> bytes:
+        """Seed encoder: per-bit scatter packing.
+
+        Retained for equivalence tests and the ``bench_hotpaths``
+        baseline; production callers use :meth:`encode`.
+        """
+        return self._encode_impl(data, freqs, fast=False)
+
+    def _encode_impl(
+        self, data: np.ndarray | bytes, freqs: np.ndarray | None, fast: bool
+    ) -> bytes:
         data = np.frombuffer(bytes(data), dtype=np.uint8) if isinstance(
             data, (bytes, bytearray)
         ) else np.ascontiguousarray(data, dtype=np.uint8)
         n = data.size
-        freqs = np.bincount(data, minlength=256)
+        if freqs is None:
+            freqs = np.bincount(data, minlength=256)
+        else:
+            freqs = np.asarray(freqs, dtype=np.int64)
+            if freqs.shape != (256,):
+                raise ValueError("freqs must be a 256-entry histogram")
+            if int(freqs.sum()) != n:
+                raise ValueError(
+                    "freqs does not histogram data: totals disagree"
+                )
         lengths_table = build_code_lengths(freqs)
         codes_table = canonical_codes(lengths_table)
         header_head = struct.pack(
@@ -176,8 +232,15 @@ class HuffmanCodec:
         if n == 0:
             return header_head + lengths_table.tobytes() + struct.pack("<I", 0)
 
-        sym_lengths = lengths_table[data].astype(np.int64)
-        sym_codes = codes_table[data]
+        # One fused gather per symbol — length in the high half, code in
+        # the low half of a single int64 LUT entry (codes fit 16 bits) —
+        # instead of separate length and code table gathers.
+        fused_table = (lengths_table.astype(np.int64) << 32) | codes_table.astype(
+            np.int64
+        )
+        sym_fused = fused_table[data]
+        sym_lengths = sym_fused >> 32
+        sym_codes = (sym_fused & 0xFFFFFFFF).view(np.uint64)
         chunk = self.chunk_symbols
         n_chunks = -(-n // chunk)
         starts = np.arange(n_chunks) * chunk
@@ -185,14 +248,33 @@ class HuffmanCodec:
         chunk_bytes = (chunk_bits + 7) >> 3
         offsets = np.zeros(n_chunks + 1, dtype=np.int64)
         np.cumsum(chunk_bytes, out=offsets[1:])
+        _check_offsets_u32(offsets)
 
-        prefix = np.cumsum(sym_lengths) - sym_lengths
+        # Exclusive prefix of code lengths = in-stream bit cursor before
+        # rebasing; computed with one cumsum into a preallocated buffer.
+        prefix = np.empty(n, dtype=np.int64)
+        prefix[0] = 0
+        np.cumsum(sym_lengths[:-1], out=prefix[1:])
         counts = np.diff(np.append(starts, n))
-        within = prefix - np.repeat(prefix[starts], counts)
-        positions = np.repeat(offsets[:-1] * 8, counts) + within
-        payload = pack_varlen_bits(
-            sym_codes, sym_lengths, positions, int(offsets[-1] * 8)
+        # Chunk payloads are byte-aligned: each symbol's stream position
+        # is its in-chunk bit prefix rebased to the chunk's byte offset.
+        positions = np.add(
+            prefix, np.repeat(offsets[:-1] * 8 - prefix[starts], counts),
+            out=prefix,
         )
+        if fast:
+            # Canonical codes are already masked to their lengths and
+            # positions are nondecreasing, so the trusted packer applies;
+            # sym_codes/positions are packing-only temporaries, so the
+            # kernel may consume them in place.
+            payload = pack_sorted_canonical_bits(
+                sym_codes, sym_lengths, positions, int(offsets[-1] * 8),
+                consume=True,
+            )
+        else:
+            payload = pack_varlen_bits_reference(
+                sym_codes, sym_lengths, positions, int(offsets[-1] * 8)
+            )
         offsets32 = offsets.astype(np.uint32)
         return (
             header_head
@@ -370,9 +452,16 @@ class HuffmanCodec:
 _DEFAULT_CODEC = HuffmanCodec()
 
 
-def huffman_encode(data: np.ndarray | bytes) -> bytes:
-    """Encode bytes with the default chunked canonical Huffman codec."""
-    return _DEFAULT_CODEC.encode(data)
+def huffman_encode(
+    data: np.ndarray | bytes, freqs: np.ndarray | None = None
+) -> bytes:
+    """Encode bytes with the default chunked canonical Huffman codec.
+
+    ``freqs``, when given, must be ``np.bincount(data, minlength=256)``;
+    it lets callers that already histogrammed the buffer (the hybrid
+    selector) skip the encoder's second scan.
+    """
+    return _DEFAULT_CODEC.encode(data, freqs=freqs)
 
 
 def huffman_decode(blob: bytes) -> np.ndarray:
@@ -380,16 +469,22 @@ def huffman_decode(blob: bytes) -> np.ndarray:
     return _DEFAULT_CODEC.decode(blob)
 
 
-def estimate_huffman_ratio(data: np.ndarray) -> float:
+def estimate_huffman_ratio(
+    data: np.ndarray, freqs: np.ndarray | None = None
+) -> float:
     """Cheap, accurate Huffman CR predictor (Section 5.2).
 
     Builds the histogram and optimal code lengths, then computes the
     exact payload bits plus header overhead — no encoding performed.
+    Pass ``freqs = np.bincount(data, minlength=256)`` to reuse a
+    histogram computed elsewhere (the hybrid selector shares one pass
+    between this estimate and the eventual encode).
     """
     data = np.ascontiguousarray(data, dtype=np.uint8)
     if data.size == 0:
         return 1.0
-    freqs = np.bincount(data, minlength=256)
+    if freqs is None:
+        freqs = np.bincount(data, minlength=256)
     lengths = build_code_lengths(freqs)
     payload_bits = int(np.sum(freqs * lengths.astype(np.int64)))
     n_chunks = -(-data.size // DEFAULT_CHUNK_SYMBOLS)

@@ -15,6 +15,7 @@ planner works in.
 from __future__ import annotations
 
 import struct
+from concurrent.futures import Executor
 from dataclasses import dataclass
 
 import numpy as np
@@ -25,7 +26,12 @@ from repro.lossless.huffman import (
     huffman_decode,
     huffman_encode,
 )
-from repro.lossless.rle import estimate_rle_ratio, rle_decode, rle_encode
+from repro.lossless.rle import (
+    estimate_rle_ratio,
+    rle_decode,
+    rle_encode,
+    run_boundaries,
+)
 
 METHODS = ("huffman", "rle", "direct")
 
@@ -119,21 +125,54 @@ class CompressedGroup:
         )
 
 
-def estimate_group_ratios(merged: np.ndarray) -> tuple[float, float]:
-    """(Huffman, RLE) compression-ratio estimates for a merged group."""
-    return estimate_huffman_ratio(merged), estimate_rle_ratio(merged)
+def estimate_group_ratios(
+    merged: np.ndarray, freqs: np.ndarray | None = None
+) -> tuple[float, float]:
+    """(Huffman, RLE) compression-ratio estimates for a merged group.
+
+    Computes *both* estimates eagerly — the diagnostic/ablation helper.
+    The production selector (:func:`_select_and_encode`) is lazier: it
+    skips the RLE run scan entirely when the Huffman estimate already
+    clears the threshold. Pass ``freqs = np.bincount(merged,
+    minlength=256)`` to reuse a histogram computed elsewhere.
+    """
+    return (
+        estimate_huffman_ratio(merged, freqs=freqs),
+        estimate_rle_ratio(merged),
+    )
 
 
 def _select_method(merged: np.ndarray, config: HybridConfig) -> str:
-    """The decision logic of Algorithm 2."""
+    """The decision logic of Algorithm 2 (selection only).
+
+    Delegates to :func:`_select_and_encode` so there is exactly one copy
+    of the decision order; callers that only need the method name pay
+    for the winning encode, so the compression loop uses
+    :func:`_select_and_encode` directly and keeps the payload.
+    """
+    return _select_and_encode(merged, config)[0]
+
+
+def _select_and_encode(
+    merged: np.ndarray, config: HybridConfig
+) -> tuple[str, bytes]:
+    """Algorithm 2 decision + encode with every scan shared.
+
+    The byte histogram feeds both the Huffman CR estimate and (when
+    Huffman wins) the encoder's code construction; the RLE run-boundary
+    scan — only performed when the Huffman estimate fails — feeds both
+    the RLE estimate and the RLE encoder. Each pass over the merged
+    buffer happens exactly once.
+    """
     if merged.size <= config.size_threshold:
-        return "direct"
-    r_h, r_r = estimate_group_ratios(merged)
-    if r_h > config.cr_threshold:
-        return "huffman"
-    if r_r > config.cr_threshold:
-        return "rle"
-    return "direct"
+        return "direct", direct_encode(merged)
+    freqs = np.bincount(merged, minlength=256)
+    if estimate_huffman_ratio(merged, freqs=freqs) > config.cr_threshold:
+        return "huffman", huffman_encode(merged, freqs=freqs)
+    boundaries = run_boundaries(merged)
+    if estimate_rle_ratio(merged, boundaries=boundaries) > config.cr_threshold:
+        return "rle", rle_encode(merged, boundaries=boundaries)
+    return "direct", direct_encode(merged)
 
 
 _ENCODERS = {
@@ -149,7 +188,9 @@ _DECODERS = {
 
 
 def compress_planes(
-    planes: list[np.ndarray], config: HybridConfig | None = None
+    planes: list[np.ndarray],
+    config: HybridConfig | None = None,
+    pool: Executor | None = None,
 ) -> list[CompressedGroup]:
     """Compress bitplanes group-by-group per Algorithm 2.
 
@@ -157,27 +198,45 @@ def compress_planes(
     produced by :mod:`repro.bitplane`). Returns one
     :class:`CompressedGroup` per ``config.group_size`` planes; the final
     group may be smaller.
+
+    ``pool``, when given, compresses independent groups concurrently
+    (the entropy-coding kernels release the GIL). The caller owns the
+    executor's lifecycle and must not call this from a task running *on*
+    the same pool — a saturated ``ThreadPoolExecutor`` does not steal
+    work, so nested submission can deadlock.
     """
     config = config or HybridConfig()
-    groups: list[CompressedGroup] = []
-    for start in range(0, len(planes), config.group_size):
+    starts = range(0, len(planes), config.group_size)
+
+    def merge(start: int) -> np.ndarray:
         members = planes[start : start + config.group_size]
-        merged = (
+        return (
             np.concatenate([np.ascontiguousarray(p, dtype=np.uint8).reshape(-1)
                             for p in members])
             if members else np.empty(0, dtype=np.uint8)
         )
-        method = _select_method(merged, config)
-        payload = _ENCODERS[method](merged)
-        groups.append(
-            CompressedGroup(
-                method=method,
-                payload=payload,
-                plane_sizes=tuple(int(p.size) for p in members),
-                first_plane=start,
-            )
+
+    def build(start: int, merged: np.ndarray) -> CompressedGroup:
+        method, payload = _select_and_encode(merged, config)
+        return CompressedGroup(
+            method=method,
+            payload=payload,
+            plane_sizes=tuple(
+                int(p.size)
+                for p in planes[start : start + config.group_size]
+            ),
+            first_plane=start,
         )
-    return groups
+
+    def task(start: int) -> CompressedGroup:
+        # Each task merges its own group, so only in-flight groups hold
+        # a merged buffer — peak memory stays O(concurrent groups), not
+        # O(all planes), in both the serial and pooled paths.
+        return build(start, merge(start))
+
+    if pool is not None and len(starts) > 1:
+        return list(pool.map(task, starts))
+    return [task(start) for start in starts]
 
 
 def decompress_groups(

@@ -21,15 +21,34 @@ _HEADER_FMT = "<4sQQ"
 _MAX_RUN = (1 << 32) - 1
 
 
-def rle_encode(data: np.ndarray | bytes) -> bytes:
-    """Encode bytes as (value, run-length) pairs."""
+def run_boundaries(data: np.ndarray) -> np.ndarray:
+    """Indices where a new byte run starts (index 0 excluded).
+
+    The single scan both the encoder and the CR estimator need; callers
+    that do both (the hybrid selector) compute it once and pass it to
+    each via their ``boundaries`` parameter.
+    """
+    data = np.ascontiguousarray(data, dtype=np.uint8)
+    return np.flatnonzero(data[1:] != data[:-1]) + 1
+
+
+def rle_encode(
+    data: np.ndarray | bytes, boundaries: np.ndarray | None = None
+) -> bytes:
+    """Encode bytes as (value, run-length) pairs.
+
+    ``boundaries``, when given, must be ``run_boundaries(data)`` —
+    trusted callers reuse the estimator's scan instead of re-detecting
+    run starts.
+    """
     data = np.frombuffer(bytes(data), dtype=np.uint8) if isinstance(
         data, (bytes, bytearray)
     ) else np.ascontiguousarray(data, dtype=np.uint8)
     n = data.size
     if n == 0:
         return struct.pack(_HEADER_FMT, _MAGIC, 0, 0)
-    boundaries = np.flatnonzero(data[1:] != data[:-1]) + 1
+    if boundaries is None:
+        boundaries = run_boundaries(data)
     starts = np.concatenate(([0], boundaries))
     run_lengths = np.diff(np.append(starts, n)).astype(np.int64)
     values = data[starts]
@@ -64,16 +83,23 @@ def rle_decode(blob: bytes) -> np.ndarray:
     return out
 
 
-def estimate_rle_ratio(data: np.ndarray) -> float:
+def estimate_rle_ratio(
+    data: np.ndarray, boundaries: np.ndarray | None = None
+) -> float:
     """Cheap RLE CR predictor: count run boundaries, cost 5 bytes/run.
 
     Matches the paper's estimator — a single scan marking run starts,
     summed to the run count, each run charged its fixed value byte plus
-    length field.
+    length field. Pass ``boundaries = run_boundaries(data)`` to reuse a
+    scan computed elsewhere (the hybrid selector shares one pass between
+    this estimate and the eventual encode).
     """
     data = np.ascontiguousarray(data, dtype=np.uint8)
     if data.size == 0:
         return 1.0
-    n_runs = 1 + int(np.count_nonzero(data[1:] != data[:-1]))
+    n_runs = 1 + (
+        int(boundaries.size) if boundaries is not None
+        else int(np.count_nonzero(data[1:] != data[:-1]))
+    )
     est_bytes = struct.calcsize(_HEADER_FMT) + 5 * n_runs
     return data.size / est_bytes

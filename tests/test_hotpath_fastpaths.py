@@ -106,6 +106,16 @@ class TestWorkerPool:
         np.testing.assert_array_equal(serial.data, parallel.data)
         assert serial.error_bound == parallel.error_bound
 
+    def test_single_level_group_parallel_equals_serial(self, data):
+        """With one level the pool drops down to plane groups; output is
+        still bitwise identical to the serial pipeline."""
+        config = RefactorConfig(num_levels=1)
+        serial = Refactorer(data.shape, config).refactor(data)
+        parallel = Refactorer(
+            data.shape, RefactorConfig(num_levels=1, num_workers=4)
+        ).refactor(data)
+        assert serial.to_bytes() == parallel.to_bytes()
+
     def test_one_shot_wrapper_accepts_workers(self, data):
         field = Refactorer(data.shape, RefactorConfig()).refactor(data)
         res = reconstruct(field, 1e-2, num_workers=2)

@@ -1,14 +1,20 @@
 """Tests for the hybrid lossless strategy (Algorithm 2)."""
 
+from concurrent.futures import ThreadPoolExecutor
+
 import numpy as np
 import pytest
 
 from repro.bitplane import encode_bitplanes
 from repro.lossless.hybrid import (
+    _ENCODERS,
     CompressedGroup,
     HybridConfig,
+    _select_and_encode,
+    _select_method,
     compress_planes,
     decompress_groups,
+    estimate_group_ratios,
 )
 
 
@@ -109,6 +115,65 @@ class TestCompressPlanes:
         assert len(groups) == len(planes)
         recovered = decompress_groups(groups)
         for a, b in zip(planes, recovered):
+            np.testing.assert_array_equal(a, b)
+
+
+class TestSharedScans:
+    """The single-pass selector must match the naive double-scan logic."""
+
+    @staticmethod
+    def naive_select(merged, config):
+        """The seed double-scan formulation of Algorithm 2's decision."""
+        from repro.lossless.huffman import estimate_huffman_ratio
+        from repro.lossless.rle import estimate_rle_ratio
+        if merged.size <= config.size_threshold:
+            return "direct"
+        if estimate_huffman_ratio(merged) > config.cr_threshold:
+            return "huffman"
+        if estimate_rle_ratio(merged) > config.cr_threshold:
+            return "rle"
+        return "direct"
+
+    @pytest.mark.parametrize("seed,dtype", [(0, np.float32),
+                                            (1, np.float64),
+                                            (2, np.float32)])
+    def test_select_and_encode_matches_naive(self, seed, dtype):
+        planes = bitplanes_of(n=1 << 13, seed=seed, dtype=dtype)
+        config = HybridConfig()
+        for start in range(0, len(planes), config.group_size):
+            merged = np.concatenate(
+                [p.reshape(-1) for p in
+                 planes[start : start + config.group_size]]
+            )
+            method, payload = _select_and_encode(merged, config)
+            assert method == self.naive_select(merged, config)
+            assert method == _select_method(merged, config)
+            assert payload == _ENCODERS[method](merged)
+
+    def test_estimate_group_ratios_with_shared_histogram(self):
+        planes = bitplanes_of(n=1 << 12)
+        merged = np.concatenate([p.reshape(-1) for p in planes[:4]])
+        freqs = np.bincount(merged, minlength=256)
+        assert estimate_group_ratios(merged, freqs=freqs) == \
+            estimate_group_ratios(merged)
+
+    def test_pool_output_identical_to_serial(self):
+        planes = bitplanes_of(n=1 << 14)
+        serial = compress_planes(planes)
+        with ThreadPoolExecutor(max_workers=4) as pool:
+            pooled = compress_planes(planes, pool=pool)
+        assert len(serial) == len(pooled)
+        for a, b in zip(serial, pooled):
+            assert a.method == b.method
+            assert a.first_plane == b.first_plane
+            assert a.plane_sizes == b.plane_sizes
+            assert bytes(a.payload) == bytes(b.payload)
+
+    def test_pool_roundtrip(self):
+        planes = bitplanes_of(n=1 << 13, seed=9)
+        with ThreadPoolExecutor(max_workers=3) as pool:
+            groups = compress_planes(planes, pool=pool)
+        for a, b in zip(planes, decompress_groups(groups)):
             np.testing.assert_array_equal(a, b)
 
 

@@ -1,0 +1,227 @@
+"""Property-style round-trip suite for the word-packed encode engine.
+
+The PR-3 invariants: the word-packed fast packer is byte-identical to
+the retained per-bit reference packer, `HuffmanCodec.encode` built on it
+is byte-identical to `encode_reference` (and hence to the seed encoder),
+and every fast-encoded stream decodes with both the fast and reference
+decoders — across random alphabets, code lengths 1..16, chunk sizes
+{1, 7, 1024}, empty and single-symbol inputs.
+"""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.lossless.bitio import (
+    pack_sorted_canonical_bits,
+    pack_varlen_bits,
+    pack_varlen_bits_reference,
+)
+from repro.lossless.huffman import (
+    HuffmanCodec,
+    _check_offsets_u32,
+    build_code_lengths,
+    canonical_codes,
+    huffman_decode,
+    huffman_encode,
+)
+
+CHUNK_SIZES = (1, 7, 1024)
+
+
+def random_alphabet_data(rng, n, alphabet_size):
+    """Skewed draw over a random subset of the byte alphabet."""
+    symbols = rng.choice(256, size=alphabet_size, replace=False)
+    weights = rng.random(alphabet_size) ** 3 + 1e-3
+    return rng.choice(
+        symbols, size=n, p=weights / weights.sum()
+    ).astype(np.uint8)
+
+
+class TestEncodeMatchesReference:
+    @pytest.mark.parametrize("chunk_symbols", CHUNK_SIZES)
+    @pytest.mark.parametrize("n", [0, 1, 2, 6, 7, 8, 100, 1024, 5000])
+    def test_sizes_and_chunks(self, chunk_symbols, n):
+        rng = np.random.default_rng(n * 31 + chunk_symbols)
+        data = random_alphabet_data(rng, n, alphabet_size=12)
+        codec = HuffmanCodec(chunk_symbols=chunk_symbols)
+        fast = codec.encode(data)
+        ref = codec.encode_reference(data)
+        assert fast == ref
+        np.testing.assert_array_equal(codec.decode(fast), data)
+        np.testing.assert_array_equal(codec.decode_reference(fast), data)
+
+    @pytest.mark.parametrize("chunk_symbols", CHUNK_SIZES)
+    def test_single_symbol_alphabet(self, chunk_symbols):
+        codec = HuffmanCodec(chunk_symbols=chunk_symbols)
+        data = np.full(777, 42, dtype=np.uint8)
+        fast = codec.encode(data)
+        assert fast == codec.encode_reference(data)
+        np.testing.assert_array_equal(codec.decode(fast), data)
+        np.testing.assert_array_equal(codec.decode_reference(fast), data)
+
+    def test_empty_input(self):
+        codec = HuffmanCodec()
+        blob = codec.encode(np.empty(0, dtype=np.uint8))
+        assert blob == codec.encode_reference(np.empty(0, dtype=np.uint8))
+        assert codec.decode(blob).size == 0
+
+    def test_max_length_codes(self):
+        """Fibonacci frequencies force the 16-bit length limit."""
+        counts = [1, 1]
+        while len(counts) < 22:
+            counts.append(counts[-1] + counts[-2])
+        data = np.repeat(
+            np.arange(len(counts), dtype=np.uint8), counts
+        )
+        np.random.default_rng(5).shuffle(data)
+        lengths = build_code_lengths(np.bincount(data, minlength=256))
+        assert int(lengths.max()) == 16  # the property this test needs
+        codec = HuffmanCodec()
+        fast = codec.encode(data)
+        assert fast == codec.encode_reference(data)
+        np.testing.assert_array_equal(codec.decode(fast), data)
+
+
+@settings(max_examples=60, deadline=None)
+@given(
+    n=st.integers(0, 4000),
+    alphabet_size=st.integers(1, 256),
+    chunk_symbols=st.sampled_from(CHUNK_SIZES),
+    seed=st.integers(0, 2**31),
+)
+def test_property_encode_roundtrip(n, alphabet_size, chunk_symbols, seed):
+    """Random alphabets: fast == reference, decodes with both decoders."""
+    rng = np.random.default_rng(seed)
+    data = random_alphabet_data(rng, n, alphabet_size)
+    codec = HuffmanCodec(chunk_symbols=chunk_symbols)
+    fast = codec.encode(data)
+    assert fast == codec.encode_reference(data)
+    np.testing.assert_array_equal(codec.decode(fast), data)
+    np.testing.assert_array_equal(codec.decode_reference(fast), data)
+
+
+@settings(max_examples=40, deadline=None)
+@given(seed=st.integers(0, 2**31), n=st.integers(1, 2000))
+def test_property_trusted_packer_matches_reference(seed, n):
+    """Canonical Huffman code streams: trusted packer == per-bit packer."""
+    rng = np.random.default_rng(seed)
+    data = random_alphabet_data(rng, n, alphabet_size=int(rng.integers(1, 40)))
+    lengths_table = build_code_lengths(np.bincount(data, minlength=256))
+    codes_table = canonical_codes(lengths_table)
+    sym_lengths = lengths_table.astype(np.int64)[data]
+    sym_codes = codes_table[data]
+    positions = np.cumsum(sym_lengths) - sym_lengths
+    total = int(sym_lengths.sum())
+    ref = pack_varlen_bits_reference(sym_codes, sym_lengths, positions, total)
+    fast = pack_sorted_canonical_bits(
+        sym_codes.copy(), sym_lengths, positions.copy(), total, consume=True
+    )
+    assert fast.tobytes() == ref.tobytes()
+
+
+class TestOffsetGuard:
+    def test_wrapping_offsets_rejected(self):
+        with pytest.raises(ValueError, match="uint32"):
+            _check_offsets_u32(np.array([0, 2**32], dtype=np.int64))
+
+    def test_boundary_offset_accepted(self):
+        _check_offsets_u32(np.array([0, 2**32 - 1], dtype=np.int64))
+        _check_offsets_u32(np.empty(0, dtype=np.int64))
+
+
+class TestFreqsParameter:
+    def test_shared_histogram_is_byte_identical(self):
+        rng = np.random.default_rng(7)
+        data = random_alphabet_data(rng, 4096, alphabet_size=20)
+        freqs = np.bincount(data, minlength=256)
+        assert huffman_encode(data, freqs=freqs) == huffman_encode(data)
+        np.testing.assert_array_equal(
+            huffman_decode(huffman_encode(data, freqs=freqs)), data
+        )
+
+    def test_wrong_total_rejected(self):
+        data = np.ones(100, dtype=np.uint8)
+        with pytest.raises(ValueError, match="histogram data"):
+            huffman_encode(data, freqs=np.zeros(256, dtype=np.int64))
+
+    def test_wrong_shape_rejected(self):
+        data = np.ones(4, dtype=np.uint8)
+        with pytest.raises(ValueError, match="256-entry"):
+            huffman_encode(data, freqs=np.array([4], dtype=np.int64))
+
+
+class TestPublicPackerFastPath:
+    """`pack_varlen_bits` fast path against the retained reference."""
+
+    def test_unsorted_positions(self):
+        rng = np.random.default_rng(11)
+        lengths = rng.integers(1, 17, 200)
+        positions = np.cumsum(lengths) - lengths
+        codes = rng.integers(0, 1 << 16, 200, dtype=np.uint64)
+        total = int(lengths.sum())
+        perm = rng.permutation(200)
+        fast = pack_varlen_bits(
+            codes[perm], lengths[perm], positions[perm], total
+        )
+        ref = pack_varlen_bits_reference(
+            codes[perm], lengths[perm], positions[perm], total
+        )
+        assert fast.tobytes() == ref.tobytes()
+
+    def test_unmasked_code_high_bits_ignored(self):
+        """Bits above each code's length must not leak into the stream."""
+        out = pack_varlen_bits(
+            np.array([0xFFFFFFFFFFFFFFFF], dtype=np.uint64),
+            np.array([3]),
+            np.array([2]),
+            8,
+        )
+        assert out[0] == 0b00111000
+
+    def test_length_64_codes(self):
+        codes = np.array([0xDEADBEEFCAFEF00D, 0x0123456789ABCDEF],
+                         dtype=np.uint64)
+        lengths = np.array([64, 64])
+        positions = np.array([3, 67])
+        fast = pack_varlen_bits(codes, lengths, positions, 131)
+        ref = pack_varlen_bits_reference(codes, lengths, positions, 131)
+        assert fast.tobytes() == ref.tobytes()
+
+    def test_length_above_64_rejected(self):
+        with pytest.raises(ValueError, match="<= 64"):
+            pack_varlen_bits(
+                np.array([1], dtype=np.uint64), np.array([65]),
+                np.array([0]), 128,
+            )
+
+    def test_zero_length_symbols_skipped(self):
+        args = (
+            np.array([5, 3, 5], dtype=np.uint64),
+            np.array([0, 2, 0]),
+            np.array([9, 1, 40]),  # zero-length targets may sit anywhere
+            8,
+        )
+        fast = pack_varlen_bits(*args)
+        ref = pack_varlen_bits_reference(*args)
+        assert fast.tobytes() == ref.tobytes()
+        assert fast[0] == 0b01100000
+
+
+@settings(max_examples=60, deadline=None)
+@given(
+    lengths=st.lists(st.integers(0, 64), min_size=1, max_size=300),
+    gap_seed=st.integers(0, 2**31),
+)
+def test_property_fast_packer_matches_reference(lengths, gap_seed):
+    """Disjoint codes at arbitrary gaps: fast == per-bit reference."""
+    rng = np.random.default_rng(gap_seed)
+    lengths = np.asarray(lengths, dtype=np.int64)
+    gaps = rng.integers(0, 9, lengths.size)
+    positions = np.cumsum(lengths + gaps) - lengths
+    total = int(positions[-1] + lengths[-1])
+    codes = rng.integers(0, 1 << 62, lengths.size, dtype=np.uint64)
+    fast = pack_varlen_bits(codes, lengths, positions, total)
+    ref = pack_varlen_bits_reference(codes, lengths, positions, total)
+    assert fast.tobytes() == ref.tobytes()
