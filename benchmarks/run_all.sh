@@ -1,9 +1,10 @@
 #!/usr/bin/env sh
 # Run the benchmark suites and refresh the repo-root perf baselines.
 #
-#   benchmarks/run_all.sh            # hot-path + refactor + service suites
-#                                    # (refresh BENCH_hotpaths.json,
-#                                    #  BENCH_refactor.json, BENCH_service.json)
+#   benchmarks/run_all.sh            # hot-path + refactor + service +
+#                                    # progressive suites (refresh
+#                                    #  BENCH_hotpaths.json, BENCH_refactor.json,
+#                                    #  BENCH_service.json, BENCH_progressive.json)
 #   benchmarks/run_all.sh --figures  # additionally re-run the per-figure paper harnesses
 #
 # The hot-path, refactor/store, and service suites are the perf
@@ -38,6 +39,7 @@ check() {
 snapshot BENCH_hotpaths.json
 snapshot BENCH_refactor.json
 snapshot BENCH_service.json
+snapshot BENCH_progressive.json
 
 echo "== hot-path suite (writes BENCH_hotpaths.json) =="
 python benchmarks/bench_hotpaths.py
@@ -50,6 +52,10 @@ check BENCH_refactor.json
 echo "== retrieval-service suite (writes BENCH_service.json) =="
 python benchmarks/bench_service.py
 check BENCH_service.json
+
+echo "== progressive-refinement suite (writes BENCH_progressive.json) =="
+python benchmarks/bench_progressive.py
+check BENCH_progressive.json
 
 if [ "${1:-}" = "--figures" ]; then
     echo "== per-figure harnesses =="

@@ -38,10 +38,15 @@ from repro.bitplane.encoding import (
     DESIGNS,
     SHUFFLE_VARIANTS,
     BitplaneStream,
+    PartialDecodeState,
+    apply_planes,
+    begin_decode_state,
     decode,
     decode_bitplanes,
+    decode_bitplanes_incremental,
     encode,
     encode_bitplanes,
+    finalize_decode,
 )
 
 __all__ = [
@@ -51,10 +56,15 @@ __all__ = [
     "from_fixed_point",
     "plane_error_bound",
     "BitplaneStream",
+    "PartialDecodeState",
     "DESIGNS",
     "SHUFFLE_VARIANTS",
     "encode",
     "decode",
     "encode_bitplanes",
     "decode_bitplanes",
+    "decode_bitplanes_incremental",
+    "begin_decode_state",
+    "apply_planes",
+    "finalize_decode",
 ]

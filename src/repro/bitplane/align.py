@@ -117,10 +117,15 @@ def from_fixed_point(
         drop = B - k
         mask = np.uint64(~np.uint64((1 << drop) - 1))
         truncated = mags & mask
-        center = np.where(
-            truncated > 0, np.uint64(1 << (drop - 1)), np.uint64(0)
-        )
-        mags = truncated + center
+        # Centering adds 2^(drop-1) to every nonzero value. A nonzero
+        # truncation is >= 2^drop, so min(truncated, half) selects
+        # exactly {0, half}, and the center bit lies below the kept
+        # bits, making OR equal to ADD — two passes instead of the
+        # compare/select/add of the previous np.where formulation,
+        # bit-identical output.
+        center = np.minimum(truncated, np.uint64(1 << (drop - 1)))
+        truncated |= center
+        mags = truncated
     values = scale_pow2(mags.astype(np.float64), aligned.exponent - B)
     # Values are nonnegative here, so ORing the IEEE sign bit in place
     # negates exactly — far cheaper than a boolean-masked multiply. For

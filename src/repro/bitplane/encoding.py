@@ -380,6 +380,251 @@ def _decode_negabinary(stream: BitplaneStream, k: int) -> np.ndarray:
     return values.astype(stream.dtype, copy=False)
 
 
+# ---------------------------------------------------------------------
+# Incremental (resumable) decoding
+# ---------------------------------------------------------------------
+@dataclass
+class PartialDecodeState:
+    """Integer-domain decode state retained between refinement steps.
+
+    ``words`` accumulates the injected plane bits — fixed-point
+    magnitudes under ``sign_magnitude``, base-(−2) digits under
+    ``negabinary``. Each stored plane contributes a disjoint bit
+    position, so injecting planes ``[p, q)`` into a state holding
+    ``[0, p)`` is exact: the algebraic fact that makes progressive
+    refinement pay only for the increment. Treat instances as
+    immutable; :func:`apply_planes` returns a new state, so a failed
+    refinement step can simply keep the old one.
+    """
+
+    words: np.ndarray  # uint64 accumulated magnitudes / negabinary codes
+    signs: np.ndarray | None  # uint8 sign bits (sign_magnitude only)
+    planes_applied: int
+    num_elements: int
+    num_bitplanes: int
+    exponent: int
+    max_abs: float
+    dtype: np.dtype
+    layout: str
+    warp_size: int
+    signed_encoding: str
+
+    @property
+    def total_planes(self) -> int:
+        """Stored planes of the full stream this state resumes."""
+        if self.signed_encoding == "negabinary":
+            from repro.bitplane.negabinary import negabinary_width
+
+            return negabinary_width(self.num_bitplanes)
+        return self.num_bitplanes + 1
+
+    @property
+    def nbytes(self) -> int:
+        """Resident bytes of the retained arrays."""
+        total = int(self.words.nbytes)
+        if self.signs is not None:
+            total += int(self.signs.nbytes)
+        return total
+
+
+def begin_decode_state(
+    *,
+    num_elements: int,
+    num_bitplanes: int,
+    exponent: int,
+    max_abs: float,
+    dtype: np.dtype,
+    layout: str = _NATURAL,
+    warp_size: int = 32,
+    signed_encoding: str = "sign_magnitude",
+) -> PartialDecodeState:
+    """Zero-plane :class:`PartialDecodeState` for a stream's metadata."""
+    if signed_encoding not in SIGNED_ENCODINGS:
+        raise ValueError(
+            f"signed_encoding must be one of {SIGNED_ENCODINGS}, "
+            f"got {signed_encoding!r}"
+        )
+    return PartialDecodeState(
+        words=np.zeros(int(num_elements), dtype=np.uint64),
+        signs=None,
+        planes_applied=0,
+        num_elements=int(num_elements),
+        num_bitplanes=int(num_bitplanes),
+        exponent=int(exponent),
+        max_abs=float(max_abs),
+        dtype=np.dtype(dtype),
+        layout=layout,
+        warp_size=int(warp_size),
+        signed_encoding=signed_encoding,
+    )
+
+
+def apply_planes(
+    state: PartialDecodeState,
+    planes: list[np.ndarray],
+    start_plane: int,
+) -> PartialDecodeState:
+    """New state with *planes* ``[start_plane, start_plane + len)`` injected.
+
+    ``start_plane`` must equal ``state.planes_applied`` (refinement is
+    contiguous); the input state is never mutated, so callers can commit
+    the returned state only once a whole multi-level step succeeded.
+    """
+    planes = list(planes)
+    if start_plane != state.planes_applied:
+        raise ValueError(
+            f"planes must resume at plane {state.planes_applied}, "
+            f"got start_plane={start_plane}"
+        )
+    end = start_plane + len(planes)
+    if end > state.total_planes:
+        raise ValueError(
+            f"planes [{start_plane}, {end}) exceed the stream's "
+            f"{state.total_planes} stored planes"
+        )
+    if not planes:
+        return state
+    words = state.words.copy()
+    signs = state.signs
+    n = state.num_elements
+    if state.signed_encoding == "negabinary":
+        from repro.bitplane.negabinary import negabinary_width
+
+        # Absolute plane j targets bit (width - 1 - j); a slice starting
+        # at plane p therefore injects exactly like the leading planes
+        # of a (width - p)-bit code.
+        width = negabinary_width(state.num_bitplanes)
+        words |= inject_code_planes(planes, n, width - start_plane)
+    else:
+        mag_planes = planes
+        mag_start = start_plane - 1
+        if start_plane == 0:
+            signs = np.unpackbits(
+                np.ascontiguousarray(planes[0], dtype=np.uint8),
+                count=n, bitorder="little",
+            ).astype(np.uint8)
+            mag_planes = planes[1:]
+            mag_start = 0
+        if mag_planes:
+            # Magnitude plane m targets bit (B - 1 - m): same shifted-
+            # width trick as above.
+            words |= inject_code_planes(
+                mag_planes, n, state.num_bitplanes - mag_start
+            )
+    return PartialDecodeState(
+        words=words,
+        signs=signs,
+        planes_applied=end,
+        num_elements=state.num_elements,
+        num_bitplanes=state.num_bitplanes,
+        exponent=state.exponent,
+        max_abs=state.max_abs,
+        dtype=state.dtype,
+        layout=state.layout,
+        warp_size=state.warp_size,
+        signed_encoding=state.signed_encoding,
+    )
+
+
+def finalize_decode(state: PartialDecodeState) -> np.ndarray:
+    """Float values of a partial state — bit-identical to a full decode.
+
+    Equals ``decode_bitplanes(stream, state.planes_applied)`` for the
+    stream the state was built from (tested property); the state itself
+    is left untouched so further planes can still be applied.
+    """
+    if state.signed_encoding == "negabinary":
+        codes = state.words
+        if state.layout == _WARP:
+            inv = register_block.inverse_tile_permutation(
+                state.num_elements, state.num_bitplanes, state.warp_size
+            )
+            codes = codes[inv]
+        from repro.bitplane.negabinary import from_negabinary
+
+        signed = from_negabinary(codes)
+        values = scale_pow2(
+            signed.astype(np.float64),
+            state.exponent - state.num_bitplanes,
+        )
+        return values.astype(state.dtype, copy=False)
+    signs = state.signs
+    if signs is None:
+        signs = np.zeros(state.num_elements, dtype=np.uint8)
+    aligned = AlignedFixedPoint(
+        signs=signs,
+        magnitudes=state.words,
+        exponent=state.exponent,
+        num_bitplanes=state.num_bitplanes,
+        max_abs=state.max_abs,
+        dtype=state.dtype,
+    )
+    kept = max(0, state.planes_applied - 1)
+    values = from_fixed_point(aligned, kept_planes=kept)
+    if state.layout == _WARP:
+        inv = register_block.inverse_tile_permutation(
+            state.num_elements, state.num_bitplanes, state.warp_size
+        )
+        values = values[inv]
+    return values
+
+
+def _check_state_matches(
+    state: PartialDecodeState, stream: BitplaneStream
+) -> None:
+    for attr in (
+        "num_elements", "num_bitplanes", "exponent", "max_abs",
+        "dtype", "layout", "warp_size", "signed_encoding",
+    ):
+        if getattr(state, attr) != getattr(stream, attr):
+            raise ValueError(
+                f"decode state does not match stream: {attr} "
+                f"{getattr(state, attr)!r} != {getattr(stream, attr)!r}"
+            )
+
+
+def decode_bitplanes_incremental(
+    stream: BitplaneStream,
+    num_planes: int | None = None,
+    state: PartialDecodeState | None = None,
+) -> tuple[np.ndarray, PartialDecodeState]:
+    """Resumable :func:`decode_bitplanes`: decode only the new planes.
+
+    With ``state=None`` this decodes planes ``[0, num_planes)`` and
+    returns the values plus the retained state; passing that state back
+    with a larger ``num_planes`` decodes only planes
+    ``[state.planes_applied, num_planes)`` and injects them into the
+    retained integer partials. The returned values are bit-identical to
+    ``decode_bitplanes(stream, num_planes)`` at every step.
+    """
+    total = stream.num_planes
+    k = total if num_planes is None else int(num_planes)
+    if not 0 <= k <= total:
+        raise ValueError(f"num_planes must be in [0, {total}], got {k}")
+    if state is None:
+        state = begin_decode_state(
+            num_elements=stream.num_elements,
+            num_bitplanes=stream.num_bitplanes,
+            exponent=stream.exponent,
+            max_abs=stream.max_abs,
+            dtype=stream.dtype,
+            layout=stream.layout,
+            warp_size=stream.warp_size,
+            signed_encoding=stream.signed_encoding,
+        )
+    else:
+        _check_state_matches(state, stream)
+    if k < state.planes_applied:
+        raise ValueError(
+            f"state already holds {state.planes_applied} planes; "
+            f"cannot decode back down to {k} (build a fresh state)"
+        )
+    state = apply_planes(
+        state, stream.planes[state.planes_applied:k], state.planes_applied
+    )
+    return finalize_decode(state), state
+
+
 # Short aliases used across the library.
 encode = encode_bitplanes
 decode = decode_bitplanes

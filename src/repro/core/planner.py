@@ -10,9 +10,24 @@ round, coarse to fine) is provided as the ablation baseline.
 
 from __future__ import annotations
 
+import math
 from dataclasses import dataclass
 
 from repro.core.stream import RefactoredField
+
+
+def _check_tolerance(tolerance: float) -> None:
+    """Reject tolerances no plan can meaningfully satisfy.
+
+    A NaN tolerance previously fell through every ``>`` comparison and
+    silently produced an empty plan (bound ≫ anything the caller
+    wanted); infinities are rejected too so "retrieve nothing" must be
+    asked for explicitly with a finite loose tolerance.
+    """
+    if not math.isfinite(tolerance):
+        raise ValueError(f"tolerance must be finite, got {tolerance}")
+    if tolerance < 0:
+        raise ValueError("tolerance must be >= 0")
 
 
 @dataclass
@@ -65,8 +80,7 @@ def plan_greedy(
     best achievable) — callers can compare ``error_bound`` to what they
     asked for.
     """
-    if tolerance < 0:
-        raise ValueError("tolerance must be >= 0")
+    _check_tolerance(tolerance)
     groups = list(start) if start is not None else [0] * len(field.levels)
     if len(groups) != len(field.levels):
         raise ValueError("start must have one entry per level")
@@ -111,8 +125,7 @@ def plan_round_robin(
     The simple baseline the greedy planner is measured against in the
     ablation benchmarks.
     """
-    if tolerance < 0:
-        raise ValueError("tolerance must be >= 0")
+    _check_tolerance(tolerance)
     groups = list(start) if start is not None else [0] * len(field.levels)
     if len(groups) != len(field.levels):
         raise ValueError("start must have one entry per level")

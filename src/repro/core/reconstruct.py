@@ -3,17 +3,29 @@
 The :class:`Reconstructor` is stateful: it remembers which plane groups
 it already "fetched", so successive calls at tighter tolerances only pay
 for the increment — the defining behaviour of progressive retrieval.
-Every result carries a rigorous L∞ ``error_bound`` that the actual error
-provably does not exceed (tested property).
+Since PR 4 that statefulness extends to *compute*: each level's decoded
+integer partials are retained between steps
+(:class:`~repro.bitplane.encoding.PartialDecodeState`), so a refinement
+step decompresses and injects only the plane groups added since the
+previous step instead of re-decoding everything from plane 0 (the
+incremental-decode behaviour of HPDR, arXiv:2503.06322). Every result
+carries a rigorous L∞ ``error_bound`` that the actual error provably
+does not exceed (tested property).
 """
 
 from __future__ import annotations
 
+import math
 from dataclasses import dataclass
 
 import numpy as np
 
-from repro.bitplane.encoding import decode_bitplanes
+from repro.bitplane.encoding import (
+    PartialDecodeState,
+    apply_planes,
+    decode_bitplanes,
+    finalize_decode,
+)
 from repro.core._pool import WorkerPoolMixin
 from repro.core.planner import RetrievalPlan, plan_full, plan_greedy
 from repro.core.stream import RefactoredField
@@ -24,11 +36,21 @@ from repro.decompose import MultilevelTransform
 class ReconstructionResult:
     """One progressive retrieval step's output.
 
+    ``tolerance`` is always the *absolute* L∞ tolerance the step
+    resolved to (NaN for near-lossless ``tolerance=None`` retrieval);
+    when the step was requested with ``relative=True`` the original
+    fraction is kept in ``relative_tolerance``, so
+    ``error_bound <= tolerance`` is a meaningful check either way.
+
     ``cold_bytes`` / ``cache_hit_bytes`` split this step's actual segment
     traffic into backing-store reads versus shared-cache hits. They are
     populated only for store-backed lazy fields (see
     :func:`repro.core.store.open_field`); for in-memory eager fields the
     data never crosses an I/O boundary and both stay 0.
+
+    ``decoded_groups`` / ``decoded_planes`` count the plane groups and
+    bitplanes this step actually decompressed and injected — on the
+    incremental engine a refinement step reports only the increment.
     """
 
     data: np.ndarray
@@ -39,6 +61,9 @@ class ReconstructionResult:
     plan: RetrievalPlan
     cold_bytes: int = 0  # this step's bytes read from the backing store
     cache_hit_bytes: int = 0  # this step's bytes served by a shared cache
+    relative_tolerance: float | None = None  # requested fraction, if any
+    decoded_groups: int = 0  # plane groups decompressed by this step
+    decoded_planes: int = 0  # bitplanes injected by this step
 
     @property
     def bitrate(self) -> float:
@@ -46,8 +71,45 @@ class ReconstructionResult:
         return 8.0 * self.fetched_bytes / self.data.size
 
 
+@dataclass
+class DecodeCounters:
+    """Cumulative decode-work accounting of one :class:`Reconstructor`.
+
+    The instrumentation behind the incremental-decode guarantee: tests
+    and benchmarks assert that a refinement step's deltas cover only the
+    newly planned plane groups.
+    """
+
+    groups_decoded: int = 0
+    planes_decoded: int = 0
+    level_decodes: int = 0  # level decode jobs that did any work
+    level_reuses: int = 0  # levels served verbatim from cached values
+
+    def snapshot(self) -> "DecodeCounters":
+        return DecodeCounters(
+            self.groups_decoded, self.planes_decoded,
+            self.level_decodes, self.level_reuses,
+        )
+
+    def since(self, earlier: "DecodeCounters") -> "DecodeCounters":
+        """Counter deltas accumulated after *earlier* was snapshotted."""
+        return DecodeCounters(
+            self.groups_decoded - earlier.groups_decoded,
+            self.planes_decoded - earlier.planes_decoded,
+            self.level_decodes - earlier.level_decodes,
+            self.level_reuses - earlier.level_reuses,
+        )
+
+
 class Reconstructor(WorkerPoolMixin):
     """Tolerance-driven, incremental reconstruction of one variable.
+
+    ``incremental=True`` (the default) retains each level's partial
+    integer coefficients between steps and decodes only newly planned
+    plane groups; ``incremental=False`` keeps the full re-decode of
+    every fetched group on every step — the pre-incremental reference
+    path, retained for equivalence tests and as the benchmark baseline
+    (both paths are bit-identical at every step of a staircase).
 
     ``num_workers > 1`` decodes the independent per-level streams
     through a thread pool shared across this instance's calls —
@@ -58,12 +120,16 @@ class Reconstructor(WorkerPoolMixin):
     """
 
     def __init__(
-        self, field: RefactoredField, num_workers: int = 0
+        self,
+        field: RefactoredField,
+        num_workers: int = 0,
+        incremental: bool = True,
     ) -> None:
         if num_workers < 0:
             raise ValueError("num_workers must be >= 0")
         self.field = field
         self.num_workers = int(num_workers)
+        self.incremental = bool(incremental)
         self.transform = MultilevelTransform(
             field.shape,
             num_levels=field.num_levels,
@@ -72,6 +138,15 @@ class Reconstructor(WorkerPoolMixin):
         )
         self._fetched = [0] * len(field.levels)
         self._fetched_bytes = 0
+        # Per-level retained decode state: integer partials + the last
+        # finalized float values. Committed only after a whole step
+        # succeeds, so a failed fetch/decode leaves the session able to
+        # retry the same increment.
+        self._states: list[PartialDecodeState | None] = (
+            [None] * len(field.levels)
+        )
+        self._values: list[np.ndarray | None] = [None] * len(field.levels)
+        self.decode_counters = DecodeCounters()
 
     def _pool_size(self) -> int:
         return self.num_workers
@@ -85,6 +160,44 @@ class Reconstructor(WorkerPoolMixin):
     def fetched_bytes(self) -> int:
         return self._fetched_bytes
 
+    def decode_state_bytes(self) -> int:
+        """Resident bytes of retained per-level decode state.
+
+        Counts the integer partials (magnitude/negabinary words + sign
+        bits) and the cached finalized level values the incremental
+        engine keeps between steps; 0 until the first step (and always
+        for ``incremental=False`` sessions).
+        """
+        total = 0
+        for state in self._states:
+            if state is not None:
+                total += state.nbytes
+        for values in self._values:
+            if values is not None:
+                total += int(values.nbytes)
+        return total
+
+    def _validate_plan(self, plan: RetrievalPlan) -> None:
+        """Reject malformed explicit plans at the API boundary.
+
+        A wrong-length ``groups_per_level`` previously zip-truncated
+        silently (too long) or died deep in ``assemble_levels`` (too
+        short); out-of-range group counts failed inside the codec.
+        """
+        groups = plan.groups_per_level
+        levels = self.field.levels
+        if len(groups) != len(levels):
+            raise ValueError(
+                f"plan has {len(groups)} per-level group counts but the "
+                f"field has {len(levels)} levels"
+            )
+        for idx, (g, lv) in enumerate(zip(groups, levels)):
+            if not 0 <= int(g) <= lv.num_groups:
+                raise ValueError(
+                    f"plan group count {g} for level {idx} is outside "
+                    f"[0, {lv.num_groups}]"
+                )
+
     def reconstruct(
         self,
         tolerance: float | None = None,
@@ -95,60 +208,102 @@ class Reconstructor(WorkerPoolMixin):
 
         ``relative=True`` interprets the tolerance as a fraction of the
         original value range (the SZ/MGARD convention used in the
-        paper's evaluation). ``tolerance=None`` retrieves everything
-        (near-lossless). An explicit ``plan`` overrides planning.
+        paper's evaluation); on a constant field (``value_range == 0``)
+        any fraction resolves to 0, so the call short-circuits to the
+        documented near-lossless path instead of silently demanding an
+        unreachable bound. ``tolerance=None`` retrieves everything
+        (near-lossless). An explicit ``plan`` overrides planning. Session
+        state (fetch progress and retained decode partials) commits only
+        after the whole step decodes successfully, so a failed lazy-store
+        fetch can simply be retried.
         """
         # Store-backed lazy fields track actual segment traffic; snapshot
         # before planning (a pre-metadata index can force fetches there)
         # to report this step's cold vs. cached split.
         io = getattr(self.field, "io_counters", None)
         io_before = io.snapshot() if io is not None else None
-        if plan is None:
-            if tolerance is None:
-                plan = plan_full(self.field)
-            else:
-                tol = float(tolerance)
-                if relative:
-                    tol *= self.field.value_range
-                plan = plan_greedy(self.field, tol, start=self._fetched)
+        requested = None if tolerance is None else float(tolerance)
+        if requested is not None:
+            if not math.isfinite(requested):
+                raise ValueError(
+                    f"tolerance must be finite, got {requested}"
+                )
+            if requested < 0:
+                raise ValueError("tolerance must be >= 0")
+        relative_requested = requested if relative else None
+        resolved = requested
+        if relative and requested is not None:
+            resolved = requested * self.field.value_range
+        if plan is not None:
+            self._validate_plan(plan)
+        elif requested is None:
+            plan = plan_full(self.field)
+        elif relative and self.field.value_range == 0.0:
+            # Constant field: value_range is 0, so every relative
+            # fraction resolves to absolute 0 — fetch everything
+            # deliberately (the documented near-lossless path) rather
+            # than silently asking the planner for an unreachable bound.
+            plan = plan_full(self.field)
+        else:
+            plan = plan_greedy(self.field, resolved, start=self._fetched)
         # Progressive: never un-fetch; merge with what we already have.
         groups = [
-            max(have, want)
+            max(have, int(want))
             for have, want in zip(self._fetched, plan.groups_per_level)
         ]
         incremental = sum(
             lv.bytes_for_groups(g) - lv.bytes_for_groups(have)
             for lv, g, have in zip(self.field.levels, groups, self._fetched)
         )
-        self._fetched = groups
-        self._fetched_bytes += incremental
 
-        def decode_level(job: tuple) -> np.ndarray:
-            lv, g = job
-            return decode_bitplanes(
-                lv.to_bitplane_stream(g, np.dtype(np.float64),
-                                      self.field.design),
-                lv.planes_in_groups(g),
-            )
-
-        jobs = list(zip(self.field.levels, groups))
-        if self.num_workers > 1 and len(jobs) > 1:
-            level_values = list(self._worker_pool().map(decode_level, jobs))
-        else:
-            level_values = [decode_level(job) for job in jobs]
-        coeffs = self.transform.assemble_levels(
-            [v.astype(np.float64) for v in level_values]
+        decode_level = (
+            self._decode_level_incremental if self.incremental
+            else self._decode_level_full
         )
-        data = self.transform.recompose(coeffs).astype(self.field.dtype)
+        jobs = [
+            (idx, lv, want)
+            for idx, (lv, want) in enumerate(zip(self.field.levels, groups))
+        ]
+        if self.num_workers > 1 and len(jobs) > 1:
+            outcomes = list(self._worker_pool().map(decode_level, jobs))
+        else:
+            outcomes = [decode_level(job) for job in jobs]
+
+        level_values = [values for _, values, _, _ in outcomes]
+        coeffs = self.transform.assemble_levels(level_values)
+        # assemble_levels only reads the level arrays and returns a fresh
+        # owned float64 buffer, so the cached values survive the step and
+        # the recompose can run in place on the assembly (and the result
+        # is ours to hand out without a defensive copy).
+        data = self.transform.recompose(coeffs, overwrite=True).astype(
+            self.field.dtype, copy=False
+        )
         bound = sum(
             w * lv.error_bound_for_groups(g)
             for w, lv, g in zip(
                 self.field.level_weights, self.field.levels, groups
             )
         )
-        requested = (
-            float("nan") if tolerance is None else float(tolerance)
-        )
+        # Commit session state only now that every level decoded: a
+        # failed fetch/decode above leaves fetch progress and retained
+        # partials exactly as before the call (tested property).
+        step_groups = step_planes = 0
+        for idx, values, state, decoded in outcomes:
+            if state is not None:
+                self._states[idx] = state
+                self._values[idx] = values
+            d_groups, d_planes = decoded
+            step_groups += d_groups
+            step_planes += d_planes
+            if d_groups or d_planes:
+                self.decode_counters.level_decodes += 1
+            else:
+                self.decode_counters.level_reuses += 1
+        self.decode_counters.groups_decoded += step_groups
+        self.decode_counters.planes_decoded += step_planes
+        self._fetched = groups
+        self._fetched_bytes += incremental
+
         if io_before is not None:
             io_step = self.field.io_counters.since(io_before)
             cold_bytes = io_step.cold_bytes
@@ -158,11 +313,14 @@ class Reconstructor(WorkerPoolMixin):
         return ReconstructionResult(
             data=data,
             error_bound=bound,
-            tolerance=requested,
+            tolerance=float("nan") if resolved is None else float(resolved),
             fetched_bytes=self._fetched_bytes,
             incremental_bytes=incremental,
             cold_bytes=cold_bytes,
             cache_hit_bytes=cache_hit_bytes,
+            relative_tolerance=relative_requested,
+            decoded_groups=step_groups,
+            decoded_planes=step_planes,
             plan=RetrievalPlan(
                 groups_per_level=groups,
                 error_bound=bound,
@@ -172,6 +330,45 @@ class Reconstructor(WorkerPoolMixin):
                 ),
             ),
         )
+
+    # -- per-level decode engines -----------------------------------------
+    def _decode_level_incremental(
+        self, job: tuple
+    ) -> tuple[int, np.ndarray, PartialDecodeState | None, tuple[int, int]]:
+        """Decode only groups ``[have, want)`` into the retained state.
+
+        Reads (but never mutates) the session's committed state, so a
+        failure anywhere in the step leaves it retryable; returns the
+        advanced state for the caller to commit.
+        """
+        idx, lv, want = job
+        state = self._states[idx]
+        if state is None:
+            state = lv.empty_decode_state(np.dtype(np.float64))
+        have = self._fetched[idx]
+        if want > have:
+            planes = lv.decompress_group_range(have, want)
+            state = apply_planes(state, planes, state.planes_applied)
+            return idx, finalize_decode(state), state, (
+                want - have, len(planes)
+            )
+        values = self._values[idx]
+        if values is None:  # first step and this level planned 0 groups
+            values = finalize_decode(state)
+        return idx, values, state, (0, 0)
+
+    def _decode_level_full(
+        self, job: tuple
+    ) -> tuple[int, np.ndarray, None, tuple[int, int]]:
+        """Pre-incremental reference: re-decode every fetched group."""
+        idx, lv, want = job
+        values = decode_bitplanes(
+            lv.to_bitplane_stream(
+                want, np.dtype(np.float64), self.field.design
+            ),
+            lv.planes_in_groups(want),
+        )
+        return idx, values, None, (want, lv.planes_in_groups(want))
 
     def progressive(
         self, tolerances: list[float], relative: bool = False

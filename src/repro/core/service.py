@@ -26,6 +26,7 @@ field is dropped.
 from __future__ import annotations
 
 import threading
+import weakref
 from collections import OrderedDict
 from concurrent.futures import Future
 
@@ -225,8 +226,24 @@ class ServiceSession:
         """Cumulative per-level group counts fetched so far."""
         return self.reconstructor.fetched_groups
 
+    @property
+    def decode_state_bytes(self) -> int:
+        """Resident bytes of this session's retained incremental
+        decode state (integer partials + cached level values)."""
+        return self.reconstructor.decode_state_bytes()
+
+    def stats(self) -> dict:
+        """This session's progressive-state accounting, JSON-ready."""
+        return {
+            "fetched_bytes": self.fetched_bytes,
+            "fetched_groups": self.fetched_groups,
+            "decode_state_bytes": self.decode_state_bytes,
+        }
+
     def close(self) -> None:
         """Tear down the session's decode worker pool (idempotent)."""
+        with self.service._sessions_lock:
+            self.service._sessions.discard(self)
         self.reconstructor.close()
 
     def __enter__(self) -> "ServiceSession":
@@ -276,6 +293,13 @@ class RetrievalService(WorkerPoolMixin):
         self.prefetch_failures = 0
         self._prefetch_futures: list = []
         self._futures_lock = threading.Lock()
+        # Live sessions, tracked weakly so abandoned sessions (never
+        # close()d) don't leak; stats() reports their retained
+        # decode-state residency. The lock covers add/discard/iteration
+        # (WeakSet defers GC removals during iteration, but not
+        # concurrent adds from other threads).
+        self._sessions: "weakref.WeakSet[ServiceSession]" = weakref.WeakSet()
+        self._sessions_lock = threading.Lock()
 
     def _pool_size(self) -> int:
         return max(1, self.num_workers)
@@ -296,7 +320,12 @@ class RetrievalService(WorkerPoolMixin):
         decode parallelism; it is independent of the service's prefetch
         pool.
         """
-        return ServiceSession(self, self.open(name), num_workers=num_workers)
+        session = ServiceSession(
+            self, self.open(name), num_workers=num_workers
+        )
+        with self._sessions_lock:
+            self._sessions.add(session)
+        return session
 
     def retrieve_qoi(self, qoi, tolerance: float, **kwargs):
         """QoI-controlled retrieval over lazily-opened variables.
@@ -363,13 +392,27 @@ class RetrievalService(WorkerPoolMixin):
             f.result()
 
     def stats(self) -> dict:
-        """Cache counters plus backing-store read accounting, JSON-ready."""
+        """Cache counters plus backing-store read accounting, JSON-ready.
+
+        ``sessions`` reports the live progressive sessions and the bytes
+        their incremental decode engines keep resident (integer partials
+        plus cached level values) — the memory the service trades for
+        refinement steps that decode only the increment.
+        """
+        with self._sessions_lock:
+            sessions = list(self._sessions)
         return {
             "cache": self.cache.stats(),
             "prefetch_requests": self.prefetch_requests,
             "prefetch_failures": self.prefetch_failures,
             "store_reads": getattr(self.store, "reads", None),
             "store_bytes_read": getattr(self.store, "bytes_read", None),
+            "sessions": {
+                "open": len(sessions),
+                "decode_state_bytes": sum(
+                    s.decode_state_bytes for s in sessions
+                ),
+            },
         }
 
     def close(self) -> None:

@@ -83,6 +83,48 @@ class LevelStream:
             self.exponent, self.num_bitplanes, kept_mag, self.max_abs
         )
 
+    def decompress_group_range(
+        self, start_group: int, end_group: int
+    ) -> list[np.ndarray]:
+        """Packed planes of groups ``[start_group, end_group)`` only.
+
+        The incremental unit of progressive refinement: a session that
+        already decoded groups ``[0, start_group)`` decompresses (and,
+        for store-backed lazy streams, fetches) exactly the new
+        segments — nothing before ``start_group`` is touched. The
+        returned planes begin at stored plane index
+        ``planes_in_groups(start_group)``.
+        """
+        if not 0 <= start_group <= end_group <= self.num_groups:
+            raise ValueError(
+                f"group range [{start_group}, {end_group}) out of bounds "
+                f"for {self.num_groups} groups"
+            )
+        from repro.lossless.hybrid import decompress_groups
+
+        return decompress_groups(list(self.groups[start_group:end_group]))
+
+    def empty_decode_state(self, dtype: np.dtype) -> "PartialDecodeState":
+        """Zero-plane incremental decode state for this level's stream.
+
+        Seed for :func:`repro.bitplane.encoding.apply_planes` /
+        :func:`~repro.bitplane.encoding.finalize_decode`; carries all
+        stream metadata, so only the planes from
+        :meth:`decompress_group_range` are needed to refine it.
+        """
+        from repro.bitplane.encoding import begin_decode_state
+
+        return begin_decode_state(
+            num_elements=self.num_elements,
+            num_bitplanes=self.num_bitplanes,
+            exponent=self.exponent,
+            max_abs=self.max_abs,
+            dtype=np.dtype(dtype),
+            layout=self.layout,
+            warp_size=self.warp_size,
+            signed_encoding=self.signed_encoding,
+        )
+
     def to_bitplane_stream(
         self, num_groups: int, dtype: np.dtype, design: str
     ) -> BitplaneStream:

@@ -98,9 +98,28 @@ class MultilevelTransform:
             self._decompose_level(block, step)
         return coeffs
 
-    def recompose(self, coeffs: np.ndarray) -> np.ndarray:
-        """Inverse transform: corner-packed coefficients → field."""
-        data = self._prepare(coeffs)
+    def recompose(
+        self, coeffs: np.ndarray, *, overwrite: bool = False
+    ) -> np.ndarray:
+        """Inverse transform: corner-packed coefficients → field.
+
+        ``overwrite=True`` lets the transform work directly in *coeffs*
+        (which must then be an owned, writeable float64 C-array — e.g.
+        fresh from :meth:`assemble_levels`), skipping the defensive
+        copy; the per-step hot path of progressive reconstruction uses
+        this.
+        """
+        if (
+            overwrite
+            and isinstance(coeffs, np.ndarray)
+            and coeffs.dtype == np.float64
+            and coeffs.shape == self.shape
+            and coeffs.flags.c_contiguous
+            and coeffs.flags.writeable
+        ):
+            data = coeffs
+        else:
+            data = self._prepare(coeffs)
         shapes = self.geometry.corner_shapes()
         for step in range(self.num_levels - 1, -1, -1):
             block = data[tuple(slice(0, s) for s in shapes[step])]
@@ -198,14 +217,20 @@ class MultilevelTransform:
         v = np.moveaxis(block, axis, 0)
         n = v.shape[0]
         m = (n + 1) // 2
-        coarse = v[:m].copy()
-        detail = v[m:].copy()
+        # Only the even half needs a defensive copy: the detail half is
+        # fully consumed into `odd` before any write below touches `v`,
+        # and the interleaved writes land on disjoint index sets. Saves
+        # one full-block temporary plus the merge/writeback pass of the
+        # previous out-of-place formulation; identical arithmetic order,
+        # so the output is bit-for-bit unchanged.
+        even = v[:m].copy()
+        detail = v[m:]
         if self.mode == "mgard" and detail.shape[0] > 0:
             if absolute:
-                coarse += interp.abs_correction_from_detail(detail, n)
+                even += interp.abs_correction_from_detail(detail, n)
             else:
-                coarse -= interp.correction_from_detail(detail, n)
-        even = coarse
-        pred = interp.predict_odd(even, n)
-        odd = pred + detail
-        v[:] = interp.merge_even_odd(even, odd, n)
+                even -= interp.correction_from_detail(detail, n)
+        odd = interp.predict_odd(even, n)
+        odd += detail
+        v[1::2] = odd
+        v[0::2] = even

@@ -30,10 +30,20 @@ class TestGreedy:
         plan = plan_greedy(field, 0.0)
         assert plan.groups_per_level == field.max_groups()
 
-    def test_infinite_tolerance_fetches_nothing(self, field):
-        plan = plan_greedy(field, float("inf"))
+    def test_huge_tolerance_fetches_nothing(self, field):
+        plan = plan_greedy(field, 1e300)
         assert plan.groups_per_level == [0] * len(field.levels)
         assert plan.fetched_bytes == 0
+
+    def test_rejects_nonfinite_tolerance(self, field):
+        # A NaN previously fell through every comparison and silently
+        # produced an empty plan; inf is rejected with it ("retrieve
+        # nothing" must be asked for with a finite loose tolerance).
+        for bad in (float("nan"), float("inf"), float("-inf")):
+            with pytest.raises(ValueError, match="finite"):
+                plan_greedy(field, bad)
+            with pytest.raises(ValueError, match="finite"):
+                plan_round_robin(field, bad)
 
     def test_monotone_bytes(self, field):
         plans = [plan_greedy(field, t) for t in (1e-1, 1e-2, 1e-3, 1e-4)]
