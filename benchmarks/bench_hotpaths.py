@@ -9,7 +9,9 @@ Run standalone (writes the JSON):
 
     PYTHONPATH=src python benchmarks/bench_hotpaths.py
 
-or through pytest (the ``bench`` marker keeps it out of the default
+``--smoke`` runs tiny sizes, keeps the fast-vs-reference equality
+assertions, skips the speedup floors, and writes nothing — the CI mode.
+Or through pytest (the ``bench`` marker keeps it out of the default
 test run; ``benchmarks/run_all.sh`` clears the marker filter):
 
     PYTHONPATH=src python -m pytest benchmarks/bench_hotpaths.py -o addopts= -s
@@ -20,6 +22,7 @@ from __future__ import annotations
 import json
 import math
 import platform
+import sys
 import time
 from pathlib import Path
 
@@ -259,7 +262,16 @@ def test_hotpaths_meet_speedup_floors():
     assert huff["encode_speedup"] >= MIN_HUFFMAN_ENCODE_SPEEDUP, huff
 
 
-def main() -> None:
+def main(argv: list[str] | None = None) -> None:
+    args = sys.argv[1:] if argv is None else argv
+    if "--smoke" in args:
+        # Tiny sizes: the equality assertions inside run_benchmarks
+        # still exercise every fast-vs-reference pair; no floors, no
+        # baseline overwrite.
+        run_benchmarks(n=1 << 14, reps=1)
+        print("bench_hotpaths smoke ok (tiny sizes, no floors, "
+              "nothing written)")
+        return
     results = run_benchmarks()
     path = write_results(results)
     print(f"wrote {path}")

@@ -24,7 +24,9 @@ Run standalone (writes the JSON):
 
     PYTHONPATH=src python benchmarks/bench_progressive.py
 
-or through pytest (the ``bench`` marker keeps it out of the default
+``--smoke`` runs a tiny staircase, keeps the bit-identity and
+only-the-increment assertions, skips the refinement-speedup floor, and
+writes nothing — the CI mode. Or through pytest (the ``bench`` marker keeps it out of the default
 test run; ``benchmarks/run_all.sh`` clears the marker filter):
 
     PYTHONPATH=src python -m pytest benchmarks/bench_progressive.py -o addopts= -s
@@ -35,6 +37,7 @@ from __future__ import annotations
 import gc
 import json
 import platform
+import sys
 import time
 from pathlib import Path
 
@@ -60,13 +63,13 @@ REPEATS = 3
 MIN_REFINEMENT_SPEEDUP = 2.0
 
 
-def _build_field():
-    data = gen.gaussian_random_field(DIMS, -5.0 / 3.0, seed=7,
+def _build_field(dims):
+    data = gen.gaussian_random_field(dims, -5.0 / 3.0, seed=7,
                                      dtype=np.float64)
     return refactor(data, name="vel"), data
 
 
-def _walk_verify(field, data):
+def _walk_verify(field, data, tolerances):
     """One staircase on both engines, checking the correctness gates."""
     inc = Reconstructor(field)
     full = Reconstructor(field, incremental=False)
@@ -74,7 +77,7 @@ def _walk_verify(field, data):
     identical = only_increment = True
     inc_results = []
     err = float("inf")
-    for tol in TOLERANCES:
+    for tol in tolerances:
         ri = inc.reconstruct(tolerance=tol, relative=True)
         rf = full.reconstruct(tolerance=tol, relative=True)
         identical &= bool(np.array_equal(ri.data, rf.data))
@@ -89,7 +92,7 @@ def _walk_verify(field, data):
     return identical, only_increment, err, inc_results, inc
 
 
-def _walk_timed(field, incremental: bool) -> list[float]:
+def _walk_timed(field, tolerances, incremental: bool) -> list[float]:
     """One cold session down the staircase; per-step wall times.
 
     Results are dropped step by step (and the allocator settled with a
@@ -99,32 +102,36 @@ def _walk_timed(field, incremental: bool) -> list[float]:
     gc.collect()
     recon = Reconstructor(field, incremental=incremental)
     walls = []
-    for tol in TOLERANCES:
+    for tol in tolerances:
         t0 = time.perf_counter()
         recon.reconstruct(tolerance=tol, relative=True)
         walls.append(time.perf_counter() - t0)
     return walls
 
 
-def run() -> dict:
-    field, data = _build_field()
+def run(
+    dims: tuple[int, ...] = DIMS,
+    tolerances: list[float] = TOLERANCES,
+    repeats: int = REPEATS,
+) -> dict:
+    field, data = _build_field(dims)
 
     # Correctness gates first (bit-identity + counters), then timing.
     identical, only_increment, err, inc_results, recon = _walk_verify(
-        field, data
+        field, data, tolerances
     )
-    best_full = [float("inf")] * len(TOLERANCES)
-    best_inc = [float("inf")] * len(TOLERANCES)
-    for _ in range(REPEATS):
-        walls_f = _walk_timed(field, incremental=False)
-        walls_i = _walk_timed(field, incremental=True)
+    best_full = [float("inf")] * len(tolerances)
+    best_inc = [float("inf")] * len(tolerances)
+    for _ in range(repeats):
+        walls_f = _walk_timed(field, tolerances, incremental=False)
+        walls_i = _walk_timed(field, tolerances, incremental=True)
         best_full = [min(a, b) for a, b in zip(best_full, walls_f)]
         best_inc = [min(a, b) for a, b in zip(best_inc, walls_i)]
 
     full_refine = sum(best_full[1:])
     inc_refine = sum(best_inc[1:])
     steps = []
-    for i, tol in enumerate(TOLERANCES):
+    for i, tol in enumerate(tolerances):
         steps.append({
             "relative_tolerance": tol,
             "full_ms": best_full[i] * 1e3,
@@ -136,11 +143,11 @@ def run() -> dict:
         })
     return {
         "config": {
-            "dims": list(DIMS),
+            "dims": list(dims),
             "dtype": "float64",
-            "elements": int(np.prod(DIMS)),
-            "tolerances_relative": TOLERANCES,
-            "repeats": REPEATS,
+            "elements": int(np.prod(dims)),
+            "tolerances_relative": tolerances,
+            "repeats": repeats,
             "platform": platform.platform(),
             "numpy": np.__version__,
         },
@@ -195,8 +202,23 @@ def test_progressive_benchmark() -> None:
             >= MIN_REFINEMENT_SPEEDUP)
 
 
-if __name__ == "__main__":
+def main(argv: list[str] | None = None) -> None:
+    args = sys.argv[1:] if argv is None else argv
+    if "--smoke" in args:
+        results = run(dims=(16, 16, 16), tolerances=[1e-1, 1e-3],
+                      repeats=1)
+        assert results["checks"]["bit_identical_every_step"]
+        assert results["checks"]["refinements_decode_only_increment"]
+        assert (results["checks"]["final_error"]
+                <= results["checks"]["final_error_bound"])
+        print("bench_progressive smoke ok (tiny sizes, no speedup "
+              "floor, nothing written)")
+        return
     results = run()
     RESULT_PATH.write_text(json.dumps(results, indent=2))
     _report(results)
     print(f"\nwrote {RESULT_PATH}")
+
+
+if __name__ == "__main__":
+    main()

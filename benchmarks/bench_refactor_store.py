@@ -21,8 +21,10 @@ Run standalone (writes the JSON):
 
     PYTHONPATH=src python benchmarks/bench_refactor_store.py
 
-or through pytest (the ``bench`` marker keeps it out of the default
-test run; ``benchmarks/run_all.sh`` clears the marker filter):
+``--smoke`` runs a tiny grid, keeps the round-trip bound assertion,
+and writes nothing — the CI mode. Or through pytest (the ``bench``
+marker keeps it out of the default test run; ``benchmarks/run_all.sh``
+clears the marker filter):
 
     PYTHONPATH=src python -m pytest benchmarks/bench_refactor_store.py -o addopts= -s
 """
@@ -32,6 +34,7 @@ from __future__ import annotations
 import json
 import platform
 import shutil
+import sys
 import tempfile
 import time
 from pathlib import Path
@@ -156,7 +159,15 @@ def test_refactor_store_roundtrip():
     assert results["write_path"]["compression_ratio"] > 1.0
 
 
-def main() -> None:
+def main(argv: list[str] | None = None) -> None:
+    args = sys.argv[1:] if argv is None else argv
+    if "--smoke" in args:
+        # The round-trip bound assertion inside run_benchmarks still
+        # runs; no baseline overwrite at smoke sizes.
+        run_benchmarks(dims=(16, 16, 16), reps=1)
+        print("bench_refactor_store smoke ok (tiny sizes, "
+              "nothing written)")
+        return
     results = run_benchmarks()
     path = write_results(results)
     print(f"wrote {path}")

@@ -19,7 +19,9 @@ Run standalone (writes the JSON):
 
     PYTHONPATH=src python benchmarks/bench_service.py
 
-or through pytest (the ``bench`` marker keeps it out of the default
+``--smoke`` runs a tiny grid with two sessions, keeps the lazy-beats-
+eager byte assertion, and writes nothing — the CI mode. Or through
+pytest (the ``bench`` marker keeps it out of the default
 test run; ``benchmarks/run_all.sh`` clears the marker filter):
 
     PYTHONPATH=src python -m pytest benchmarks/bench_service.py -o addopts= -s
@@ -29,6 +31,7 @@ from __future__ import annotations
 
 import json
 import platform
+import sys
 import tempfile
 import time
 from concurrent.futures import ThreadPoolExecutor
@@ -58,8 +61,10 @@ CACHE_BYTES = 64 << 20
 MIN_WARM_HIT_RATE = 0.90
 
 
-def _build_store(root: Path) -> tuple[DirectoryStore, np.ndarray]:
-    data = gen.gaussian_random_field(DIMS, -5.0 / 3.0, seed=13,
+def _build_store(
+    root: Path, dims: tuple[int, ...]
+) -> tuple[DirectoryStore, np.ndarray]:
+    data = gen.gaussian_random_field(dims, -5.0 / 3.0, seed=13,
                                      dtype=np.float32)
     store = DirectoryStore(root, file_open_latency_s=2e-4)
     field = refactor(data, name="vel")
@@ -67,20 +72,20 @@ def _build_store(root: Path) -> tuple[DirectoryStore, np.ndarray]:
     return store, data
 
 
-def _staircase_eager(store: DirectoryStore) -> None:
+def _staircase_eager(store: DirectoryStore, tolerances) -> None:
     """Seed read path: materialize everything, then reconstruct."""
     field = load_field(store, "vel")
     recon = Reconstructor(field)
-    for tol in TOLERANCES:
+    for tol in tolerances:
         recon.reconstruct(tolerance=tol, relative=True)
 
 
-def _run_eager(store: DirectoryStore) -> dict:
+def _run_eager(store: DirectoryStore, n_sessions, tolerances) -> dict:
     store.reads = store.bytes_read = 0
     t0 = time.perf_counter()
-    with ThreadPoolExecutor(max_workers=N_SESSIONS) as pool:
-        list(pool.map(lambda _: _staircase_eager(store),
-                      range(N_SESSIONS)))
+    with ThreadPoolExecutor(max_workers=n_sessions) as pool:
+        list(pool.map(lambda _: _staircase_eager(store, tolerances),
+                      range(n_sessions)))
     wall = time.perf_counter() - t0
     return {
         "wall_s": wall,
@@ -90,20 +95,21 @@ def _run_eager(store: DirectoryStore) -> dict:
     }
 
 
-def _staircase_service(service: RetrievalService) -> None:
+def _staircase_service(service: RetrievalService, tolerances) -> None:
     with service.session("vel") as session:
-        for tol in TOLERANCES:
+        for tol in tolerances:
             session.reconstruct(tolerance=tol, relative=True)
 
 
-def _run_service_wave(service: RetrievalService, store: DirectoryStore) -> dict:
+def _run_service_wave(service: RetrievalService, store: DirectoryStore,
+                      n_sessions, tolerances) -> dict:
     reads0, bytes0 = store.reads, store.bytes_read
     hits0, misses0 = service.cache.hits, service.cache.misses
     hit_b0, miss_b0 = service.cache.hit_bytes, service.cache.miss_bytes
     t0 = time.perf_counter()
-    with ThreadPoolExecutor(max_workers=N_SESSIONS) as pool:
-        list(pool.map(lambda _: _staircase_service(service),
-                      range(N_SESSIONS)))
+    with ThreadPoolExecutor(max_workers=n_sessions) as pool:
+        list(pool.map(lambda _: _staircase_service(service, tolerances),
+                      range(n_sessions)))
     wall = time.perf_counter() - t0
     hit_bytes = service.cache.hit_bytes - hit_b0
     miss_bytes = service.cache.miss_bytes - miss_b0
@@ -123,25 +129,30 @@ def _run_service_wave(service: RetrievalService, store: DirectoryStore) -> dict:
     }
 
 
-def run() -> dict:
+def run(
+    dims: tuple[int, ...] = DIMS,
+    n_sessions: int = N_SESSIONS,
+    tolerances: list[float] = TOLERANCES,
+    cache_bytes: int = CACHE_BYTES,
+) -> dict:
     with tempfile.TemporaryDirectory() as tmp:
-        store, _ = _build_store(Path(tmp) / "campaign")
+        store, _ = _build_store(Path(tmp) / "campaign", dims)
         total_stored = store.total_bytes()
 
-        eager = _run_eager(store)
+        eager = _run_eager(store, n_sessions, tolerances)
 
-        service = RetrievalService(store, cache_bytes=CACHE_BYTES)
-        cold = _run_service_wave(service, store)
-        warm = _run_service_wave(service, store)
+        service = RetrievalService(store, cache_bytes=cache_bytes)
+        cold = _run_service_wave(service, store, n_sessions, tolerances)
+        warm = _run_service_wave(service, store, n_sessions, tolerances)
         service.close()
 
         results = {
             "config": {
-                "dims": list(DIMS),
+                "dims": list(dims),
                 "dtype": "float32",
-                "n_sessions": N_SESSIONS,
-                "tolerances_relative": TOLERANCES,
-                "cache_bytes": CACHE_BYTES,
+                "n_sessions": n_sessions,
+                "tolerances_relative": tolerances,
+                "cache_bytes": cache_bytes,
                 "stored_bytes": total_stored,
                 "platform": platform.platform(),
                 "numpy": np.__version__,
@@ -196,8 +207,21 @@ def test_service_benchmark() -> None:
     assert results["derived"]["warm_hit_rate"] >= MIN_WARM_HIT_RATE
 
 
-if __name__ == "__main__":
+def main(argv: list[str] | None = None) -> None:
+    args = sys.argv[1:] if argv is None else argv
+    if "--smoke" in args:
+        results = run(dims=(16, 16, 16), n_sessions=2,
+                      tolerances=[1e-1, 1e-2], cache_bytes=4 << 20)
+        assert (results["service_cold_wave"]["store_bytes_read"]
+                < results["eager_load_field"]["store_bytes_read"])
+        print("bench_service smoke ok (tiny sizes, no hit-rate floor, "
+              "nothing written)")
+        return
     results = run()
     RESULT_PATH.write_text(json.dumps(results, indent=2))
     _report(results)
     print(f"\nwrote {RESULT_PATH}")
+
+
+if __name__ == "__main__":
+    main()

@@ -2,10 +2,15 @@
 # Run the benchmark suites and refresh the repo-root perf baselines.
 #
 #   benchmarks/run_all.sh            # hot-path + refactor + service +
-#                                    # progressive suites (refresh
+#                                    # progressive + tiles suites (refresh
 #                                    #  BENCH_hotpaths.json, BENCH_refactor.json,
-#                                    #  BENCH_service.json, BENCH_progressive.json)
+#                                    #  BENCH_service.json, BENCH_progressive.json,
+#                                    #  BENCH_tiles.json)
 #   benchmarks/run_all.sh --figures  # additionally re-run the per-figure paper harnesses
+#
+# Each bench script also takes --smoke (tiny sizes, correctness
+# assertions only, nothing written) — CI runs that mode on every PR so
+# the benchmark code paths stay exercised.
 #
 # The hot-path, refactor/store, and service suites are the perf
 # trajectories every performance PR checks against; the figure harnesses
@@ -40,6 +45,7 @@ snapshot BENCH_hotpaths.json
 snapshot BENCH_refactor.json
 snapshot BENCH_service.json
 snapshot BENCH_progressive.json
+snapshot BENCH_tiles.json
 
 echo "== hot-path suite (writes BENCH_hotpaths.json) =="
 python benchmarks/bench_hotpaths.py
@@ -56,6 +62,10 @@ check BENCH_service.json
 echo "== progressive-refinement suite (writes BENCH_progressive.json) =="
 python benchmarks/bench_progressive.py
 check BENCH_progressive.json
+
+echo "== tiled streaming / ROI suite (writes BENCH_tiles.json) =="
+python benchmarks/bench_tiles.py
+check BENCH_tiles.json
 
 if [ "${1:-}" = "--figures" ]; then
     echo "== per-figure harnesses =="

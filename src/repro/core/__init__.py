@@ -33,7 +33,12 @@ Public API:
 from repro.core.planner import RetrievalPlan, plan_greedy, plan_round_robin
 from repro.core.reconstruct import ReconstructionResult, Reconstructor
 from repro.core.refactor import Refactorer, RefactorConfig
-from repro.core.service import RetrievalService, SegmentCache, ServiceSession
+from repro.core.service import (
+    RetrievalService,
+    SegmentCache,
+    ServiceSession,
+    TiledServiceSession,
+)
 from repro.core.store import (
     DirectoryStore,
     MemoryStore,
@@ -42,13 +47,22 @@ from repro.core.store import (
     ShardedDirectoryStore,
     load_field,
     open_field,
+    open_tiled_field,
     store_field,
+    store_tiled_field,
 )
 from repro.core.stream import (
     LazyRefactoredField,
     LevelStream,
     RefactoredField,
     SegmentRef,
+)
+from repro.core.tiling import (
+    LazyTiledField,
+    TiledField,
+    TiledReconstructor,
+    TiledRefactorer,
+    plan_tiles,
 )
 
 __all__ = [
@@ -71,7 +85,15 @@ __all__ = [
     "store_field",
     "load_field",
     "open_field",
+    "store_tiled_field",
+    "open_tiled_field",
     "RetrievalService",
     "SegmentCache",
     "ServiceSession",
+    "TiledServiceSession",
+    "plan_tiles",
+    "TiledField",
+    "LazyTiledField",
+    "TiledRefactorer",
+    "TiledReconstructor",
 ]

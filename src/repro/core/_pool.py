@@ -4,12 +4,29 @@
 ``ThreadPoolExecutor`` reused across calls (NumPy releases the GIL on
 the big kernels, so threads overlap per-level work across cores), an
 idempotent :meth:`close`, context-manager support, and best-effort
-teardown on garbage collection. Hosts define :meth:`_pool_size`.
+teardown on garbage collection. Hosts define :meth:`_pool_size` and
+fan independent jobs out with :meth:`map_jobs`, which falls back to a
+plain serial loop whenever the pool cannot help (one worker, or one
+job).
 """
 
 from __future__ import annotations
 
+import threading
+from collections.abc import Callable, Sequence
 from concurrent.futures import ThreadPoolExecutor
+from typing import TypeVar
+
+_Job = TypeVar("_Job")
+_Out = TypeVar("_Out")
+
+#: Guards lazy pool creation. A pooled host can itself be shared across
+#: another host's worker threads (the tiled engine fans tile jobs out
+#: while tiles share one per-shape Refactorer), so first touches can
+#: race; unsynchronized double-creation would leak an executor whose
+#: threads close() never reaches. Creation is rare — one process-wide
+#: lock costs nothing.
+_POOL_CREATE_LOCK = threading.Lock()
 
 
 class WorkerPoolMixin:
@@ -22,8 +39,28 @@ class WorkerPoolMixin:
 
     def _worker_pool(self) -> ThreadPoolExecutor:
         if self._pool is None:
-            self._pool = ThreadPoolExecutor(max_workers=self._pool_size())
+            with _POOL_CREATE_LOCK:
+                if self._pool is None:
+                    self._pool = ThreadPoolExecutor(
+                        max_workers=self._pool_size()
+                    )
         return self._pool
+
+    def map_jobs(
+        self, fn: Callable[[_Job], _Out], jobs: Sequence[_Job]
+    ) -> list[_Out]:
+        """``[fn(j) for j in jobs]``, through the pool when it can help.
+
+        Results keep job order. With ``_pool_size() <= 1`` or a single
+        job the loop is run serially — no pool is created, so a default
+        (serial) host never pays executor overhead. Jobs must be
+        independent: a *job* must never submit nested work onto the same
+        pool (a saturated ``ThreadPoolExecutor`` does not steal work, so
+        nesting can deadlock it).
+        """
+        if self._pool_size() > 1 and len(jobs) > 1:
+            return list(self._worker_pool().map(fn, jobs))
+        return [fn(job) for job in jobs]
 
     def close(self) -> None:
         """Shut down the instance's worker pool (idempotent)."""

@@ -117,6 +117,14 @@ class Reconstructor(WorkerPoolMixin):
     :meth:`reconstruct`/:meth:`progressive` step, and torn down with
     the instance (NumPy releases the GIL on the big
     decompression/transpose kernels). The default is serial.
+
+    ``transform`` lets a caller managing many same-geometry fields
+    (the tiled engine: hundreds of identical-shape tiles) share one
+    :class:`~repro.decompose.MultilevelTransform` across their
+    reconstructors instead of rebuilding the grid geometry per field;
+    it must match the field's shape/levels/mode. The transform is
+    read-only during reconstruction, so sharing it is safe even when
+    tiles decode concurrently.
     """
 
     def __init__(
@@ -124,18 +132,36 @@ class Reconstructor(WorkerPoolMixin):
         field: RefactoredField,
         num_workers: int = 0,
         incremental: bool = True,
+        transform: MultilevelTransform | None = None,
     ) -> None:
         if num_workers < 0:
             raise ValueError("num_workers must be >= 0")
         self.field = field
         self.num_workers = int(num_workers)
         self.incremental = bool(incremental)
-        self.transform = MultilevelTransform(
-            field.shape,
-            num_levels=field.num_levels,
-            mode=field.mode,
-            min_size=field.min_size,
-        )
+        if transform is None:
+            transform = MultilevelTransform(
+                field.shape,
+                num_levels=field.num_levels,
+                mode=field.mode,
+                min_size=field.min_size,
+            )
+        elif (
+            transform.shape != tuple(field.shape)
+            or transform.num_levels != field.num_levels
+            or transform.mode != field.mode
+            or transform.geometry.min_size != field.min_size
+        ):
+            raise ValueError(
+                f"shared transform geometry (shape={transform.shape}, "
+                f"num_levels={transform.num_levels}, "
+                f"mode={transform.mode!r}, "
+                f"min_size={transform.geometry.min_size}) does not match "
+                f"the field (shape={tuple(field.shape)}, "
+                f"num_levels={field.num_levels}, mode={field.mode!r}, "
+                f"min_size={field.min_size})"
+            )
+        self.transform = transform
         self._fetched = [0] * len(field.levels)
         self._fetched_bytes = 0
         # Per-level retained decode state: integer partials + the last
@@ -264,10 +290,7 @@ class Reconstructor(WorkerPoolMixin):
             (idx, lv, want)
             for idx, (lv, want) in enumerate(zip(self.field.levels, groups))
         ]
-        if self.num_workers > 1 and len(jobs) > 1:
-            outcomes = list(self._worker_pool().map(decode_level, jobs))
-        else:
-            outcomes = [decode_level(job) for job in jobs]
+        outcomes = self.map_jobs(decode_level, jobs)
 
         level_values = [values for _, values, _, _ in outcomes]
         coeffs = self.transform.assemble_levels(level_values)

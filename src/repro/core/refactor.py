@@ -139,13 +139,13 @@ class Refactorer(WorkerPoolMixin):
             return self._encode_level(job[0], job[1], num_bitplanes)
 
         jobs = list(enumerate(level_arrays))
-        if self.config.num_workers > 1 and len(jobs) > 1:
+        if len(jobs) > 1:
             # Levels are independent; the transpose/codec kernels release
             # the GIL, so a thread pool overlaps them across cores. The
             # per-level group compression stays serial here — nesting
             # group tasks inside level tasks on the same pool could
             # deadlock it (ThreadPoolExecutor does not steal work).
-            levels = list(self._worker_pool().map(encode_one, jobs))
+            levels = self.map_jobs(encode_one, jobs)
         elif self.config.num_workers > 1:
             # Single level: push the pool one layer down instead, so the
             # level's independent plane groups compress concurrently.

@@ -30,10 +30,15 @@ import weakref
 from collections import OrderedDict
 from concurrent.futures import Future
 
+from collections.abc import Sequence
+
+import numpy as np
+
 from repro.core._pool import WorkerPoolMixin
 from repro.core.reconstruct import ReconstructionResult, Reconstructor
-from repro.core.store import open_field
+from repro.core.store import open_field, open_tiled_field
 from repro.core.stream import LazyRefactoredField
+from repro.core.tiling import LazyTiledField, TiledReconstructor
 from repro.core.planner import RetrievalPlan
 
 
@@ -253,6 +258,108 @@ class ServiceSession:
         self.close()
 
 
+class TiledServiceSession:
+    """One client's progressive session over a *tiled* field.
+
+    Wraps a :class:`~repro.core.tiling.TiledReconstructor` on a lazily
+    opened :class:`~repro.core.tiling.LazyTiledField` whose per-tile
+    segment fetches all route through the service's shared
+    :class:`SegmentCache`. Region-of-interest steps touch (open,
+    fetch, decode) only the tiles the hyperslab overlaps, and each
+    touched tile keeps its incremental decode state across staircase
+    steps. After each step the service may prefetch every touched
+    tile's next planned plane group in the background.
+    """
+
+    def __init__(
+        self,
+        service: "RetrievalService",
+        tiled: LazyTiledField,
+        num_workers: int = 0,
+    ) -> None:
+        self.service = service
+        self.tiled = tiled
+        self.reconstructor = TiledReconstructor(
+            tiled, num_workers=num_workers
+        )
+
+    def reconstruct(
+        self,
+        tolerance: float | None = None,
+        relative: bool = False,
+        region: Sequence | None = None,
+    ) -> tuple[np.ndarray, float]:
+        """One progressive step — see
+        :meth:`~repro.core.tiling.TiledReconstructor.reconstruct`."""
+        out = self.reconstructor.reconstruct(
+            tolerance=tolerance, relative=relative, region=region
+        )
+        if self.service.prefetch:
+            # Batch every touched tile's next-group keys into one
+            # scheduling round: a wide region can touch hundreds of
+            # tiles, and the futures lock is shared across sessions.
+            keys: list[str] = []
+            for recon in self.reconstructor.touched_reconstructors():
+                keys.extend(self.service._next_group_keys(
+                    recon.field, recon.fetched_groups
+                ))
+            self.service._enqueue_prefetch(keys)
+        return out
+
+    def progressive(
+        self,
+        tolerances: Sequence[float],
+        relative: bool = False,
+        region: Sequence | None = None,
+    ) -> list[tuple[np.ndarray, float]]:
+        """Walk a decreasing tolerance schedule over *region*."""
+        return [
+            self.reconstruct(tolerance=t, relative=relative, region=region)
+            for t in tolerances
+        ]
+
+    @property
+    def fetched_bytes(self) -> int:
+        """Cumulative payload bytes fetched across touched tiles."""
+        return self.reconstructor.fetched_bytes
+
+    @property
+    def tiles_touched(self) -> int:
+        """Tiles whose reconstructors (decode state) exist so far."""
+        return len(self.reconstructor.touched_tiles)
+
+    @property
+    def decode_state_bytes(self) -> int:
+        """Resident bytes of retained incremental decode state across
+        this session's touched tiles."""
+        return self.reconstructor.decode_state_bytes()
+
+    def stats(self) -> dict:
+        """This session's progressive-state accounting, JSON-ready."""
+        io = self.tiled.io_counters()
+        return {
+            "tiles": self.tiled.num_tiles,
+            "tiles_touched": self.tiles_touched,
+            "fetched_bytes": self.fetched_bytes,
+            "decode_state_bytes": self.decode_state_bytes,
+            "segment_reads": io.segment_reads,
+            "cold_bytes": io.cold_bytes,
+            "cache_hit_bytes": io.cache_hit_bytes,
+        }
+
+    def close(self) -> None:
+        """Tear down the session's decode worker pool (idempotent)."""
+        with self.service._sessions_lock:
+            self.service._sessions.discard(self)
+        self.reconstructor.close()
+
+    def __enter__(self) -> "TiledServiceSession":
+        return self
+
+    def __exit__(self, *exc) -> None:
+        self.close()
+
+
 class RetrievalService(WorkerPoolMixin):
     """Multiplex progressive retrieval sessions over one segment cache.
 
@@ -327,6 +434,34 @@ class RetrievalService(WorkerPoolMixin):
             self._sessions.add(session)
         return session
 
+    def open_tiled(self, name: str) -> LazyTiledField:
+        """Open tiled field *name* with fetches routed through the cache.
+
+        Each call returns a fresh field (sessions must not share
+        progressive state); the segment bytes behind every tile are
+        shared through the service cache — two sessions touching the
+        same tile pay the backing store once.
+        """
+        return open_tiled_field(self.store, name, cache=self.cache)
+
+    def tiled_session(
+        self, name: str, num_workers: int = 0
+    ) -> TiledServiceSession:
+        """Start a progressive session over tiled variable *name*.
+
+        ``num_workers`` is forwarded to the session's
+        :class:`~repro.core.tiling.TiledReconstructor` for concurrent
+        per-tile decoding; it is independent of the service's prefetch
+        pool. The session supports region-of-interest steps
+        (``reconstruct(region=...)``).
+        """
+        session = TiledServiceSession(
+            self, self.open_tiled(name), num_workers=num_workers
+        )
+        with self._sessions_lock:
+            self._sessions.add(session)
+        return session
+
     def retrieve_qoi(self, qoi, tolerance: float, **kwargs):
         """QoI-controlled retrieval over lazily-opened variables.
 
@@ -342,12 +477,10 @@ class RetrievalService(WorkerPoolMixin):
         return retrieve_qoi(fields, qoi, tolerance, **kwargs)
 
     # -- prefetch ---------------------------------------------------------
-    def _schedule_prefetch(
+    def _next_group_keys(
         self, field: LazyRefactoredField, fetched_groups: list[int]
-    ) -> None:
-        """Warm the next unfetched group per level in the background."""
-        if not self.prefetch:
-            return
+    ) -> list[str]:
+        """Store keys of the next unfetched, uncached group per level."""
         keys = []
         for lv, have in zip(field.levels, fetched_groups):
             refs = getattr(lv, "refs", None)
@@ -355,6 +488,18 @@ class RetrievalService(WorkerPoolMixin):
                 key = refs[have].key
                 if key not in self.cache:
                     keys.append(key)
+        return keys
+
+    def _schedule_prefetch(
+        self, field: LazyRefactoredField, fetched_groups: list[int]
+    ) -> None:
+        """Warm the next unfetched group per level in the background."""
+        if not self.prefetch:
+            return
+        self._enqueue_prefetch(self._next_group_keys(field, fetched_groups))
+
+    def _enqueue_prefetch(self, keys: list[str]) -> None:
+        """Submit background warms for *keys* under one lock round."""
         if not keys:
             return
         pool = self._worker_pool()
@@ -412,6 +557,11 @@ class RetrievalService(WorkerPoolMixin):
                 "decode_state_bytes": sum(
                     s.decode_state_bytes for s in sessions
                 ),
+                # Tiled-session residency: decode state exists only for
+                # tiles a reconstruction touched (plain sessions count 0).
+                "tiles_touched": sum(
+                    getattr(s, "tiles_touched", 0) for s in sessions
+                ),
             },
         }
 
@@ -423,4 +573,9 @@ class RetrievalService(WorkerPoolMixin):
             super().close()
 
 
-__all__ = ["SegmentCache", "RetrievalService", "ServiceSession"]
+__all__ = [
+    "SegmentCache",
+    "RetrievalService",
+    "ServiceSession",
+    "TiledServiceSession",
+]

@@ -386,6 +386,94 @@ def load_field(store, name: str, groups_per_level: list[int] | None = None):
     return field
 
 
+def tiled_index_key(name: str) -> str:
+    """Store key of a tiled field's index record: ``<name>.tiles``."""
+    if "/" in name or "\0" in name:
+        raise ValueError(f"invalid variable name {name!r}")
+    return f"{name}.tiles"
+
+
+def store_tiled_field(store, tiled) -> dict:
+    """Write a :class:`~repro.core.tiling.TiledField` tile by tile.
+
+    Every tile's sub-field goes through :func:`store_field` (per-segment
+    keys under the tile's own name, e.g. ``var.T0_1_0.L2.G3``), and one
+    tiled index record — domain shape/dtype/value range plus each tile's
+    placement, sub-field name, and stored size — lands under
+    ``<name>.tiles``. Directory-backed stores get their manifest flushed
+    once for the whole write (the per-tile :func:`store_field` batches
+    nest inside this one), not per tile or per segment.
+
+    Returns the tiled index record that :func:`open_tiled_field` reads.
+    """
+    index = {
+        "name": tiled.name,
+        "shape": [int(s) for s in tiled.shape],
+        "dtype": np.dtype(tiled.dtype).name,
+        "value_range": float(tiled.value_range),
+        "tiles": [],
+    }
+    batch = store.batch() if hasattr(store, "batch") else nullcontext()
+    with batch:
+        for tile, field in zip(tiled.tiles, tiled.fields):
+            store_field(store, field)
+            index["tiles"].append({
+                "index": [int(i) for i in tile.index],
+                "offset": [int(o) for o in tile.offset],
+                "shape": [int(s) for s in tile.shape],
+                "field": field.name,
+                "bytes": field.total_bytes(),
+            })
+        store.put(
+            tiled_index_key(tiled.name), json.dumps(index).encode()
+        )
+    return index
+
+
+def open_tiled_field(store, name: str, cache=None):
+    """Open a stored tiled field lazily: tiles resolve on first touch.
+
+    Reads only the ``<name>.tiles`` index record (through *cache* when
+    given, exactly like :func:`open_field`); each tile's sub-field is
+    opened — and its own index fetched — the first time something
+    touches it, and from there segment fetches follow the usual lazy
+    per-group economics. A region-of-interest reconstruction over the
+    returned :class:`~repro.core.tiling.LazyTiledField` therefore pays
+    the backing store only for the tiles its hyperslab overlaps.
+    """
+    from repro.core.tiling import LazyTiledField, TileSpec
+
+    get = cache.get if cache is not None else store.get
+    try:
+        index = json.loads(bytes(get(tiled_index_key(name))).decode())
+    except KeyError:
+        raise KeyError(
+            f"no tiled field {name!r} in store (missing "
+            f"{tiled_index_key(name)!r}; for untiled fields use "
+            f"open_field)"
+        ) from None
+    tiles = [
+        TileSpec(
+            index=tuple(t["index"]),
+            offset=tuple(t["offset"]),
+            shape=tuple(t["shape"]),
+        )
+        for t in index["tiles"]
+    ]
+    return LazyTiledField(
+        shape=tuple(index["shape"]),
+        dtype=np.dtype(index["dtype"]),
+        tiles=tiles,
+        tile_field_names=[t["field"] for t in index["tiles"]],
+        tile_bytes=[int(t["bytes"]) for t in index["tiles"]],
+        value_range=float(index["value_range"]),
+        name=index["name"],
+        opener=lambda field_name: open_field(
+            store, field_name, cache=cache
+        ),
+    )
+
+
 def open_field(
     store,
     name: str,
@@ -450,7 +538,10 @@ __all__ = [
     "DirectoryStore",
     "ShardedDirectoryStore",
     "segment_key",
+    "tiled_index_key",
     "store_field",
     "load_field",
     "open_field",
+    "store_tiled_field",
+    "open_tiled_field",
 ]

@@ -408,6 +408,21 @@ class IOCounters:
             self.cache_hit_bytes - earlier.cache_hit_bytes,
         )
 
+    @classmethod
+    def total(cls, counters: "Sequence[IOCounters]") -> "IOCounters":
+        """Elementwise sum — aggregate accounting over many lazy fields.
+
+        The tiled engine uses this to report one traffic figure for a
+        field whose tiles are independently-opened lazy sub-fields.
+        """
+        out = cls()
+        for c in counters:
+            out.segment_reads += c.segment_reads
+            out.bytes_fetched += c.bytes_fetched
+            out.cold_bytes += c.cold_bytes
+            out.cache_hit_bytes += c.cache_hit_bytes
+        return out
+
 
 class LazyRefactoredField(RefactoredField):
     """A :class:`RefactoredField` whose plane groups resolve on first touch.

@@ -1,27 +1,50 @@
 """Sub-domain (tile) processing for fields larger than device memory.
 
 Section 6.1's premise: large datasets are split into sub-domains that
-stream through the device one at a time. This module provides the
-functional counterpart — split an n-D field into tiles, refactor each
-independently, and reconstruct/stitch with per-tile or global
-tolerances. Tiles are independent streams, so they parallelize across
-devices (the multi-GPU path) and pipeline within one device (Fig. 4).
+stream through the device and parallelize across devices (Fig. 4). This
+module is that scale path — split an n-D field into tiles, refactor each
+independently (optionally fanning tiles out across a worker pool), and
+reconstruct/stitch with a global tolerance. Tiles partition the domain,
+so the global L∞ guarantee is simply the max of the per-tile guarantees.
 
-Each tile gets its own multilevel hierarchy; the global L∞ guarantee is
-simply the max of the per-tile guarantees, because tiles partition the
-domain.
+Three behaviours make tiling the production path rather than a toy:
+
+* **Parallel tile fan-out** — :class:`TiledRefactorer` /
+  :class:`TiledReconstructor` accept ``num_workers`` and run per-tile
+  work through the shared :class:`~repro.core._pool.WorkerPoolMixin`
+  thread pool (the NumPy kernels release the GIL, so tiles overlap
+  across cores). Per-shape :class:`~repro.core.refactor.Refactorer`
+  instances and per-geometry transforms are still shared — boundary
+  tiles reuse the interior tiles' geometry.
+* **Lazy everything** — :class:`TiledReconstructor` builds a tile's
+  :class:`~repro.core.reconstruct.Reconstructor` (and through it the
+  retained incremental decode state) only when a reconstruction first
+  touches that tile, so opening a 1000-tile field costs nothing until
+  tiles are used. :class:`LazyTiledField` extends the same economics to
+  the store: per-tile sub-fields resolve through
+  :func:`~repro.core.store.open_tiled_field` on first touch.
+* **Region-of-interest retrieval** — ``reconstruct(region=...)``
+  decodes only the tiles overlapping the requested hyperslab; bytes
+  fetched and planes decoded scale with the region, not the domain, and
+  each touched tile's :class:`~repro.bitplane.encoding.PartialDecodeState`
+  is reused across staircase steps exactly as in the untiled engine.
 """
 
 from __future__ import annotations
 
+import math
+import threading
+from collections.abc import Callable, Sequence
 from dataclasses import dataclass
 from itertools import product
 
 import numpy as np
 
+from repro.core._pool import WorkerPoolMixin
 from repro.core.reconstruct import Reconstructor
 from repro.core.refactor import RefactorConfig, Refactorer
-from repro.core.stream import RefactoredField
+from repro.core.stream import IOCounters, RefactoredField
+from repro.decompose import MultilevelTransform
 from repro.util.validation import check_dtype_floating
 
 
@@ -37,6 +60,26 @@ class TileSpec:
         return tuple(
             slice(o, o + s) for o, s in zip(self.offset, self.shape)
         )
+
+    def intersection(
+        self, region: tuple[slice, ...]
+    ) -> tuple[tuple[slice, ...], tuple[slice, ...]] | None:
+        """Overlap of this tile with *region* (normalized global slices).
+
+        Returns ``(tile_local, region_local)`` slice tuples addressing
+        the overlap within the tile's block and within the region's
+        output array respectively, or ``None`` when they are disjoint.
+        """
+        tile_local = []
+        region_local = []
+        for o, s, r in zip(self.offset, self.shape, region):
+            lo = max(o, r.start)
+            hi = min(o + s, r.stop)
+            if lo >= hi:
+                return None
+            tile_local.append(slice(lo - o, hi - o))
+            region_local.append(slice(lo - r.start, hi - r.start))
+        return tuple(tile_local), tuple(region_local)
 
 
 def plan_tiles(
@@ -60,6 +103,43 @@ def plan_tiles(
     return tiles
 
 
+def normalize_region(
+    region: Sequence, shape: tuple[int, ...]
+) -> tuple[slice, ...]:
+    """Validate a region-of-interest request against a domain *shape*.
+
+    *region* must have one entry per axis; each entry is a ``slice``
+    (with unit step), a ``(start, stop)`` pair, or ``None`` for the full
+    axis. Bounds must satisfy ``0 <= start <= stop <= extent`` — regions
+    are hyperslabs in global coordinates, not fancy indexing.
+    """
+    if len(region) != len(shape):
+        raise ValueError(
+            f"region rank {len(region)} must match data rank {len(shape)}"
+        )
+    out = []
+    for axis, (entry, extent) in enumerate(zip(region, shape)):
+        if entry is None:
+            out.append(slice(0, extent))
+            continue
+        if isinstance(entry, slice):
+            if entry.step not in (None, 1):
+                raise ValueError(
+                    f"region axis {axis}: only unit-step slices supported"
+                )
+            start = 0 if entry.start is None else int(entry.start)
+            stop = extent if entry.stop is None else int(entry.stop)
+        else:
+            start, stop = (int(v) for v in entry)
+        if not 0 <= start <= stop <= extent:
+            raise ValueError(
+                f"region axis {axis}: [{start}, {stop}) outside "
+                f"[0, {extent}]"
+            )
+        out.append(slice(start, stop))
+    return tuple(out)
+
+
 @dataclass
 class TiledField:
     """A refactored field stored as independent sub-domain streams."""
@@ -67,82 +147,409 @@ class TiledField:
     shape: tuple[int, ...]
     dtype: np.dtype
     tiles: list[TileSpec]
-    fields: list[RefactoredField]
+    fields: Sequence[RefactoredField]
     value_range: float
+    name: str = "var"
+
+    @property
+    def num_tiles(self) -> int:
+        return len(self.tiles)
 
     def total_bytes(self) -> int:
         return sum(f.total_bytes() for f in self.fields)
 
+    def tiles_overlapping(
+        self, region: tuple[slice, ...]
+    ) -> list[tuple[int, TileSpec, tuple[tuple[slice, ...],
+                                         tuple[slice, ...]]]]:
+        """``(tile_position, spec, (tile_local, region_local))`` per
+        tile intersecting *region* (normalized slices)."""
+        hits = []
+        for i, tile in enumerate(self.tiles):
+            overlap = tile.intersection(region)
+            if overlap is not None:
+                hits.append((i, tile, overlap))
+        return hits
 
-class TiledRefactorer:
-    """Refactor large fields tile by tile (the streaming write path)."""
+
+class _LazyTileFields(Sequence):
+    """Per-tile sub-fields resolved from a store on first touch.
+
+    Opened fields are memoized per instance, so a region-of-interest
+    session touching the same tiles across staircase steps opens each
+    tile (and fetches its index segment) exactly once; untouched tiles
+    cost nothing.
+    """
+
+    def __init__(
+        self,
+        names: list[str],
+        opener: Callable[[str], RefactoredField],
+    ) -> None:
+        self._names = names
+        self._opener = opener
+        self._fields: dict[int, RefactoredField] = {}
+        self._lock = threading.Lock()
+
+    def __len__(self) -> int:
+        return len(self._names)
+
+    def __getitem__(self, index):
+        if isinstance(index, slice):
+            return [self[i] for i in range(*index.indices(len(self)))]
+        if index < 0:
+            index += len(self)
+        if not 0 <= index < len(self):
+            raise IndexError(index)
+        with self._lock:
+            field = self._fields.get(index)
+        if field is None:
+            # Open outside the lock: the opener does store I/O, and
+            # concurrent first touches of *different* tiles (the
+            # parallel reconstruct fan-out) must overlap. A racing
+            # duplicate open of the same tile is possible but harmless —
+            # setdefault keeps exactly one winner.
+            field = self._opener(self._names[index])
+            with self._lock:
+                field = self._fields.setdefault(index, field)
+        return field
+
+    @property
+    def opened_indices(self) -> list[int]:
+        """Tile positions opened so far — testing/telemetry hook."""
+        with self._lock:
+            return sorted(self._fields)
+
+
+class LazyTiledField(TiledField):
+    """A :class:`TiledField` whose per-tile sub-fields open on demand.
+
+    Built by :func:`~repro.core.store.open_tiled_field` from the tiled
+    index record alone: construction fetches nothing beyond that index,
+    and touching ``fields[i]`` opens tile *i* lazily (its own index
+    segment plus, later, exactly the plane groups a decode needs).
+    ``tile_bytes`` — the per-tile stored sizes recorded at write time —
+    lets :meth:`total_bytes` answer without opening a single tile.
+    """
+
+    def __init__(
+        self,
+        *,
+        shape: tuple[int, ...],
+        dtype: np.dtype,
+        tiles: list[TileSpec],
+        tile_field_names: list[str],
+        tile_bytes: list[int],
+        value_range: float,
+        name: str,
+        opener: Callable[[str], RefactoredField],
+    ) -> None:
+        if not (len(tiles) == len(tile_field_names) == len(tile_bytes)):
+            raise ValueError(
+                "tiles, tile_field_names, and tile_bytes must align"
+            )
+        super().__init__(
+            shape=tuple(shape),
+            dtype=np.dtype(dtype),
+            tiles=tiles,
+            fields=_LazyTileFields(tile_field_names, opener),
+            value_range=float(value_range),
+            name=name,
+        )
+        self.tile_field_names = list(tile_field_names)
+        self.tile_bytes = [int(b) for b in tile_bytes]
+
+    def total_bytes(self) -> int:
+        """Stored payload size of every tile — served from the index."""
+        return sum(self.tile_bytes)
+
+    @property
+    def opened_tiles(self) -> list[int]:
+        """Tile positions whose sub-fields have been opened so far."""
+        return self.fields.opened_indices
+
+    def io_counters(self) -> IOCounters:
+        """Aggregate segment traffic of every opened tile sub-field."""
+        return IOCounters.total([
+            self.fields[i].io_counters
+            for i in self.opened_tiles
+            if getattr(self.fields[i], "io_counters", None) is not None
+        ])
+
+
+class TiledRefactorer(WorkerPoolMixin):
+    """Refactor large fields tile by tile (the streaming write path).
+
+    ``num_workers > 1`` refactors independent tiles concurrently through
+    the instance's shared thread pool — the within-device pipeline of
+    Fig. 4, with per-shape :class:`~repro.core.refactor.Refactorer`
+    instances (transform geometry, error weights) still shared across
+    tiles. The tile order of the result is identical either way.
+    """
 
     def __init__(
         self,
         tile_shape: tuple[int, ...],
         config: RefactorConfig | None = None,
+        num_workers: int = 0,
     ) -> None:
+        if num_workers < 0:
+            raise ValueError("num_workers must be >= 0")
         self.tile_shape = tuple(int(t) for t in tile_shape)
         self.config = config or RefactorConfig()
+        self.num_workers = int(num_workers)
         self._refactorers: dict[tuple[int, ...], Refactorer] = {}
 
+    def _pool_size(self) -> int:
+        return self.num_workers
+
+    def close(self) -> None:
+        """Shut down this instance's pool *and* the cached per-shape
+        refactorers' pools (idempotent) — a pooled config
+        (``num_workers > 1``) gives each cached :class:`Refactorer` its
+        own executor, which must not outlive the ``with`` block."""
+        try:
+            for refactorer in self._refactorers.values():
+                refactorer.close()
+        finally:
+            super().close()
+
     def _refactorer_for(self, shape: tuple[int, ...]) -> Refactorer:
-        # Boundary tiles share geometry; cache per distinct shape.
+        # Boundary tiles share geometry; cache per distinct shape. The
+        # transform's lazily-built level indices are warmed here so the
+        # shared instance is read-only by the time tiles fan out across
+        # worker threads.
         if shape not in self._refactorers:
-            self._refactorers[shape] = Refactorer(shape, self.config)
+            refactorer = Refactorer(shape, self.config)
+            refactorer.transform.level_indices()
+            self._refactorers[shape] = refactorer
         return self._refactorers[shape]
 
     def refactor(self, data: np.ndarray, name: str = "var") -> TiledField:
         data = np.asarray(data)
         check_dtype_floating(data)
+        if data.size:
+            value_range = float(np.max(data) - np.min(data))
+            if not math.isfinite(value_range):
+                raise ValueError(
+                    "data contains non-finite values; the tiled field's "
+                    "value_range would be non-finite and every relative-"
+                    "tolerance retrieval over it would silently fail"
+                )
+        else:
+            value_range = 0.0
         tiles = plan_tiles(data.shape, self.tile_shape)
-        fields = []
-        for tile in tiles:
+        for tile in tiles:  # materialize shared state before the fan-out
+            self._refactorer_for(tile.shape)
+
+        def refactor_tile(tile: TileSpec) -> RefactoredField:
             block = np.ascontiguousarray(data[tile.slices()])
             tile_name = f"{name}.T" + "_".join(map(str, tile.index))
-            fields.append(
-                self._refactorer_for(tile.shape).refactor(
-                    block, name=tile_name
-                )
+            return self._refactorers[tile.shape].refactor(
+                block, name=tile_name
             )
-        value_range = (
-            float(np.max(data) - np.min(data)) if data.size else 0.0
-        )
+
+        fields = self.map_jobs(refactor_tile, tiles)
         return TiledField(
             shape=data.shape,
             dtype=data.dtype,
             tiles=tiles,
             fields=fields,
             value_range=value_range,
+            name=name,
         )
 
 
-class TiledReconstructor:
-    """Progressive reconstruction of a tiled field with a global bound."""
+class TiledReconstructor(WorkerPoolMixin):
+    """Progressive reconstruction of a tiled field with a global bound.
 
-    def __init__(self, tiled: TiledField) -> None:
+    Per-tile :class:`~repro.core.reconstruct.Reconstructor` instances —
+    and through them the retained incremental decode state — are built
+    lazily on first touch, so wrapping a 1000-tile field costs nothing
+    until a reconstruction actually needs a tile. Same-geometry tiles
+    share one :class:`~repro.decompose.MultilevelTransform`.
+
+    ``num_workers > 1`` decodes the selected tiles concurrently through
+    the instance's shared thread pool. Per-tile reconstructors are kept
+    serial (their own ``num_workers=0``) so tile jobs never nest pool
+    work inside pool work.
+    """
+
+    def __init__(
+        self,
+        tiled: TiledField,
+        num_workers: int = 0,
+        incremental: bool = True,
+    ) -> None:
+        if num_workers < 0:
+            raise ValueError("num_workers must be >= 0")
         self.tiled = tiled
-        self._recons = [Reconstructor(f) for f in tiled.fields]
+        self.num_workers = int(num_workers)
+        self.incremental = bool(incremental)
+        self._recons: dict[int, Reconstructor] = {}
+        self._transforms: dict[tuple, MultilevelTransform] = {}
+        self._state_lock = threading.Lock()
+
+    def _pool_size(self) -> int:
+        return self.num_workers
+
+    def _transform_for(self, field: RefactoredField) -> MultilevelTransform:
+        key = (tuple(field.shape), field.num_levels, field.mode,
+               field.min_size)
+        with self._state_lock:
+            transform = self._transforms.get(key)
+        if transform is None:
+            transform = MultilevelTransform(
+                field.shape,
+                num_levels=field.num_levels,
+                mode=field.mode,
+                min_size=field.min_size,
+            )
+            transform.level_indices()  # warm before any concurrent use
+            with self._state_lock:
+                transform = self._transforms.setdefault(key, transform)
+        return transform
+
+    def _reconstructor_for(self, position: int) -> Reconstructor:
+        """Tile *position*'s reconstructor, built on first touch.
+
+        Touching a lazily-opened tiled field here also opens the tile's
+        sub-field (one index fetch); untouched tiles stay unopened.
+        Runs inside the per-tile decode jobs, so first-touch opens of
+        different tiles — store I/O on a lazy field — overlap across
+        the worker pool instead of serializing up front. Construction
+        happens outside the memo lock; positions are unique per step,
+        so duplicate construction cannot arise within one call.
+        """
+        with self._state_lock:
+            recon = self._recons.get(position)
+        if recon is None:
+            field = self.tiled.fields[position]
+            recon = Reconstructor(
+                field,
+                incremental=self.incremental,
+                transform=self._transform_for(field),
+            )
+            with self._state_lock:
+                recon = self._recons.setdefault(position, recon)
+        return recon
+
+    @property
+    def touched_tiles(self) -> list[int]:
+        """Tile positions whose reconstructors exist (sorted)."""
+        with self._state_lock:
+            return sorted(self._recons)
+
+    def touched_reconstructors(self) -> list[Reconstructor]:
+        """Touched tiles' reconstructors, in tile-position order.
+
+        The public window onto per-tile progressive state (fields,
+        fetch progress, decode counters) — e.g. the service layer walks
+        it to prefetch each touched tile's next planned plane group.
+        """
+        with self._state_lock:
+            recons = dict(self._recons)
+        return [recons[i] for i in sorted(recons)]
 
     @property
     def fetched_bytes(self) -> int:
-        return sum(r.fetched_bytes for r in self._recons)
+        """Cumulative payload bytes fetched across touched tiles."""
+        return sum(r.fetched_bytes for r in self.touched_reconstructors())
+
+    def decode_state_bytes(self) -> int:
+        """Resident bytes of retained decode state across touched tiles."""
+        return sum(
+            r.decode_state_bytes() for r in self.touched_reconstructors()
+        )
 
     def reconstruct(
-        self, tolerance: float | None = None, relative: bool = False
+        self,
+        tolerance: float | None = None,
+        relative: bool = False,
+        region: Sequence | None = None,
     ) -> tuple[np.ndarray, float]:
         """(stitched data, achieved global L∞ bound) at *tolerance*.
 
         Tiles partition the domain, so the global bound is the max of
-        per-tile bounds; each tile fetches only its own increment.
+        per-tile bounds; each touched tile fetches and decodes only its
+        own increment. ``relative=True`` interprets the tolerance as a
+        fraction of the *global* value range (per-tile ranges would
+        weaken the guarantee on quiet tiles); combining it with
+        ``tolerance=None`` is rejected — near-lossless retrieval has no
+        fraction to scale. On a constant field (``value_range == 0``)
+        relative requests short-circuit to the documented near-lossless
+        path, matching :meth:`Reconstructor.reconstruct`.
+
+        ``region`` restricts retrieval to a hyperslab (per-axis
+        ``slice``/``(start, stop)``/``None`` entries, global
+        coordinates): only overlapping tiles are touched, the returned
+        array has the region's extents, and the bound covers exactly
+        those tiles. Tiles keep their progressive state across calls,
+        so walking a staircase over a region refines incrementally and
+        later widening the region only pays for the new tiles.
         """
-        tol = tolerance
-        if tolerance is not None and relative:
-            tol = float(tolerance) * self.tiled.value_range
-        out = np.empty(self.tiled.shape, dtype=self.tiled.dtype)
-        worst = 0.0
-        for tile, recon in zip(self.tiled.tiles, self._recons):
+        if relative and tolerance is None:
+            raise ValueError(
+                "relative=True requires a tolerance; near-lossless "
+                "retrieval (tolerance=None) has no value range to scale"
+            )
+        tol: float | None = None
+        if tolerance is not None:
+            tol = float(tolerance)
+            if not math.isfinite(tol):
+                raise ValueError(f"tolerance must be finite, got {tol}")
+            if tol < 0:
+                raise ValueError("tolerance must be >= 0")
+            if relative:
+                if self.tiled.value_range == 0.0:
+                    # Constant field: any fraction of a zero range is 0;
+                    # fetch everything deliberately (near-lossless).
+                    tol = None
+                else:
+                    tol = tol * self.tiled.value_range
+        if region is None:
+            region_slices = tuple(slice(0, s) for s in self.tiled.shape)
+        else:
+            region_slices = normalize_region(region, self.tiled.shape)
+        out_shape = tuple(s.stop - s.start for s in region_slices)
+        out = np.empty(out_shape, dtype=self.tiled.dtype)
+        selected = self.tiled.tiles_overlapping(region_slices)
+        jobs = [(pos, overlap) for pos, _, overlap in selected]
+
+        def decode_tile(job):
+            # First-touch construction happens here, inside the fan-out:
+            # on a store-backed field the per-tile index fetches overlap
+            # across workers instead of serializing before the decode.
+            position, (tile_local, region_local) = job
+            recon = self._reconstructor_for(position)
             result = recon.reconstruct(tolerance=tol)
-            out[tile.slices()] = result.data
-            worst = max(worst, result.error_bound)
+            return region_local, result.data[tile_local], result.error_bound
+
+        worst = 0.0
+        for region_local, block, bound in self.map_jobs(decode_tile, jobs):
+            out[region_local] = block
+            worst = max(worst, bound)
         return out, worst
+
+    def progressive(
+        self,
+        tolerances: Sequence[float],
+        relative: bool = False,
+        region: Sequence | None = None,
+    ) -> list[tuple[np.ndarray, float]]:
+        """Reconstruct at a decreasing tolerance schedule over *region*."""
+        return [
+            self.reconstruct(tolerance=t, relative=relative, region=region)
+            for t in tolerances
+        ]
+
+
+__all__ = [
+    "TileSpec",
+    "plan_tiles",
+    "normalize_region",
+    "TiledField",
+    "LazyTiledField",
+    "TiledRefactorer",
+    "TiledReconstructor",
+]

@@ -112,3 +112,141 @@ class TestTiledPipeline:
     def test_rejects_integer_data(self):
         with pytest.raises(TypeError):
             TiledRefactorer((4, 4)).refactor(np.zeros((8, 8), dtype=int))
+
+    def test_rejects_non_finite_data(self):
+        """NaN/inf input would poison value_range (and through it every
+        relative retrieval); reject it at refactor time."""
+        bad = np.zeros((8, 8))
+        bad[3, 4] = np.nan
+        with pytest.raises(ValueError, match="non-finite"):
+            TiledRefactorer((4, 4)).refactor(bad)
+        bad[3, 4] = np.inf
+        with pytest.raises(ValueError, match="non-finite"):
+            TiledRefactorer((4, 4)).refactor(bad)
+
+    def test_rejects_relative_without_tolerance(self, field):
+        tiled = TiledRefactorer((12, 12, 12)).refactor(field)
+        with pytest.raises(ValueError, match="relative"):
+            TiledReconstructor(tiled).reconstruct(relative=True)
+
+    def test_rejects_non_finite_tolerance(self, field):
+        tiled = TiledRefactorer((12, 12, 12)).refactor(field)
+        recon = TiledReconstructor(tiled)
+        for bad in (float("nan"), float("inf"), -1.0):
+            with pytest.raises(ValueError):
+                recon.reconstruct(tolerance=bad)
+
+    def test_constant_field_relative_short_circuits(self):
+        """value_range == 0: relative requests resolve to the documented
+        near-lossless path instead of an unreachable absolute 0."""
+        const = np.full((8, 8), 3.25)
+        tiled = TiledRefactorer((4, 4)).refactor(const)
+        data, _ = TiledReconstructor(tiled).reconstruct(
+            tolerance=1e-3, relative=True
+        )
+        near_lossless, _ = TiledReconstructor(tiled).reconstruct()
+        assert np.array_equal(data, near_lossless)
+
+    def test_rejects_negative_workers(self, field):
+        with pytest.raises(ValueError):
+            TiledRefactorer((12, 12, 12), num_workers=-1)
+        tiled = TiledRefactorer((12, 12, 12)).refactor(field)
+        with pytest.raises(ValueError):
+            TiledReconstructor(tiled, num_workers=-1)
+
+
+class TestParallelTiles:
+    """The worker-pool fan-out must be invisible in the outputs."""
+
+    def test_parallel_refactor_bit_identical(self, field):
+        seq = TiledRefactorer((12, 12, 12)).refactor(field, name="v")
+        with TiledRefactorer((12, 12, 12), num_workers=4) as refac:
+            par = refac.refactor(field, name="v")
+        assert [t.index for t in par.tiles] == [t.index for t in seq.tiles]
+        assert all(
+            a.to_bytes() == b.to_bytes()
+            for a, b in zip(seq.fields, par.fields)
+        )
+
+    def test_parallel_reconstruct_bit_identical(self, field):
+        tiled = TiledRefactorer((12, 12, 12)).refactor(field)
+        serial = TiledReconstructor(tiled)
+        with TiledReconstructor(tiled, num_workers=4) as parallel:
+            for tol in (1e-1, 1e-4):
+                data_s, bound_s = serial.reconstruct(tolerance=tol)
+                data_p, bound_p = parallel.reconstruct(tolerance=tol)
+                assert np.array_equal(data_s, data_p)
+                assert bound_s == bound_p
+
+    def test_close_tears_down_cached_refactorer_pools(self, field):
+        from repro.core.refactor import RefactorConfig
+
+        with TiledRefactorer(
+            (12, 12, 12), RefactorConfig(num_workers=2), num_workers=2
+        ) as refac:
+            refac.refactor(field)
+            assert any(
+                r._pool is not None for r in refac._refactorers.values()
+            )
+        assert refac._pool is None
+        assert all(
+            r._pool is None for r in refac._refactorers.values()
+        )
+
+    def test_parallel_region_bit_identical(self, field):
+        tiled = TiledRefactorer((12, 12, 12)).refactor(field)
+        region = ((3, 17), (6, 22), (0, 16))
+        data_s, _ = TiledReconstructor(tiled).reconstruct(
+            tolerance=1e-3, region=region
+        )
+        with TiledReconstructor(tiled, num_workers=3) as parallel:
+            data_p, _ = parallel.reconstruct(tolerance=1e-3, region=region)
+        assert np.array_equal(data_s, data_p)
+
+
+class TestLazyConstruction:
+    """Per-tile reconstructors (and decode state) build on first touch."""
+
+    def test_no_reconstructors_until_touched(self, field):
+        tiled = TiledRefactorer((12, 12, 12)).refactor(field)
+        recon = TiledReconstructor(tiled)
+        assert recon.touched_tiles == []
+        assert recon.decode_state_bytes() == 0
+
+    def test_region_instantiates_only_overlapping_tiles(self, field):
+        tiled = TiledRefactorer((12, 12, 12)).refactor(field)
+        recon = TiledReconstructor(tiled)
+        recon.reconstruct(tolerance=1e-2,
+                          region=((0, 8), (0, 8), (0, 8)))
+        assert recon.touched_tiles == [0]
+        recon.reconstruct(tolerance=1e-2)  # full domain touches the rest
+        assert recon.touched_tiles == list(range(len(tiled.tiles)))
+
+    def test_reconstructor_rejects_mismatched_shared_transform(self):
+        """Every geometry knob — including min_size, which changes the
+        corner shapes — must match for a shared transform."""
+        from repro.core.reconstruct import Reconstructor
+        from repro.core.refactor import refactor
+        from repro.decompose import MultilevelTransform
+
+        f = refactor(np.linspace(0.0, 1.0, 64))
+        good = MultilevelTransform(
+            f.shape, num_levels=f.num_levels, mode=f.mode,
+            min_size=f.min_size,
+        )
+        Reconstructor(f, transform=good).reconstruct(tolerance=1e-3)
+        bad = MultilevelTransform(
+            f.shape, num_levels=f.num_levels, mode=f.mode, min_size=2
+        )
+        with pytest.raises(ValueError, match="min_size"):
+            Reconstructor(f, transform=bad)
+
+    def test_same_shape_tiles_share_transforms(self, field):
+        tiled = TiledRefactorer((12, 12, 12)).refactor(field)
+        recon = TiledReconstructor(tiled)
+        recon.reconstruct(tolerance=1e-2)
+        # 20x24x28 over 12^3 tiles yields at most 8 distinct shapes but
+        # 12 tiles; the transform memo must not exceed the shape count.
+        assert len(recon._transforms) <= 8
+        shapes = {tuple(f.shape) for f in tiled.fields}
+        assert len(recon._transforms) == len(shapes)

@@ -1,0 +1,329 @@
+"""Property tests for store-backed tiled fields and ROI retrieval.
+
+The guarantees under test (ISSUE 5):
+
+* the tiled refactor → store → open → reconstruct path stitches
+  bit-identically to the in-memory tiled path;
+* the global L∞ bound a tiled reconstruction reports equals the max of
+  the per-tile bounds;
+* ``reconstruct(region=...)`` equals the same slice of a full-domain
+  reconstruction at every staircase step, while touching (opening,
+  fetching) only the tiles the region overlaps;
+* the service's tiled sessions share segment bytes through the cache
+  and report residency through ``stats()``.
+"""
+
+import numpy as np
+import pytest
+from hypothesis import HealthCheck, given, settings
+from hypothesis import strategies as st
+
+from repro.core.reconstruct import Reconstructor
+from repro.core.service import RetrievalService
+from repro.core.store import (
+    DirectoryStore,
+    MemoryStore,
+    ShardedDirectoryStore,
+    open_tiled_field,
+    store_tiled_field,
+)
+from repro.core.tiling import (
+    TiledReconstructor,
+    TiledRefactorer,
+    normalize_region,
+)
+from repro.data import generators as gen
+
+STAIRCASE = [1e-1, 1e-3, 1e-5]
+
+
+@pytest.fixture(scope="module")
+def field():
+    return gen.gaussian_random_field((20, 24, 16), -2.0, seed=11,
+                                     dtype=np.float64)
+
+
+@pytest.fixture(scope="module")
+def tiled(field):
+    return TiledRefactorer((12, 12, 12)).refactor(field, name="rho")
+
+
+class TestStoreRoundtrip:
+    @pytest.mark.parametrize("store_cls", [MemoryStore, DirectoryStore,
+                                           ShardedDirectoryStore])
+    def test_store_open_matches_in_memory_bitwise(
+        self, field, tiled, store_cls, tmp_path
+    ):
+        """Property (a): the store round-trip stitches bit-identically
+        to the in-memory tiled path at every staircase step."""
+        store = (store_cls() if store_cls is MemoryStore
+                 else store_cls(tmp_path / "s"))
+        store_tiled_field(store, tiled)
+        mem = TiledReconstructor(tiled)
+        lazy = TiledReconstructor(open_tiled_field(store, "rho"))
+        for tol in STAIRCASE:
+            data_m, bound_m = mem.reconstruct(tolerance=tol)
+            data_l, bound_l = lazy.reconstruct(tolerance=tol)
+            assert np.array_equal(data_m, data_l)
+            assert bound_m == bound_l
+            assert float(np.max(np.abs(data_l - field))) <= tol
+
+    def test_single_manifest_flush(self, tiled, tmp_path):
+        store = DirectoryStore(tmp_path / "s")
+        store_tiled_field(store, tiled)
+        assert store.manifest_writes == 1
+
+    def test_open_is_lazy(self, tiled, tmp_path):
+        """Opening fetches only the tiled index; tiles open on touch."""
+        store = DirectoryStore(tmp_path / "s")
+        store_tiled_field(store, tiled)
+        store.reads = store.bytes_read = 0
+        lazy = open_tiled_field(store, "rho")
+        assert store.reads == 1  # the <name>.tiles record alone
+        assert lazy.opened_tiles == []
+        assert lazy.total_bytes() == tiled.total_bytes()  # from the index
+        assert store.reads == 1
+        lazy.fields[2]
+        assert lazy.opened_tiles == [2]
+
+    def test_reconstructor_construction_is_free(self, tiled, tmp_path):
+        """Wrapping a stored field builds no per-tile state until a
+        reconstruction touches tiles (the 1000-tile-field guarantee)."""
+        store = MemoryStore()
+        store_tiled_field(store, tiled)
+        store.reads = 0
+        lazy = open_tiled_field(store, "rho")
+        recon = TiledReconstructor(lazy)
+        assert store.reads == 1
+        assert recon.touched_tiles == []
+        assert recon.decode_state_bytes() == 0
+        assert recon.fetched_bytes == 0
+
+    def test_missing_tiled_field_raises_key_error(self, tmp_path):
+        store = DirectoryStore(tmp_path / "s")
+        with pytest.raises(KeyError, match="tiled"):
+            open_tiled_field(store, "nope")
+
+    def test_store_preserves_metadata(self, tiled, tmp_path):
+        store = DirectoryStore(tmp_path / "s")
+        store_tiled_field(store, tiled)
+        lazy = open_tiled_field(store, "rho")
+        assert lazy.shape == tiled.shape
+        assert lazy.dtype == tiled.dtype
+        assert lazy.value_range == tiled.value_range
+        assert lazy.name == "rho"
+        assert [t.offset for t in lazy.tiles] == \
+            [t.offset for t in tiled.tiles]
+
+
+class TestGlobalBound:
+    def test_global_bound_is_max_of_per_tile_bounds(self, tiled):
+        """Property (b): tiles partition the domain, so the reported
+        global bound must equal the max of the per-tile bounds."""
+        for tol in STAIRCASE:
+            _, bound = TiledReconstructor(tiled).reconstruct(tolerance=tol)
+            per_tile = [
+                Reconstructor(f).reconstruct(tolerance=tol).error_bound
+                for f in tiled.fields
+            ]
+            assert bound == max(per_tile)
+
+    def test_region_bound_is_max_over_touched_tiles(self, tiled):
+        region = (slice(0, 12), slice(12, 24), slice(4, 16))
+        recon = TiledReconstructor(tiled)
+        _, bound = recon.reconstruct(tolerance=1e-3, region=region)
+        touched = recon.touched_tiles
+        per_tile = [
+            Reconstructor(tiled.fields[i]).reconstruct(1e-3).error_bound
+            for i in touched
+        ]
+        assert bound == max(per_tile)
+
+
+class TestRegionRetrieval:
+    @given(
+        lo=st.tuples(st.integers(0, 19), st.integers(0, 23),
+                     st.integers(0, 15)),
+        extent=st.tuples(st.integers(1, 12), st.integers(1, 12),
+                         st.integers(1, 8)),
+    )
+    @settings(max_examples=12, deadline=None,
+              suppress_health_check=[HealthCheck.too_slow])
+    def test_region_equals_full_slice_every_step(
+        self, field, tiled, lo, extent
+    ):
+        """Property (c): at every staircase step the ROI result is the
+        same slice of the full-domain reconstruction, bit for bit."""
+        region = tuple(
+            (o, min(o + e, s))
+            for o, e, s in zip(lo, extent, field.shape)
+        )
+        slices = tuple(slice(a, b) for a, b in region)
+        full = TiledReconstructor(tiled)
+        roi = TiledReconstructor(tiled)
+        for tol in STAIRCASE:
+            data_f, _ = full.reconstruct(tolerance=tol)
+            data_r, bound_r = roi.reconstruct(tolerance=tol, region=region)
+            assert data_r.shape == tuple(b - a for a, b in region)
+            assert np.array_equal(data_r, data_f[slices])
+            if data_r.size:
+                assert float(np.max(np.abs(
+                    data_r - field[slices]
+                ))) <= tol
+                assert bound_r <= tol
+
+    def test_region_touches_only_overlapping_tiles(self, tiled, tmp_path):
+        store = DirectoryStore(tmp_path / "s")
+        store_tiled_field(store, tiled)
+        lazy = open_tiled_field(store, "rho")
+        recon = TiledReconstructor(lazy)
+        # One corner tile: tiles are 12^3 over (20, 24, 16).
+        out, _ = recon.reconstruct(
+            tolerance=1e-2, region=(slice(0, 8), slice(0, 8), slice(0, 8))
+        )
+        assert out.shape == (8, 8, 8)
+        assert recon.touched_tiles == [0]
+        assert lazy.opened_tiles == [0]
+        # Widening the region later only opens the new tiles.
+        recon.reconstruct(
+            tolerance=1e-2, region=((0, 8), (0, 20), (0, 8))
+        )
+        assert recon.touched_tiles == [0, 2]
+
+    def test_region_fetches_fewer_bytes_than_full(self, tiled, tmp_path):
+        store = DirectoryStore(tmp_path / "s")
+        store_tiled_field(store, tiled)
+
+        full = TiledReconstructor(open_tiled_field(store, "rho"))
+        before = store.bytes_read
+        full.reconstruct(tolerance=1e-3)
+        full_bytes = store.bytes_read - before
+
+        roi = TiledReconstructor(open_tiled_field(store, "rho"))
+        before = store.bytes_read
+        roi.reconstruct(tolerance=1e-3,
+                        region=((0, 8), (0, 8), (0, 8)))
+        roi_bytes = store.bytes_read - before
+        assert roi_bytes < full_bytes / 2
+
+    def test_region_staircase_is_incremental_per_tile(self, tiled):
+        recon = TiledReconstructor(tiled)
+        region = ((0, 8), (0, 8), (0, 8))
+        recon.reconstruct(tolerance=1e-1, region=region)
+        coarse = recon.fetched_bytes
+        recon.reconstruct(tolerance=1e-4, region=region)
+        assert recon.fetched_bytes > coarse
+        # The touched tile reused its decode state: only newly planned
+        # groups were decoded on the refinement step.
+        tile_recon = recon._recons[0]
+        assert tile_recon.decode_counters.groups_decoded == \
+            sum(tile_recon.fetched_groups)
+
+    def test_empty_region_returns_empty(self, tiled):
+        out, bound = TiledReconstructor(tiled).reconstruct(
+            tolerance=1e-2, region=((3, 3), (0, 24), (0, 16))
+        )
+        assert out.shape == (0, 24, 16)
+        assert bound == 0.0
+
+    def test_region_validation(self, tiled):
+        recon = TiledReconstructor(tiled)
+        with pytest.raises(ValueError, match="rank"):
+            recon.reconstruct(tolerance=1e-2, region=((0, 8), (0, 8)))
+        with pytest.raises(ValueError, match="outside"):
+            recon.reconstruct(
+                tolerance=1e-2, region=((0, 8), (0, 8), (0, 99))
+            )
+        with pytest.raises(ValueError, match="unit-step"):
+            recon.reconstruct(
+                tolerance=1e-2,
+                region=(slice(0, 8, 2), slice(0, 8), slice(0, 8)),
+            )
+
+    def test_normalize_region_none_and_open_slices(self):
+        assert normalize_region((None, slice(None, 5), slice(3, None)),
+                                (8, 9, 10)) == \
+            (slice(0, 8), slice(0, 5), slice(3, 10))
+
+
+class TestTiledService:
+    def test_tiled_session_region_staircase(self, field, tiled, tmp_path):
+        store = DirectoryStore(tmp_path / "s")
+        store_tiled_field(store, tiled)
+        service = RetrievalService(store, cache_bytes=8 << 20)
+        region = ((4, 16), (0, 12), (4, 16))
+        slices = tuple(slice(a, b) for a, b in region)
+        with service.tiled_session("rho") as session:
+            for tol in [1e-1, 1e-3]:
+                out, bound = session.reconstruct(tolerance=tol,
+                                                 region=region)
+                assert float(np.max(np.abs(out - field[slices]))) <= tol
+                assert bound <= tol
+            stats = session.stats()
+            assert stats["tiles"] == tiled.num_tiles
+            assert 0 < stats["tiles_touched"] < tiled.num_tiles
+            assert stats["decode_state_bytes"] > 0
+            svc_sessions = service.stats()["sessions"]
+            assert svc_sessions["open"] == 1
+            assert svc_sessions["tiles_touched"] == stats["tiles_touched"]
+            assert (svc_sessions["decode_state_bytes"]
+                    == stats["decode_state_bytes"])
+        assert service.stats()["sessions"]["open"] == 0
+        service.close()
+
+    def test_sessions_share_segment_bytes_through_cache(
+        self, tiled, tmp_path
+    ):
+        store = DirectoryStore(tmp_path / "s")
+        store_tiled_field(store, tiled)
+        service = RetrievalService(store, cache_bytes=32 << 20)
+        region = ((0, 8), (0, 8), (0, 8))
+        with service.tiled_session("rho") as first:
+            first.reconstruct(tolerance=1e-3, region=region)
+            cold = first.stats()
+            assert cold["cold_bytes"] > 0
+        with service.tiled_session("rho") as second:
+            second.reconstruct(tolerance=1e-3, region=region)
+            warm = second.stats()
+        assert warm["cold_bytes"] == 0
+        assert warm["cache_hit_bytes"] > 0
+        service.close()
+
+    def test_tiled_session_relative_tolerance(self, field, tiled,
+                                              tmp_path):
+        store = MemoryStore()
+        store_tiled_field(store, tiled)
+        service = RetrievalService(store)
+        with service.tiled_session("rho") as session:
+            out, _ = session.reconstruct(tolerance=1e-3, relative=True)
+            assert float(np.max(np.abs(out - field))) <= \
+                1e-3 * tiled.value_range
+        service.close()
+
+    def test_tiled_session_parallel_workers_match_serial(
+        self, tiled, tmp_path
+    ):
+        store = MemoryStore()
+        store_tiled_field(store, tiled)
+        service = RetrievalService(store)
+        with service.tiled_session("rho") as serial, \
+                service.tiled_session("rho", num_workers=3) as parallel:
+            out_s, bound_s = serial.reconstruct(tolerance=1e-3)
+            out_p, bound_p = parallel.reconstruct(tolerance=1e-3)
+        assert np.array_equal(out_s, out_p)
+        assert bound_s == bound_p
+        service.close()
+
+    def test_prefetch_warms_touched_tiles_only(self, tiled, tmp_path):
+        store = DirectoryStore(tmp_path / "s")
+        store_tiled_field(store, tiled)
+        service = RetrievalService(store, prefetch=True, num_workers=2)
+        with service.tiled_session("rho") as session:
+            session.reconstruct(tolerance=1e-1,
+                                region=((0, 8), (0, 8), (0, 8)))
+            service.drain_prefetch()
+            assert service.prefetch_failures == 0
+            # Prefetch only looks ahead within tiles the session
+            # touched; untouched tiles stay unopened.
+            assert session.tiled.opened_tiles == [0]
+        service.close()
