@@ -1,0 +1,220 @@
+"""Resilience benchmark: checksum overhead and faulty-store recovery.
+
+Two questions the fault-tolerance subsystem must answer with numbers:
+
+* **What does integrity cost when nothing is wrong?** The clean
+  cold-read path — open a directory-backed field, fetch every segment,
+  decode to the tightest staircase tolerance — with CRC32 verification
+  on vs off, best-of-N walls. The acceptance criterion is overhead
+  ≤ 5 %; the recorded ``speedup_verified_vs_unverified`` ratio is
+  guarded by ``check_regression.py`` like every other speedup.
+* **What does recovery cost when things go wrong?** A progressive
+  tolerance staircase through a 10 %-transient store behind
+  :class:`~repro.core.faults.ResilientReader` (zero-backoff policy, so
+  the wall measures retry machinery, not sleeps), compared with the
+  same staircase on the clean store — plus the injected-fault and
+  retry counts, and a bit-identity check that recovery never changed
+  an answer.
+
+Writes ``BENCH_resilience.json`` at the repo root.
+
+Run standalone (writes the JSON):
+
+    PYTHONPATH=src python benchmarks/bench_resilience.py
+
+``--smoke`` runs tiny sizes, keeps the bit-identity assertions, and
+writes nothing — the CI mode. Or through pytest (the ``bench`` marker
+keeps it out of the default test run):
+
+    PYTHONPATH=src python -m pytest benchmarks/bench_resilience.py -o addopts= -s
+"""
+
+from __future__ import annotations
+
+import json
+import platform
+import sys
+import tempfile
+import time
+from pathlib import Path
+
+import numpy as np
+import pytest
+
+from repro.core.faults import FaultInjectingStore, ResilientReader, RetryPolicy
+from repro.core.reconstruct import Reconstructor
+from repro.core.refactor import refactor
+from repro.core.store import DirectoryStore, open_field, store_field
+from repro.data import generators as gen
+
+pytestmark = pytest.mark.bench
+
+REPO_ROOT = Path(__file__).resolve().parent.parent
+RESULT_PATH = REPO_ROOT / "BENCH_resilience.json"
+
+DIMS = (48, 48, 48)
+REPEATS = 5
+TOLERANCES = [1e-1, 1e-2, 1e-3]  # relative staircase
+TRANSIENT_RATE = 0.10
+CHAOS_SEED = 7
+
+#: Acceptance ceiling: verification may cost at most this fraction of
+#: the unverified clean cold-read wall.
+MAX_CHECKSUM_OVERHEAD = 0.05
+
+
+def _build_store(root: Path, dims: tuple[int, ...]) -> DirectoryStore:
+    data = gen.gaussian_random_field(dims, -5.0 / 3.0, seed=13,
+                                     dtype=np.float32)
+    store = DirectoryStore(root)
+    store_field(store, refactor(data, name="vel"))
+    return store
+
+
+def _best_wall(fn, repeats: int) -> float:
+    best = float("inf")
+    for _ in range(repeats):
+        t0 = time.perf_counter()
+        fn()
+        best = min(best, time.perf_counter() - t0)
+    return best
+
+
+def _cold_read(store, tight_tol: float, verify: bool) -> np.ndarray:
+    """One clean cold read: open, fetch every needed segment, decode."""
+    recon = Reconstructor(open_field(store, "vel", verify=verify))
+    return recon.reconstruct(tolerance=tight_tol, relative=True).data
+
+
+def _bench_checksum_overhead(store: DirectoryStore, tight_tol: float,
+                             repeats: int) -> dict:
+    """Cold read+decode, verification on vs off (best-of-*repeats*)."""
+    wall_plain = _best_wall(
+        lambda: _cold_read(store, tight_tol, verify=False), repeats
+    )
+    wall_verified = _best_wall(
+        lambda: _cold_read(store, tight_tol, verify=True), repeats
+    )
+    overhead = (wall_verified - wall_plain) / wall_plain if wall_plain else 0.0
+    return {
+        "wall_unverified_s": wall_plain,
+        "wall_verified_s": wall_verified,
+        "checksum_overhead_fraction": overhead,
+        # Guarded ratio: ~1.0 when verification is effectively free;
+        # a drop below 0.8x the recorded value fails check_regression.
+        "speedup_verified_vs_unverified": (
+            wall_plain / wall_verified if wall_verified else 0.0
+        ),
+    }
+
+
+def _staircase(reader, tolerances) -> np.ndarray:
+    recon = Reconstructor(open_field(reader, "vel"))
+    out = None
+    for tol in tolerances:
+        out = recon.reconstruct(tolerance=tol, relative=True).data
+    return out
+
+
+def _bench_recovery(store: MemoryStore, tolerances, repeats: int) -> dict:
+    """Staircase walls: clean store vs 10%-transient store with retries."""
+    wall_clean = _best_wall(lambda: _staircase(store, tolerances), repeats)
+    reference = _staircase(store, tolerances)
+
+    flaky = FaultInjectingStore(store, seed=CHAOS_SEED,
+                                transient_rate=TRANSIENT_RATE,
+                                sleep=lambda _: None)
+    policy = RetryPolicy(max_attempts=8, base_delay_s=0.0, jitter=0.0,
+                         sleep=lambda _: None)
+    reader = ResilientReader(flaky, policy)
+    t0 = time.perf_counter()
+    recovered = _staircase(reader, tolerances)
+    wall_faulty = time.perf_counter() - t0
+
+    bit_identical = bool(np.array_equal(recovered, reference))
+    return {
+        "wall_clean_s": wall_clean,
+        "wall_faulty_s": wall_faulty,
+        "recovery_overhead_fraction": (
+            (wall_faulty - wall_clean) / wall_clean if wall_clean else 0.0
+        ),
+        "transient_rate": TRANSIENT_RATE,
+        "injected_transients": flaky.injected_transients,
+        "store_reads": flaky.reads,
+        "retry_attempts": policy.attempts,
+        "retries": policy.retries,
+        "giveups": policy.giveups,
+        "recovered_bit_identical": bit_identical,
+    }
+
+
+def run(dims: tuple[int, ...] = DIMS,
+        tolerances: list[float] = TOLERANCES,
+        repeats: int = REPEATS) -> dict:
+    with tempfile.TemporaryDirectory() as tmp:
+        store = _build_store(Path(tmp) / "campaign", dims)
+        overhead = _bench_checksum_overhead(store, tolerances[-1], repeats)
+        recovery = _bench_recovery(store, tolerances, repeats)
+        return {
+            "config": {
+                "dims": list(dims),
+                "dtype": "float32",
+                "tolerances_relative": tolerances,
+                "repeats_best_of": repeats,
+                "stored_bytes": store.total_bytes(),
+                "platform": platform.platform(),
+                "numpy": np.__version__,
+            },
+            "checksum_overhead": overhead,
+            "recovery": recovery,
+        }
+
+
+def _report(results: dict) -> None:
+    o = results["checksum_overhead"]
+    r = results["recovery"]
+    print("\n== checksum overhead (clean cold read+decode, best-of-"
+          f"{results['config']['repeats_best_of']}) ==")
+    print(f"unverified {o['wall_unverified_s']*1e3:8.1f}ms   "
+          f"verified {o['wall_verified_s']*1e3:8.1f}ms   "
+          f"overhead {o['checksum_overhead_fraction']:+.1%}")
+    print(f"\n== recovery under {r['transient_rate']:.0%}-transient store "
+          "(staircase, zero-backoff retries) ==")
+    print(f"clean {r['wall_clean_s']*1e3:8.1f}ms   "
+          f"faulty {r['wall_faulty_s']*1e3:8.1f}ms   "
+          f"overhead {r['recovery_overhead_fraction']:+.1%}")
+    print(f"injected transients {r['injected_transients']}, "
+          f"retries {r['retries']}, giveups {r['giveups']}, "
+          f"bit-identical {r['recovered_bit_identical']}")
+
+
+def test_resilience_benchmark() -> None:
+    """Pytest entry point — enforces the checksum-overhead ceiling."""
+    results = run()
+    RESULT_PATH.write_text(json.dumps(results, indent=2))
+    _report(results)
+    assert results["recovery"]["recovered_bit_identical"]
+    assert results["recovery"]["giveups"] == 0
+    assert (results["checksum_overhead"]["checksum_overhead_fraction"]
+            <= MAX_CHECKSUM_OVERHEAD)
+
+
+def main(argv: list[str] | None = None) -> None:
+    args = sys.argv[1:] if argv is None else argv
+    if "--smoke" in args:
+        results = run(dims=(16, 16, 16), tolerances=[1e-1, 1e-2],
+                      repeats=2)
+        assert results["recovery"]["recovered_bit_identical"]
+        assert results["recovery"]["injected_transients"] > 0
+        assert results["recovery"]["giveups"] == 0
+        print("bench_resilience smoke ok (tiny sizes, no overhead "
+              "ceiling, nothing written)")
+        return
+    results = run()
+    RESULT_PATH.write_text(json.dumps(results, indent=2))
+    _report(results)
+    print(f"\nwrote {RESULT_PATH}")
+
+
+if __name__ == "__main__":
+    main()

@@ -2,10 +2,11 @@
 # Run the benchmark suites and refresh the repo-root perf baselines.
 #
 #   benchmarks/run_all.sh            # hot-path + refactor + service +
-#                                    # progressive + tiles suites (refresh
+#                                    # progressive + tiles + resilience
+#                                    # suites (refresh
 #                                    #  BENCH_hotpaths.json, BENCH_refactor.json,
 #                                    #  BENCH_service.json, BENCH_progressive.json,
-#                                    #  BENCH_tiles.json)
+#                                    #  BENCH_tiles.json, BENCH_resilience.json)
 #   benchmarks/run_all.sh --figures  # additionally re-run the per-figure paper harnesses
 #
 # Each bench script also takes --smoke (tiny sizes, correctness
@@ -46,6 +47,7 @@ snapshot BENCH_refactor.json
 snapshot BENCH_service.json
 snapshot BENCH_progressive.json
 snapshot BENCH_tiles.json
+snapshot BENCH_resilience.json
 
 echo "== hot-path suite (writes BENCH_hotpaths.json) =="
 python benchmarks/bench_hotpaths.py
@@ -66,6 +68,10 @@ check BENCH_progressive.json
 echo "== tiled streaming / ROI suite (writes BENCH_tiles.json) =="
 python benchmarks/bench_tiles.py
 check BENCH_tiles.json
+
+echo "== resilience suite (writes BENCH_resilience.json) =="
+python benchmarks/bench_resilience.py
+check BENCH_resilience.json
 
 if [ "${1:-}" = "--figures" ]; then
     echo "== per-figure harnesses =="

@@ -23,6 +23,13 @@ See README.md for install/usage, docs/architecture.md for the
 paper-section → module map, and ROADMAP.md for the perf trajectory.
 """
 
+from repro.core.errors import (
+    SegmentCorruptionError,
+    SegmentNotFoundError,
+    StoreError,
+    TransientStoreError,
+)
+from repro.core.faults import FaultInjectingStore, ResilientReader, RetryPolicy
 from repro.core.reconstruct import (
     ReconstructionResult,
     Reconstructor,
@@ -62,6 +69,13 @@ __all__ = [
     "open_field",
     "RetrievalService",
     "SegmentCache",
+    "StoreError",
+    "SegmentNotFoundError",
+    "TransientStoreError",
+    "SegmentCorruptionError",
+    "FaultInjectingStore",
+    "RetryPolicy",
+    "ResilientReader",
     "retrieve_qoi",
     "v_total",
     "__version__",

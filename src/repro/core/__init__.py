@@ -30,6 +30,17 @@ Public API:
   :class:`~repro.core.service.SegmentCache`.
 """
 
+from repro.core.errors import (
+    SegmentCorruptionError,
+    SegmentNotFoundError,
+    StoreError,
+    TransientStoreError,
+)
+from repro.core.faults import (
+    FaultInjectingStore,
+    ResilientReader,
+    RetryPolicy,
+)
 from repro.core.planner import RetrievalPlan, plan_greedy, plan_round_robin
 from repro.core.reconstruct import ReconstructionResult, Reconstructor
 from repro.core.refactor import Refactorer, RefactorConfig
@@ -45,9 +56,11 @@ from repro.core.store import (
     SegmentReader,
     SegmentStore,
     ShardedDirectoryStore,
+    index_checksums,
     load_field,
     open_field,
     open_tiled_field,
+    segment_checksum,
     store_field,
     store_tiled_field,
 )
@@ -60,6 +73,7 @@ from repro.core.stream import (
 from repro.core.tiling import (
     LazyTiledField,
     TiledField,
+    TiledReconstructionResult,
     TiledReconstructor,
     TiledRefactorer,
     plan_tiles,
@@ -87,6 +101,15 @@ __all__ = [
     "open_field",
     "store_tiled_field",
     "open_tiled_field",
+    "segment_checksum",
+    "index_checksums",
+    "StoreError",
+    "SegmentNotFoundError",
+    "TransientStoreError",
+    "SegmentCorruptionError",
+    "FaultInjectingStore",
+    "RetryPolicy",
+    "ResilientReader",
     "RetrievalService",
     "SegmentCache",
     "ServiceSession",
@@ -95,5 +118,6 @@ __all__ = [
     "TiledField",
     "LazyTiledField",
     "TiledRefactorer",
+    "TiledReconstructionResult",
     "TiledReconstructor",
 ]

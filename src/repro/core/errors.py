@@ -1,0 +1,82 @@
+"""Typed error taxonomy for the segment I/O path.
+
+Real storage tiers fail in qualitatively different ways, and a caller's
+correct reaction differs per way:
+
+* the segment does not exist (:class:`SegmentNotFoundError`) — retrying
+  is pointless, the request itself is wrong or the campaign incomplete;
+* the store hiccuped (:class:`TransientStoreError`) — a timeout, a
+  dropped connection, a flaky filesystem read; retrying with backoff is
+  exactly right (:class:`~repro.core.faults.RetryPolicy`);
+* the bytes came back wrong (:class:`SegmentCorruptionError`) — a
+  checksum mismatch or an unparseable record; one re-fetch may heal a
+  path-level flip, but persistent corruption must surface loudly rather
+  than crash decoders with ``struct.error`` three layers down.
+
+Every store-facing component raises from this taxonomy. For backward
+compatibility the classes also subclass the builtin exceptions the
+pre-taxonomy code leaked (``KeyError`` for missing segments,
+``ValueError`` for malformed streams), so existing ``except`` clauses
+keep working while new callers can classify precisely.
+"""
+
+from __future__ import annotations
+
+
+class StoreError(Exception):
+    """Base of every segment-store failure this package raises.
+
+    ``except StoreError`` is the catch-all for "the storage tier, not
+    the math, went wrong" — the class the degraded-mode retrieval path
+    (``reconstruct(..., on_fault="degrade")``) treats as a fault.
+    """
+
+
+class SegmentNotFoundError(StoreError, KeyError):
+    """A requested segment key is not in the store.
+
+    Subclasses ``KeyError`` so pre-taxonomy callers (and dict-like
+    idioms) keep working; *not* retryable — the key will not appear by
+    asking again.
+    """
+
+
+class TransientStoreError(StoreError):
+    """The store failed in a way a retry may heal.
+
+    Timeouts, interrupted reads, throttling, flaky filesystem errors.
+    The default :class:`~repro.core.faults.RetryPolicy` classification
+    retries exactly these (plus corruption, which one re-fetch can heal
+    when the flip happened on the wire).
+    """
+
+
+class SegmentCorruptionError(StoreError, ValueError):
+    """A fetched blob failed verification or cannot be parsed.
+
+    Raised on CRC32 mismatches against the index-recorded checksum and
+    on structurally-invalid persisted records (truncated indexes,
+    garbled manifests, segments shorter than their recorded byte
+    count). Subclasses ``ValueError`` because the pre-taxonomy parsers
+    raised that for malformed streams.
+    """
+
+
+#: Errors a retry may heal: transient faults, and corruption (one
+#: re-fetch heals a wire-level flip). ``SegmentNotFoundError`` is
+#: deliberately absent. ``TimeoutError`` covers per-attempt timeouts
+#: raised below this package (e.g. a socket layer).
+RETRYABLE_ERRORS: tuple[type[BaseException], ...] = (
+    TransientStoreError,
+    SegmentCorruptionError,
+    TimeoutError,
+)
+
+
+__all__ = [
+    "StoreError",
+    "SegmentNotFoundError",
+    "TransientStoreError",
+    "SegmentCorruptionError",
+    "RETRYABLE_ERRORS",
+]

@@ -1,0 +1,379 @@
+"""Fault injection, retry policy, and resilient segment reading.
+
+ROADMAP item 4 points the service layer at remote object stores — which
+time out, throttle, and occasionally hand back flipped bits. This module
+is the resilience toolkit around the :class:`~repro.core.store.SegmentReader`
+protocol:
+
+* :class:`FaultInjectingStore` — a deterministic, seed-driven wrapper
+  that injects transient failures, latency, bit-flip corruption, and
+  fail-N-then-succeed schedules into any reader. Every decision derives
+  from ``(seed, key, nth access of that key)``, so a fixed access
+  pattern replays the exact same fault schedule regardless of thread
+  interleaving — the property the chaos test harness builds on.
+* :class:`RetryPolicy` — exponential backoff with deterministic jitter,
+  optional per-attempt timeout and overall deadline, and a retryable-
+  error classification (:data:`~repro.core.errors.RETRYABLE_ERRORS` by
+  default: transient faults and corruption retry, missing keys do not).
+* :class:`ResilientReader` — wraps any reader with the policy's retries
+  plus optional CRC32 verification against index-recorded checksums
+  (see :func:`~repro.core.store.index_checksums`), so one composable
+  object turns a flaky store into one that either answers correctly or
+  raises a classified error after a bounded effort.
+
+The layers compose: ``RetrievalService(ResilientReader(flaky, policy))``
+gives every session retried, verified fetches, and the service's
+:class:`~repro.core.service.SegmentCache` adds its own checksum gate on
+cold fetches.
+"""
+
+from __future__ import annotations
+
+import random
+import threading
+import time
+import zlib
+from collections.abc import Callable, Mapping
+from concurrent.futures import Future
+from concurrent.futures import TimeoutError as FutureTimeoutError
+
+from repro.core.errors import (
+    RETRYABLE_ERRORS,
+    SegmentCorruptionError,
+    TransientStoreError,
+)
+
+
+class FaultInjectingStore:
+    """Deterministic fault-injecting view of a segment reader.
+
+    Parameters
+    ----------
+    inner:
+        The wrapped :class:`~repro.core.store.SegmentReader` (or full
+        store — writes and every other attribute pass through).
+    seed:
+        Root of the deterministic fault schedule. Each ``get`` decision
+        draws from ``random.Random(f"{seed}:{key}:{n}")`` where *n* is
+        that key's access count, so runs with identical per-key access
+        sequences see identical faults even under concurrency.
+    transient_rate:
+        Probability in ``[0, 1]`` that a ``get`` raises
+        :class:`~repro.core.errors.TransientStoreError` (drawn before
+        the read; the attribute is mutable, so tests can switch an
+        "outage" on and off mid-run).
+    corrupt_rate:
+        Probability in ``[0, 1]`` that a successful ``get`` returns the
+        blob with exactly one deterministically-chosen bit flipped.
+    latency_s:
+        Injected sleep per ``get`` (via *sleep*), modeling a slow tier.
+    fail_first:
+        Fail-N-then-succeed schedule: an ``int`` applies to every key,
+        a mapping gives per-key counts; the first N accesses of a key
+        raise :class:`~repro.core.errors.TransientStoreError` before
+        any rate is drawn. Use a huge N for a permanently-failing key.
+    sleep:
+        Injected sleep function (tests pass a no-op and read
+        ``injected_latency_s`` instead of waiting).
+
+    Counters — ``reads``, ``injected_transients``,
+    ``injected_corruptions``, ``injected_latency_s`` — let harnesses
+    assert that a chaos run actually exercised faults.
+    """
+
+    def __init__(
+        self,
+        inner,
+        *,
+        seed: int = 0,
+        transient_rate: float = 0.0,
+        corrupt_rate: float = 0.0,
+        latency_s: float = 0.0,
+        fail_first: int | Mapping[str, int] | None = None,
+        sleep: Callable[[float], None] = time.sleep,
+    ) -> None:
+        for name, rate in (("transient_rate", transient_rate),
+                           ("corrupt_rate", corrupt_rate)):
+            if not 0.0 <= rate <= 1.0:
+                raise ValueError(f"{name} must be in [0, 1], got {rate}")
+        if latency_s < 0:
+            raise ValueError("latency_s must be >= 0")
+        self._inner = inner
+        self.seed = seed
+        self.transient_rate = float(transient_rate)
+        self.corrupt_rate = float(corrupt_rate)
+        self.latency_s = float(latency_s)
+        self.fail_first = fail_first
+        self._sleep = sleep
+        self._lock = threading.Lock()
+        self._access_counts: dict[str, int] = {}
+        self.reads = 0
+        self.injected_transients = 0
+        self.injected_corruptions = 0
+        self.injected_latency_s = 0.0
+
+    def _fail_budget(self, key: str) -> int:
+        schedule = self.fail_first
+        if schedule is None:
+            return 0
+        if isinstance(schedule, Mapping):
+            return int(schedule.get(key, 0))
+        return int(schedule)
+
+    def get(self, key: str) -> bytes:
+        with self._lock:
+            n = self._access_counts[key] = self._access_counts.get(key, 0) + 1
+            self.reads += 1
+        if self.latency_s:
+            with self._lock:
+                self.injected_latency_s += self.latency_s
+            self._sleep(self.latency_s)
+        if n <= self._fail_budget(key):
+            with self._lock:
+                self.injected_transients += 1
+            raise TransientStoreError(
+                f"injected failure {n}/{self._fail_budget(key)} for "
+                f"segment {key!r}"
+            )
+        rng = random.Random(f"{self.seed}:{key}:{n}")
+        if self.transient_rate and rng.random() < self.transient_rate:
+            with self._lock:
+                self.injected_transients += 1
+            raise TransientStoreError(
+                f"injected transient failure for segment {key!r} "
+                f"(access {n})"
+            )
+        blob = self._inner.get(key)
+        if self.corrupt_rate and blob and rng.random() < self.corrupt_rate:
+            flipped = bytearray(blob)
+            bit = rng.randrange(len(flipped) * 8)
+            flipped[bit >> 3] ^= 1 << (bit & 7)
+            blob = bytes(flipped)
+            with self._lock:
+                self.injected_corruptions += 1
+        return blob
+
+    def access_count(self, key: str) -> int:
+        """How many times *key* has been ``get`` so far."""
+        with self._lock:
+            return self._access_counts.get(key, 0)
+
+    # Membership goes through the type slot, so it cannot be delegated
+    # via __getattr__ like the remaining reader/store surface is.
+    def __contains__(self, key: str) -> bool:
+        return key in self._inner
+
+    def __getattr__(self, name: str):
+        if name.startswith("_"):
+            raise AttributeError(name)
+        return getattr(self._inner, name)
+
+
+class RetryPolicy:
+    """Bounded, classified retries with exponential backoff and jitter.
+
+    Parameters
+    ----------
+    max_attempts:
+        Total tries per call (first attempt included); ``1`` disables
+        retries.
+    base_delay_s / max_delay_s:
+        Backoff before retry *k* (1-based) sleeps
+        ``min(max_delay_s, base_delay_s * 2**(k-1))`` scaled by jitter.
+    jitter:
+        Fractional jitter: each delay is multiplied by a deterministic
+        draw from ``[1, 1 + jitter]`` (seeded — two policies built with
+        the same seed back off identically).
+    deadline_s:
+        Overall budget per :meth:`run` call: when the elapsed time plus
+        the next planned delay would exceed it, the last error is
+        raised instead of sleeping.
+    attempt_timeout_s:
+        Per-attempt wall limit. The attempt runs in a daemon thread and
+        is abandoned on timeout (a blocking store call cannot be
+        cancelled from outside), surfacing as a retryable
+        :class:`~repro.core.errors.TransientStoreError`.
+    retryable:
+        Exception classes worth retrying
+        (:data:`~repro.core.errors.RETRYABLE_ERRORS` by default).
+    sleep / clock:
+        Injectable for tests (defaults ``time.sleep`` /
+        ``time.monotonic``).
+
+    Counters: ``attempts`` (calls into the wrapped function),
+    ``retries`` (sleeps taken), ``giveups`` (calls that raised).
+    """
+
+    def __init__(
+        self,
+        max_attempts: int = 4,
+        base_delay_s: float = 0.01,
+        max_delay_s: float = 2.0,
+        jitter: float = 0.1,
+        deadline_s: float | None = None,
+        attempt_timeout_s: float | None = None,
+        retryable: tuple[type[BaseException], ...] = RETRYABLE_ERRORS,
+        seed: int = 0,
+        sleep: Callable[[float], None] = time.sleep,
+        clock: Callable[[], float] = time.monotonic,
+    ) -> None:
+        if max_attempts < 1:
+            raise ValueError("max_attempts must be >= 1")
+        if base_delay_s < 0 or max_delay_s < 0:
+            raise ValueError("delays must be >= 0")
+        if jitter < 0:
+            raise ValueError("jitter must be >= 0")
+        if deadline_s is not None and deadline_s <= 0:
+            raise ValueError("deadline_s must be > 0")
+        if attempt_timeout_s is not None and attempt_timeout_s <= 0:
+            raise ValueError("attempt_timeout_s must be > 0")
+        self.max_attempts = int(max_attempts)
+        self.base_delay_s = float(base_delay_s)
+        self.max_delay_s = float(max_delay_s)
+        self.jitter = float(jitter)
+        self.deadline_s = deadline_s
+        self.attempt_timeout_s = attempt_timeout_s
+        self.retryable = tuple(retryable)
+        self._sleep = sleep
+        self._clock = clock
+        self._rng = random.Random(seed)
+        self._rng_lock = threading.Lock()
+        self.attempts = 0
+        self.retries = 0
+        self.giveups = 0
+
+    def delay_for(self, retry_number: int) -> float:
+        """Backoff before 1-based *retry_number* (jitter applied)."""
+        if retry_number < 1:
+            raise ValueError("retry_number is 1-based")
+        base = min(
+            self.max_delay_s, self.base_delay_s * 2.0 ** (retry_number - 1)
+        )
+        if not self.jitter:
+            return base
+        with self._rng_lock:
+            scale = 1.0 + self.jitter * self._rng.random()
+        return base * scale
+
+    def _attempt(self, fn: Callable, args: tuple):
+        if self.attempt_timeout_s is None:
+            return fn(*args)
+        outcome: Future = Future()
+
+        def runner() -> None:
+            try:
+                outcome.set_result(fn(*args))
+            except BaseException as exc:  # delivered via outcome
+                outcome.set_exception(exc)
+
+        thread = threading.Thread(target=runner, daemon=True)
+        thread.start()
+        try:
+            return outcome.result(timeout=self.attempt_timeout_s)
+        except FutureTimeoutError:
+            # The blocking call cannot be cancelled; abandon the thread
+            # and classify the attempt as transient so it is retried.
+            raise TransientStoreError(
+                f"attempt exceeded {self.attempt_timeout_s}s timeout"
+            ) from None
+
+    def run(self, fn: Callable, *args):
+        """Call ``fn(*args)``, retrying classified failures per policy."""
+        start = self._clock()
+        retry_number = 0
+        while True:
+            self.attempts += 1
+            try:
+                return self._attempt(fn, args)
+            except self.retryable:
+                retry_number += 1
+                if retry_number >= self.max_attempts:
+                    self.giveups += 1
+                    raise
+                delay = self.delay_for(retry_number)
+                if (
+                    self.deadline_s is not None
+                    and self._clock() - start + delay > self.deadline_s
+                ):
+                    self.giveups += 1
+                    raise
+                self.retries += 1
+                if delay:
+                    self._sleep(delay)
+
+    def stats(self) -> dict:
+        """Counter snapshot, JSON-ready."""
+        return {
+            "attempts": self.attempts,
+            "retries": self.retries,
+            "giveups": self.giveups,
+        }
+
+
+class ResilientReader:
+    """Retrying, verifying view of a :class:`~repro.core.store.SegmentReader`.
+
+    ``get`` runs through *policy* (so transient faults and heal-able
+    corruption are retried with backoff); when *checksums* maps a key to
+    its CRC32 (as recorded by :func:`~repro.core.store.store_field` —
+    see :func:`~repro.core.store.index_checksums`), every fetched blob
+    is verified and mismatches raise
+    :class:`~repro.core.errors.SegmentCorruptionError` — which the
+    default policy classification also retries, since a flip on the
+    read path heals on re-fetch. Everything else (writes, counters,
+    ``batch``) passes through to the wrapped reader.
+    """
+
+    def __init__(
+        self,
+        reader,
+        policy: RetryPolicy | None = None,
+        checksums: Mapping[str, int] | None = None,
+    ) -> None:
+        self._reader = reader
+        self.policy = policy if policy is not None else RetryPolicy()
+        self._checksums: dict[str, int] = dict(checksums or {})
+        self._checksums_lock = threading.Lock()
+
+    def register_checksums(self, checksums: Mapping[str, int]) -> None:
+        """Add expected CRC32s (e.g. from a freshly-read index)."""
+        with self._checksums_lock:
+            self._checksums.update(
+                {k: int(v) for k, v in checksums.items()}
+            )
+
+    def _get_once(self, key: str) -> bytes:
+        blob = self._reader.get(key)
+        with self._checksums_lock:
+            expected = self._checksums.get(key)
+        if expected is not None and zlib.crc32(blob) != expected:
+            raise SegmentCorruptionError(
+                f"segment {key!r} failed CRC32 verification"
+            )
+        return blob
+
+    def get(self, key: str) -> bytes:
+        """Fetch *key* with retries and (when known) CRC verification."""
+        return self.policy.run(self._get_once, key)
+
+    def size_of(self, key: str) -> int:
+        """Manifest-size lookup, retried under the same policy."""
+        return self.policy.run(self._reader.size_of, key)
+
+    def keys(self) -> list[str]:
+        return self._reader.keys()
+
+    def __contains__(self, key: str) -> bool:
+        return key in self._reader
+
+    def __getattr__(self, name: str):
+        if name.startswith("_"):
+            raise AttributeError(name)
+        return getattr(self._reader, name)
+
+
+__all__ = [
+    "FaultInjectingStore",
+    "RetryPolicy",
+    "ResilientReader",
+]

@@ -27,6 +27,7 @@ from repro.bitplane.encoding import (
     finalize_decode,
 )
 from repro.core._pool import WorkerPoolMixin
+from repro.core.errors import StoreError
 from repro.core.planner import RetrievalPlan, plan_full, plan_greedy
 from repro.core.stream import RefactoredField
 from repro.decompose import MultilevelTransform
@@ -51,6 +52,14 @@ class ReconstructionResult:
     ``decoded_groups`` / ``decoded_planes`` count the plane groups and
     bitplanes this step actually decompressed and injected — on the
     incremental engine a refinement step reports only the increment.
+
+    ``degraded`` marks a step answered from the session's last
+    *committed* refinement because the storage tier faulted and the
+    caller asked for ``on_fault="degrade"``; ``failed_groups`` then
+    records the per-level group counts the aborted plan wanted, and
+    ``error_bound``/``plan`` describe what was actually returned. A
+    follow-up call retries exactly the missing increment (session
+    state never committed the failed step).
     """
 
     data: np.ndarray
@@ -64,6 +73,8 @@ class ReconstructionResult:
     relative_tolerance: float | None = None  # requested fraction, if any
     decoded_groups: int = 0  # plane groups decompressed by this step
     decoded_planes: int = 0  # bitplanes injected by this step
+    degraded: bool = False  # answered from the last committed refinement
+    failed_groups: list[int] | None = None  # aborted plan's group counts
 
     @property
     def bitrate(self) -> float:
@@ -229,6 +240,7 @@ class Reconstructor(WorkerPoolMixin):
         tolerance: float | None = None,
         relative: bool = False,
         plan: RetrievalPlan | None = None,
+        on_fault: str = "raise",
     ) -> ReconstructionResult:
         """Reconstruct to *tolerance* (L∞), fetching only the increment.
 
@@ -242,7 +254,21 @@ class Reconstructor(WorkerPoolMixin):
         state (fetch progress and retained decode partials) commits only
         after the whole step decodes successfully, so a failed lazy-store
         fetch can simply be retried.
+
+        ``on_fault`` controls what a storage-tier failure
+        (:class:`~repro.core.errors.StoreError` — a missing segment,
+        exhausted retries, persistent corruption) does: ``"raise"``
+        (default) propagates it; ``"degrade"`` falls back to the
+        session's last committed refinement — the result carries
+        ``degraded=True``, ``failed_groups`` (the aborted plan), and
+        the honest (looser) ``error_bound`` of what was returned.
+        Because the failed step never committed, simply calling again
+        resumes exactly where the fault hit.
         """
+        if on_fault not in ("raise", "degrade"):
+            raise ValueError(
+                f"on_fault must be 'raise' or 'degrade', got {on_fault!r}"
+            )
         # Store-backed lazy fields track actual segment traffic; snapshot
         # before planning (a pre-metadata index can force fetches there)
         # to report this step's cold vs. cached split.
@@ -290,7 +316,28 @@ class Reconstructor(WorkerPoolMixin):
             (idx, lv, want)
             for idx, (lv, want) in enumerate(zip(self.field.levels, groups))
         ]
-        outcomes = self.map_jobs(decode_level, jobs)
+        degraded = False
+        failed_groups: list[int] | None = None
+        try:
+            outcomes = self.map_jobs(decode_level, jobs)
+        except StoreError:
+            if on_fault != "degrade":
+                raise
+            # Fall back to the last committed refinement: every group in
+            # [0, have) is already memoized in the (lazy) field and every
+            # committed level value is cached, so this decode pass
+            # touches no store and cannot fault again.
+            degraded = True
+            failed_groups = groups
+            groups = list(self._fetched)
+            incremental = 0
+            jobs = [
+                (idx, lv, want)
+                for idx, (lv, want) in enumerate(
+                    zip(self.field.levels, groups)
+                )
+            ]
+            outcomes = self.map_jobs(decode_level, jobs)
 
         level_values = [values for _, values, _, _ in outcomes]
         coeffs = self.transform.assemble_levels(level_values)
@@ -344,6 +391,8 @@ class Reconstructor(WorkerPoolMixin):
             relative_tolerance=relative_requested,
             decoded_groups=step_groups,
             decoded_planes=step_planes,
+            degraded=degraded,
+            failed_groups=failed_groups,
             plan=RetrievalPlan(
                 groups_per_level=groups,
                 error_bound=bound,
@@ -394,16 +443,23 @@ class Reconstructor(WorkerPoolMixin):
         return idx, values, None, (want, lv.planes_in_groups(want))
 
     def progressive(
-        self, tolerances: list[float], relative: bool = False
+        self,
+        tolerances: list[float],
+        relative: bool = False,
+        on_fault: str = "raise",
     ) -> list[ReconstructionResult]:
         """Reconstruct at a decreasing tolerance schedule.
 
         Returns one result per tolerance; ``incremental_bytes`` of each
         step is the extra data movement that step required — the series
-        plotted in Fig. 8(b).
+        plotted in Fig. 8(b). ``on_fault="degrade"`` lets a faulting
+        staircase keep walking: failed steps return the last committed
+        refinement (marked ``degraded``) and later steps retry the
+        missing increments.
         """
         return [
-            self.reconstruct(tolerance=t, relative=relative)
+            self.reconstruct(tolerance=t, relative=relative,
+                             on_fault=on_fault)
             for t in tolerances
         ]
 

@@ -27,18 +27,22 @@ from __future__ import annotations
 
 import threading
 import weakref
+import zlib
 from collections import OrderedDict
 from concurrent.futures import Future
 
 from collections.abc import Sequence
 
-import numpy as np
-
 from repro.core._pool import WorkerPoolMixin
+from repro.core.errors import SegmentCorruptionError
 from repro.core.reconstruct import ReconstructionResult, Reconstructor
 from repro.core.store import open_field, open_tiled_field
 from repro.core.stream import LazyRefactoredField
-from repro.core.tiling import LazyTiledField, TiledReconstructor
+from repro.core.tiling import (
+    LazyTiledField,
+    TiledReconstructionResult,
+    TiledReconstructor,
+)
 from repro.core.planner import RetrievalPlan
 
 
@@ -72,6 +76,7 @@ class SegmentCache:
         self._lock = threading.RLock()
         self._entries: "OrderedDict[str, bytes]" = OrderedDict()
         self._inflight: dict[str, Future] = {}
+        self._checksums: dict[str, int] = {}
         self.current_bytes = 0
         self.hits = 0
         self.misses = 0
@@ -79,6 +84,20 @@ class SegmentCache:
         self.miss_bytes = 0
         self.evictions = 0
         self.oversize = 0
+        self.corruption_refetches = 0
+        self.corruption_failures = 0
+
+    def register_checksums(self, checksums: dict[str, int]) -> None:
+        """Expect these CRC32s on cold fetches of the given keys.
+
+        :func:`~repro.core.store.open_field` registers each field's
+        per-segment checksums here, so every *cold* read through the
+        cache is verified once before it is cached or handed to any
+        waiter; cache hits reuse the already-verified bytes without
+        re-hashing.
+        """
+        with self._lock:
+            self._checksums.update(checksums)
 
     def resolve(self, key: str) -> tuple[bytes, bool]:
         """Return ``(blob, cold)``: the segment plus whether it was a miss.
@@ -107,7 +126,7 @@ class SegmentCache:
                 self.hit_bytes += len(blob)
             return blob, False
         try:
-            blob = self._reader.get(key)
+            blob = self._fetch_checked(key)
         except BaseException as exc:
             with self._lock:
                 self._inflight.pop(key, None)
@@ -120,6 +139,35 @@ class SegmentCache:
             self._inflight.pop(key, None)
         pending.set_result(blob)
         return blob, True
+
+    def _fetch_checked(self, key: str) -> bytes:
+        """Cold read of *key*, CRC-verified when a checksum is known.
+
+        A mismatch is treated as a transient wire/storage flip first:
+        the segment is re-fetched once (``corruption_refetches``); a
+        second mismatch means the stored bytes themselves are bad and
+        raises :class:`~repro.core.errors.SegmentCorruptionError`
+        (``corruption_failures``), which propagates to every waiter
+        piggybacking on this in-flight read.
+        """
+        with self._lock:
+            expected = self._checksums.get(key)
+        blob = self._reader.get(key)
+        if expected is None:
+            return blob
+        if zlib.crc32(blob) & 0xFFFFFFFF == expected:
+            return blob
+        with self._lock:
+            self.corruption_refetches += 1
+        blob = self._reader.get(key)
+        if zlib.crc32(blob) & 0xFFFFFFFF == expected:
+            return blob
+        with self._lock:
+            self.corruption_failures += 1
+        raise SegmentCorruptionError(
+            f"segment {key!r} failed checksum verification after re-fetch "
+            f"(expected crc32 {expected:#010x})"
+        )
 
     def get(self, key: str) -> bytes:
         """The blob alone — :meth:`resolve` without the cold flag."""
@@ -174,6 +222,8 @@ class SegmentCache:
                 "hit_rate": self.hit_rate,
                 "evictions": self.evictions,
                 "oversize": self.oversize,
+                "corruption_refetches": self.corruption_refetches,
+                "corruption_failures": self.corruption_failures,
             }
 
 
@@ -202,10 +252,18 @@ class ServiceSession:
         tolerance: float | None = None,
         relative: bool = False,
         plan: RetrievalPlan | None = None,
+        on_fault: str = "raise",
     ) -> ReconstructionResult:
-        """One progressive step — see :meth:`Reconstructor.reconstruct`."""
+        """One progressive step — see :meth:`Reconstructor.reconstruct`.
+
+        ``on_fault="degrade"`` answers from the last committed
+        refinement when the backing store faults mid-step (the result
+        reports ``degraded=True`` and ``failed_groups``); a later call
+        at the same tolerance resumes exactly the failed increment.
+        """
         result = self.reconstructor.reconstruct(
-            tolerance=tolerance, relative=relative, plan=plan
+            tolerance=tolerance, relative=relative, plan=plan,
+            on_fault=on_fault,
         )
         self.service._schedule_prefetch(
             self.field, self.reconstructor.fetched_groups
@@ -213,11 +271,15 @@ class ServiceSession:
         return result
 
     def progressive(
-        self, tolerances: list[float], relative: bool = False
+        self,
+        tolerances: list[float],
+        relative: bool = False,
+        on_fault: str = "raise",
     ) -> list[ReconstructionResult]:
         """Walk a decreasing tolerance schedule, one result per step."""
         return [
-            self.reconstruct(tolerance=t, relative=relative)
+            self.reconstruct(tolerance=t, relative=relative,
+                             on_fault=on_fault)
             for t in tolerances
         ]
 
@@ -288,11 +350,19 @@ class TiledServiceSession:
         tolerance: float | None = None,
         relative: bool = False,
         region: Sequence | None = None,
-    ) -> tuple[np.ndarray, float]:
+        on_fault: str = "raise",
+    ) -> TiledReconstructionResult:
         """One progressive step — see
-        :meth:`~repro.core.tiling.TiledReconstructor.reconstruct`."""
+        :meth:`~repro.core.tiling.TiledReconstructor.reconstruct`.
+
+        ``on_fault="degrade"`` answers faulted tiles from their last
+        committed refinement (zeros if never opened); the result's
+        ``degraded``/``failed_tiles`` report what fell back, and a later
+        call at the same tolerance retries only the failed increments.
+        """
         out = self.reconstructor.reconstruct(
-            tolerance=tolerance, relative=relative, region=region
+            tolerance=tolerance, relative=relative, region=region,
+            on_fault=on_fault,
         )
         if self.service.prefetch:
             # Batch every touched tile's next-group keys into one
@@ -311,10 +381,12 @@ class TiledServiceSession:
         tolerances: Sequence[float],
         relative: bool = False,
         region: Sequence | None = None,
-    ) -> list[tuple[np.ndarray, float]]:
+        on_fault: str = "raise",
+    ) -> list[TiledReconstructionResult]:
         """Walk a decreasing tolerance schedule over *region*."""
         return [
-            self.reconstruct(tolerance=t, relative=relative, region=region)
+            self.reconstruct(tolerance=t, relative=relative, region=region,
+                             on_fault=on_fault)
             for t in tolerances
         ]
 

@@ -25,6 +25,9 @@ Keys are ``(variable, level, group)`` triples flattened to strings.
 from __future__ import annotations
 
 import json
+import os
+import struct
+import tempfile
 import threading
 import zlib
 from contextlib import contextmanager, nullcontext
@@ -33,6 +36,11 @@ from typing import Callable, Protocol, runtime_checkable
 
 import numpy as np
 
+from repro.core.errors import (
+    SegmentCorruptionError,
+    SegmentNotFoundError,
+    TransientStoreError,
+)
 from repro.core.stream import (
     LazyRefactoredField,
     LevelStream,
@@ -94,13 +102,20 @@ class MemoryStore:
         self.writes += 1
 
     def get(self, key: str) -> bytes:
-        """Return the blob stored under *key* (KeyError when absent)."""
+        """Return the blob stored under *key*.
+
+        Raises :class:`~repro.core.errors.SegmentNotFoundError` (a
+        ``KeyError`` subclass) when absent, so callers can tell
+        "missing" from "transient" without string matching.
+        """
         with self._stats_lock:  # concurrent sessions share one store
             self.reads += 1
         try:
             return self._blobs[key]
         except KeyError:
-            raise KeyError(f"segment {key!r} not in store") from None
+            raise SegmentNotFoundError(
+                f"segment {key!r} not in store"
+            ) from None
 
     def __contains__(self, key: str) -> bool:
         return key in self._blobs
@@ -111,7 +126,12 @@ class MemoryStore:
 
     def size_of(self, key: str) -> int:
         """Serialized size of *key*'s blob, without counting as a read."""
-        return len(self._blobs[key])
+        try:
+            return len(self._blobs[key])
+        except KeyError:
+            raise SegmentNotFoundError(
+                f"segment {key!r} not in store"
+            ) from None
 
     def total_bytes(self) -> int:
         """Sum of all stored blob sizes."""
@@ -158,7 +178,18 @@ class DirectoryStore:
         self._dirty = False
         self._manifest_path = self.root / self.MANIFEST
         if self._manifest_path.exists():
-            self._manifest = json.loads(self._manifest_path.read_text())
+            try:
+                manifest = json.loads(self._manifest_path.read_text())
+            except (ValueError, UnicodeDecodeError) as exc:
+                raise SegmentCorruptionError(
+                    f"manifest at {self._manifest_path} is corrupt: {exc}"
+                ) from exc
+            if not isinstance(manifest, dict):
+                raise SegmentCorruptionError(
+                    f"manifest at {self._manifest_path} is corrupt: "
+                    f"expected an object, got {type(manifest).__name__}"
+                )
+            self._manifest = manifest
         else:
             self._manifest = {}
 
@@ -167,7 +198,25 @@ class DirectoryStore:
         return self.root / key
 
     def _flush_manifest(self) -> None:
-        self._manifest_path.write_text(json.dumps(self._manifest, indent=0))
+        # Crash-safe: write a sibling temp file, fsync it, and rename it
+        # into place. A crash mid-flush leaves either the old manifest
+        # or the new one — never a truncated JSON blob (os.replace is
+        # atomic within one directory).
+        fd, tmp = tempfile.mkstemp(
+            dir=self.root, prefix=self.MANIFEST + ".", suffix=".tmp"
+        )
+        try:
+            with os.fdopen(fd, "w") as handle:
+                handle.write(json.dumps(self._manifest, indent=0))
+                handle.flush()
+                os.fsync(handle.fileno())
+            os.replace(tmp, self._manifest_path)
+        except BaseException:
+            try:
+                os.unlink(tmp)
+            except OSError:
+                pass
+            raise
         self.manifest_writes += 1
         self._dirty = False
 
@@ -202,11 +251,25 @@ class DirectoryStore:
         self.writes += 1
 
     def get(self, key: str) -> bytes:
-        """Read one segment file, charging the accounting counters."""
+        """Read one segment file, charging the accounting counters.
+
+        Raises :class:`~repro.core.errors.SegmentNotFoundError` when
+        the file is absent and
+        :class:`~repro.core.errors.TransientStoreError` for other OS
+        failures (a flaky filesystem read is worth retrying; a missing
+        segment is not).
+        """
         path = self._path_for(key)
-        if not path.exists():
-            raise KeyError(f"segment {key!r} not in store")
-        blob = path.read_bytes()
+        try:
+            blob = path.read_bytes()
+        except FileNotFoundError:
+            raise SegmentNotFoundError(
+                f"segment {key!r} not in store"
+            ) from None
+        except OSError as exc:
+            raise TransientStoreError(
+                f"reading segment {key!r} failed: {exc}"
+            ) from exc
         with self._stats_lock:  # concurrent sessions share one store
             self.reads += 1
             self.bytes_read += len(blob)
@@ -221,7 +284,12 @@ class DirectoryStore:
 
     def size_of(self, key: str) -> int:
         """Manifest-recorded size of *key* — no file access."""
-        return self._manifest[key]
+        try:
+            return self._manifest[key]
+        except KeyError:
+            raise SegmentNotFoundError(
+                f"segment {key!r} not in manifest"
+            ) from None
 
     def total_bytes(self) -> int:
         """Sum of all manifest-recorded segment sizes."""
@@ -295,16 +363,72 @@ class ShardedDirectoryStore(DirectoryStore):
         return self.root / f"shard_{self.shard_of(key):02x}" / key
 
 
+def segment_checksum(blob: bytes) -> int:
+    """CRC32 of a segment blob — the integrity check recorded per
+    segment in the index and verified on every cold fetch."""
+    return zlib.crc32(blob) & 0xFFFFFFFF
+
+
+def index_checksums(index: dict) -> dict[str, int]:
+    """Per-segment CRC32 map from a :func:`store_field` index record.
+
+    The composition hook for :class:`~repro.core.faults.ResilientReader`
+    and :meth:`~repro.core.service.SegmentCache.register_checksums`;
+    empty for indexes written before checksums were recorded.
+    """
+    return {
+        key: int(meta["crc32"])
+        for key, meta in index.get("segments", {}).items()
+        if isinstance(meta, dict) and "crc32" in meta
+    }
+
+
+def _fetch_verified(
+    get: Callable[[str], bytes], key: str, expected: int | None
+) -> bytes:
+    """Fetch *key* and verify its CRC32 against *expected*.
+
+    A mismatch is first treated as transient — flips on the read path
+    heal on re-fetch — so the segment is fetched once more; a second
+    mismatch raises :class:`~repro.core.errors.SegmentCorruptionError`
+    (the stored bytes themselves are bad).
+    """
+    blob = get(key)
+    if expected is None or segment_checksum(blob) == expected:
+        return blob
+    blob = get(key)
+    if segment_checksum(blob) == expected:
+        return blob
+    raise SegmentCorruptionError(
+        f"segment {key!r} failed CRC32 verification after re-fetch "
+        f"(expected {expected:#010x}, got {segment_checksum(blob):#010x})"
+    )
+
+
+def _parse_group(key: str, blob: bytes) -> CompressedGroup:
+    """Parse a segment blob, converting structural failures to the
+    typed taxonomy (a truncated file must not surface as
+    ``struct.error`` from three layers down)."""
+    try:
+        return CompressedGroup.from_bytes(blob)
+    except (ValueError, struct.error, IndexError) as exc:
+        raise SegmentCorruptionError(
+            f"segment {key!r} is corrupt: {exc}"
+        ) from exc
+
+
 def store_field(store, field: RefactoredField) -> dict:
     """Write every plane group of *field* as its own segment.
 
     Returns the index record that :func:`load_field` / :func:`open_field`
     need; it is also written to the store under ``<name>.index`` as
     JSON-encoded bytes. Besides the per-level key lists the index carries
-    a ``"segments"`` table with each segment's serialized size and plane
-    count, which is what lets :func:`open_field` plan retrievals without
-    fetching a single group. Directory-backed stores get their manifest
-    flushed once (via :meth:`DirectoryStore.batch`), not per segment.
+    a ``"segments"`` table with each segment's serialized size, plane
+    count, and CRC32 checksum — the metadata that lets :func:`open_field`
+    plan retrievals without fetching a single group and lets every
+    reader verify fetched bytes. Directory-backed stores get their
+    manifest flushed once (via :meth:`DirectoryStore.batch`), not per
+    segment.
     """
     meta_field = RefactoredField(
         shape=field.shape,
@@ -348,6 +472,7 @@ def store_field(store, field: RefactoredField) -> dict:
                 index["segments"][key] = {
                     "bytes": len(blob),
                     "planes": group.num_planes,
+                    "crc32": segment_checksum(blob),
                 }
         store.put(
             f"{field.name}.index", json.dumps(index).encode()
@@ -358,12 +483,29 @@ def store_field(store, field: RefactoredField) -> dict:
 def _read_index(
     get: Callable[[str], bytes], name: str
 ) -> tuple[dict, RefactoredField]:
-    index = json.loads(bytes(get(f"{name}.index")).decode())
-    field = RefactoredField.from_bytes(bytes.fromhex(index["field"]))
+    key = f"{name}.index"
+    raw = bytes(get(key))
+    try:
+        index = json.loads(raw.decode())
+        if not isinstance(index, dict) or not isinstance(
+            index.get("groups"), dict
+        ):
+            raise ValueError("index record is not a field index object")
+        field = RefactoredField.from_bytes(bytes.fromhex(index["field"]))
+    except (ValueError, KeyError, TypeError, struct.error,
+            UnicodeDecodeError) as exc:
+        raise SegmentCorruptionError(
+            f"index record {key!r} is corrupt: {exc}"
+        ) from exc
     return index, field
 
 
-def load_field(store, name: str, groups_per_level: list[int] | None = None):
+def load_field(
+    store,
+    name: str,
+    groups_per_level: list[int] | None = None,
+    verify: bool = True,
+):
     """Load a field's metadata and the requested prefix of groups.
 
     ``groups_per_level=None`` loads everything *eagerly*: one ``get`` per
@@ -371,8 +513,15 @@ def load_field(store, name: str, groups_per_level: list[int] | None = None):
     retrieval benchmarks time; services answering tolerance queries
     should prefer :func:`open_field`, which defers each segment fetch
     until a decode touches it.
+
+    ``verify=True`` (the default) checks every fetched segment against
+    its index-recorded CRC32 — a mismatch is re-fetched once (wire
+    flips heal), then raised as
+    :class:`~repro.core.errors.SegmentCorruptionError`. Indexes written
+    before checksums were recorded load unverified either way.
     """
     index, field = _read_index(store.get, name)
+    checksums = index_checksums(index) if verify else {}
     for li, lv in enumerate(field.levels):
         keys = index["groups"].get(str(lv.level), [])
         want = (
@@ -380,7 +529,10 @@ def load_field(store, name: str, groups_per_level: list[int] | None = None):
             min(groups_per_level[li], len(keys))
         )
         lv.groups = [
-            CompressedGroup.from_bytes(store.get(keys[g]))
+            _parse_group(
+                keys[g],
+                _fetch_verified(store.get, keys[g], checksums.get(keys[g])),
+            )
             for g in range(want)
         ]
     return field
@@ -430,7 +582,7 @@ def store_tiled_field(store, tiled) -> dict:
     return index
 
 
-def open_tiled_field(store, name: str, cache=None):
+def open_tiled_field(store, name: str, cache=None, verify: bool = True):
     """Open a stored tiled field lazily: tiles resolve on first touch.
 
     Reads only the ``<name>.tiles`` index record (through *cache* when
@@ -445,21 +597,30 @@ def open_tiled_field(store, name: str, cache=None):
 
     get = cache.get if cache is not None else store.get
     try:
-        index = json.loads(bytes(get(tiled_index_key(name))).decode())
-    except KeyError:
-        raise KeyError(
+        raw = bytes(get(tiled_index_key(name)))
+    except KeyError:  # third-party readers may raise the bare builtin
+        raise SegmentNotFoundError(
             f"no tiled field {name!r} in store (missing "
             f"{tiled_index_key(name)!r}; for untiled fields use "
             f"open_field)"
         ) from None
-    tiles = [
-        TileSpec(
-            index=tuple(t["index"]),
-            offset=tuple(t["offset"]),
-            shape=tuple(t["shape"]),
-        )
-        for t in index["tiles"]
-    ]
+    try:
+        index = json.loads(raw.decode())
+        if not isinstance(index, dict):
+            raise ValueError("tiled index is not an object")
+        tiles = [
+            TileSpec(
+                index=tuple(t["index"]),
+                offset=tuple(t["offset"]),
+                shape=tuple(t["shape"]),
+            )
+            for t in index["tiles"]
+        ]
+    except (ValueError, KeyError, TypeError, UnicodeDecodeError) as exc:
+        raise SegmentCorruptionError(
+            f"tiled index record {tiled_index_key(name)!r} is corrupt: "
+            f"{exc}"
+        ) from exc
     return LazyTiledField(
         shape=tuple(index["shape"]),
         dtype=np.dtype(index["dtype"]),
@@ -469,7 +630,7 @@ def open_tiled_field(store, name: str, cache=None):
         value_range=float(index["value_range"]),
         name=index["name"],
         opener=lambda field_name: open_field(
-            store, field_name, cache=cache
+            store, field_name, cache=cache, verify=verify
         ),
     )
 
@@ -478,6 +639,7 @@ def open_field(
     store,
     name: str,
     cache=None,
+    verify: bool = True,
 ) -> LazyRefactoredField:
     """Open a stored field lazily: fetch segments on first decode touch.
 
@@ -494,6 +656,15 @@ def open_field(
         fetches route through it, so concurrent sessions opened against
         the same cache share segment bytes; without it every fetch is a
         cold store read.
+    verify:
+        Check every fetched segment against its index-recorded CRC32
+        (default on; indexes written before checksums existed open
+        unverified either way). A mismatch is treated as transient
+        first — re-fetched once — then raised as
+        :class:`~repro.core.errors.SegmentCorruptionError`. With a
+        cache, the checksums are registered on it instead, so
+        verification happens exactly once per cold fetch and cached
+        blobs are known-good.
 
     Returns a :class:`LazyRefactoredField`: planning runs on index
     metadata alone, and only the plane groups a reconstruction actually
@@ -507,6 +678,7 @@ def open_field(
     else:
         index, template = _read_index(store.get, name)
     segments = index.get("segments", {})
+    checksums = index_checksums(index) if verify else {}
     level_refs: list[list[SegmentRef]] = []
     for lv in template.levels:
         refs = []
@@ -524,7 +696,15 @@ def open_field(
                 refs.append(SegmentRef(key=key, nbytes=store.size_of(key)))
         level_refs.append(refs)
     if cache is not None:
+        if checksums and hasattr(cache, "register_checksums"):
+            cache.register_checksums(checksums)
         resolver: Callable[[str], tuple[bytes, bool]] = cache.resolve
+    elif checksums:
+        def resolver(key: str) -> tuple[bytes, bool]:
+            return (
+                _fetch_verified(store.get, key, checksums.get(key)),
+                True,
+            )
     else:
         def resolver(key: str) -> tuple[bytes, bool]:
             return store.get(key), True
@@ -538,6 +718,8 @@ __all__ = [
     "DirectoryStore",
     "ShardedDirectoryStore",
     "segment_key",
+    "segment_checksum",
+    "index_checksums",
     "tiled_index_key",
     "store_field",
     "load_field",

@@ -316,8 +316,19 @@ class _LazyGroupSequence(Sequence):
             raise IndexError(index)
         group = self._parsed.get(index)
         if group is None:
-            blob = self._fetch(self._refs[index].key)
-            group = CompressedGroup.from_bytes(blob)
+            key = self._refs[index].key
+            blob = self._fetch(key)
+            try:
+                group = CompressedGroup.from_bytes(blob)
+            except (ValueError, struct.error, IndexError) as exc:
+                # A short or garbled blob (e.g. a segment truncated
+                # below its recorded byte count) must surface as the
+                # typed taxonomy, not a codec-internal struct.error.
+                from repro.core.errors import SegmentCorruptionError
+
+                raise SegmentCorruptionError(
+                    f"segment {key!r} is corrupt: {exc}"
+                ) from exc
             self._parsed[index] = group
             ref = self._refs[index]
             if ref.num_planes is None:

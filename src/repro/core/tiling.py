@@ -41,6 +41,7 @@ from itertools import product
 import numpy as np
 
 from repro.core._pool import WorkerPoolMixin
+from repro.core.errors import StoreError
 from repro.core.reconstruct import Reconstructor
 from repro.core.refactor import RefactorConfig, Refactorer
 from repro.core.stream import IOCounters, RefactoredField
@@ -360,6 +361,48 @@ class TiledRefactorer(WorkerPoolMixin):
         )
 
 
+class TiledReconstructionResult(tuple):
+    """``(data, error_bound)`` plus degraded-step metadata.
+
+    A ``tuple`` subclass, so every existing
+    ``out, bound = recon.reconstruct(...)`` unpacking (and indexing)
+    keeps working; steps run with ``on_fault="degrade"`` additionally
+    report which tiles faulted:
+
+    * ``degraded`` — any tile answered from its last committed
+      refinement (or, never having been opened, as zeros);
+    * ``failed_tiles`` — their tile positions, sorted;
+    * ``failed_groups`` — per failed position, the per-level group
+      counts the aborted plan wanted (``None`` for tiles that faulted
+      before opening);
+    * ``error_bound`` is the honest global bound of what was returned —
+      ``inf`` when an unopened tile contributed zeros with no guarantee.
+    """
+
+    def __new__(
+        cls,
+        data: np.ndarray,
+        error_bound: float,
+        *,
+        degraded: bool = False,
+        failed_tiles: Sequence[int] = (),
+        failed_groups: dict[int, list[int] | None] | None = None,
+    ) -> "TiledReconstructionResult":
+        self = super().__new__(cls, (data, error_bound))
+        self.degraded = bool(degraded)
+        self.failed_tiles = sorted(failed_tiles)
+        self.failed_groups = dict(failed_groups or {})
+        return self
+
+    @property
+    def data(self) -> np.ndarray:
+        return self[0]
+
+    @property
+    def error_bound(self) -> float:
+        return self[1]
+
+
 class TiledReconstructor(WorkerPoolMixin):
     """Progressive reconstruction of a tiled field with a global bound.
 
@@ -467,7 +510,8 @@ class TiledReconstructor(WorkerPoolMixin):
         tolerance: float | None = None,
         relative: bool = False,
         region: Sequence | None = None,
-    ) -> tuple[np.ndarray, float]:
+        on_fault: str = "raise",
+    ) -> "TiledReconstructionResult":
         """(stitched data, achieved global L∞ bound) at *tolerance*.
 
         Tiles partition the domain, so the global bound is the max of
@@ -487,7 +531,21 @@ class TiledReconstructor(WorkerPoolMixin):
         those tiles. Tiles keep their progressive state across calls,
         so walking a staircase over a region refines incrementally and
         later widening the region only pays for the new tiles.
+
+        ``on_fault="degrade"`` turns store faults into a degraded
+        answer instead of an exception: a tile whose fetch fails is
+        answered from its last committed refinement (see
+        :meth:`Reconstructor.reconstruct`); a tile that faults before
+        it ever opened contributes zeros and an ``inf`` bound. The
+        returned :class:`TiledReconstructionResult` unpacks like the
+        usual ``(data, error_bound)`` pair and records ``degraded`` /
+        ``failed_tiles`` / ``failed_groups``; a later call at the same
+        tolerance retries exactly the failed increments.
         """
+        if on_fault not in ("raise", "degrade"):
+            raise ValueError(
+                f'on_fault must be "raise" or "degrade", got {on_fault!r}'
+            )
         if relative and tolerance is None:
             raise ValueError(
                 "relative=True requires a tolerance; near-lossless "
@@ -521,25 +579,64 @@ class TiledReconstructor(WorkerPoolMixin):
             # on a store-backed field the per-tile index fetches overlap
             # across workers instead of serializing before the decode.
             position, (tile_local, region_local) = job
-            recon = self._reconstructor_for(position)
-            result = recon.reconstruct(tolerance=tol)
-            return region_local, result.data[tile_local], result.error_bound
+            try:
+                recon = self._reconstructor_for(position)
+            except StoreError:
+                if on_fault != "degrade":
+                    raise
+                # The tile never opened: nothing is committed, so there
+                # is no stale answer to fall back on — fill with zeros
+                # and report an unbounded error for this step.
+                shape = tuple(
+                    loc.stop - loc.start for loc in tile_local
+                )
+                block = np.zeros(shape, dtype=self.tiled.dtype)
+                return position, region_local, block, math.inf, True, None
+            result = recon.reconstruct(tolerance=tol, on_fault=on_fault)
+            return (
+                position,
+                region_local,
+                result.data[tile_local],
+                result.error_bound,
+                result.degraded,
+                result.failed_groups,
+            )
 
         worst = 0.0
-        for region_local, block, bound in self.map_jobs(decode_tile, jobs):
+        degraded = False
+        failed_tiles: list[int] = []
+        failed_groups: dict[int, list[int] | None] = {}
+        for outcome in self.map_jobs(decode_tile, jobs):
+            position, region_local, block, bound, tile_degraded, groups = (
+                outcome
+            )
             out[region_local] = block
             worst = max(worst, bound)
-        return out, worst
+            if tile_degraded:
+                degraded = True
+                failed_tiles.append(position)
+                failed_groups[position] = groups
+        return TiledReconstructionResult(
+            out,
+            worst,
+            degraded=degraded,
+            failed_tiles=failed_tiles,
+            failed_groups=failed_groups,
+        )
 
     def progressive(
         self,
         tolerances: Sequence[float],
         relative: bool = False,
         region: Sequence | None = None,
-    ) -> list[tuple[np.ndarray, float]]:
+        on_fault: str = "raise",
+    ) -> list["TiledReconstructionResult"]:
         """Reconstruct at a decreasing tolerance schedule over *region*."""
         return [
-            self.reconstruct(tolerance=t, relative=relative, region=region)
+            self.reconstruct(
+                tolerance=t, relative=relative, region=region,
+                on_fault=on_fault,
+            )
             for t in tolerances
         ]
 
@@ -551,5 +648,6 @@ __all__ = [
     "TiledField",
     "LazyTiledField",
     "TiledRefactorer",
+    "TiledReconstructionResult",
     "TiledReconstructor",
 ]

@@ -1,0 +1,288 @@
+"""Chaos harness: progressive retrieval through seeded fault schedules.
+
+The property under test is the one the resilience layer exists for:
+**a progressive session whose retries succeed is bit-identical to a
+clean run** — the fault schedule may cost extra reads, never accuracy.
+And when retries are disabled so faults *do* land, degraded mode must
+return exactly the last committed refinement and a later resume must be
+bit-identical to the clean staircase.
+
+Every schedule is deterministic (seed-driven, per-key access counts),
+so failures replay exactly; the retry policies here never sleep.
+"""
+
+import numpy as np
+import pytest
+
+from repro.core.errors import SegmentCorruptionError, TransientStoreError
+from repro.core.faults import FaultInjectingStore, ResilientReader, RetryPolicy
+from repro.core.refactor import refactor
+from repro.core.reconstruct import Reconstructor
+from repro.core.service import RetrievalService
+from repro.core.store import (
+    DirectoryStore,
+    MemoryStore,
+    load_field,
+    open_field,
+    open_tiled_field,
+    store_field,
+    store_tiled_field,
+)
+from repro.core.tiling import TiledReconstructor, TiledRefactorer
+from repro.data import generators as gen
+
+STAIRCASE = [1e-1, 3e-2, 1e-2, 3e-3, 1e-3]
+CHAOS_SEEDS = [1, 2, 3, 4, 5]
+ROI = (slice(4, 14), slice(2, 12), None)
+
+
+def _noop_sleep(_):
+    pass
+
+
+def chaos_policy(max_attempts=8):
+    """Aggressive retries with zero wall-clock cost."""
+    return RetryPolicy(max_attempts=max_attempts, base_delay_s=0.0,
+                       jitter=0.0, sleep=_noop_sleep)
+
+
+@pytest.fixture(scope="module")
+def data():
+    return gen.gaussian_random_field((18, 14, 10), -2.0, seed=21,
+                                     dtype=np.float64)
+
+
+@pytest.fixture(scope="module")
+def stored(data):
+    store = MemoryStore()
+    store_field(store, refactor(data, name="vx"))
+    return store
+
+
+@pytest.fixture(scope="module")
+def tiled_stored(data):
+    store = MemoryStore()
+    tiled = TiledRefactorer((8, 8, 8)).refactor(data, name="rho")
+    store_tiled_field(store, tiled)
+    return store, tiled
+
+
+@pytest.fixture(scope="module")
+def clean_staircase(stored):
+    recon = Reconstructor(open_field(stored, "vx"))
+    return [recon.reconstruct(tolerance=t).data.copy() for t in STAIRCASE]
+
+
+def _resilient(store, seed, transient_rate=0.10, corrupt_rate=0.0,
+               max_attempts=8):
+    flaky = FaultInjectingStore(store, seed=seed,
+                                transient_rate=transient_rate,
+                                corrupt_rate=corrupt_rate,
+                                sleep=_noop_sleep)
+    return flaky, ResilientReader(flaky, chaos_policy(max_attempts))
+
+
+class TestEagerChaos:
+    @pytest.mark.parametrize("seed", CHAOS_SEEDS)
+    def test_eager_load_bit_identical_under_transients(self, data, stored,
+                                                       seed):
+        flaky, reader = _resilient(stored, seed)
+        chaotic = load_field(reader, "vx")
+        clean = load_field(stored, "vx")
+        r1 = Reconstructor(chaotic).reconstruct(tolerance=1e-3)
+        r2 = Reconstructor(clean).reconstruct(tolerance=1e-3)
+        np.testing.assert_array_equal(r1.data, r2.data)
+        assert r1.error_bound == r2.error_bound
+
+    def test_chaos_actually_injected(self, stored):
+        """Guard against a vacuous harness: across the seeds, faults
+        must actually fire (10% of dozens of reads)."""
+        total = 0
+        for seed in CHAOS_SEEDS:
+            flaky, reader = _resilient(stored, seed)
+            load_field(reader, "vx")
+            total += flaky.injected_transients
+        assert total > 0
+
+
+class TestLazyStaircaseChaos:
+    @pytest.mark.parametrize("seed", CHAOS_SEEDS)
+    def test_lazy_staircase_bit_identical(self, stored, clean_staircase,
+                                          seed):
+        flaky, reader = _resilient(stored, seed)
+        recon = Reconstructor(open_field(reader, "vx"))
+        for tol, ref in zip(STAIRCASE, clean_staircase):
+            result = recon.reconstruct(tolerance=tol)
+            assert result.degraded is False
+            np.testing.assert_array_equal(result.data, ref)
+
+    @pytest.mark.parametrize("seed", CHAOS_SEEDS[:2])
+    def test_staircase_with_corruption_heals(self, stored,
+                                             clean_staircase, seed):
+        """Bit-flips on the wire: CRC verification + retry heal them.
+
+        The checksums live in the *retry* layer here, so a segment
+        corrupted several accesses in a row still heals (the resolver
+        above re-fetches only once on mismatch)."""
+        import json
+
+        from repro.core.store import index_checksums
+
+        flaky, reader = _resilient(stored, seed, transient_rate=0.05,
+                                   corrupt_rate=0.25)
+        reader.register_checksums(
+            index_checksums(json.loads(stored.get("vx.index").decode()))
+        )
+        recon = Reconstructor(open_field(reader, "vx"))
+        for tol, ref in zip(STAIRCASE, clean_staircase):
+            np.testing.assert_array_equal(
+                recon.reconstruct(tolerance=tol).data, ref
+            )
+
+    def test_service_staircase_under_chaos(self, stored, clean_staircase):
+        """The full service stack (cache + sessions) over a flaky
+        store, retried below the cache."""
+        flaky, reader = _resilient(stored, seed=9)
+        service = RetrievalService(reader)
+        with service.session("vx") as session:
+            for tol, ref in zip(STAIRCASE, clean_staircase):
+                np.testing.assert_array_equal(
+                    session.reconstruct(tolerance=tol).data, ref
+                )
+        assert flaky.injected_transients > 0
+
+
+class TestTiledRoiChaos:
+    @pytest.mark.parametrize("seed", CHAOS_SEEDS)
+    def test_roi_staircase_bit_identical(self, tiled_stored, seed):
+        store, tiled = tiled_stored
+        ref = TiledReconstructor(tiled)
+        flaky, reader = _resilient(store, seed)
+        chaotic = TiledReconstructor(open_tiled_field(reader, "rho"))
+        for tol in STAIRCASE:
+            expected = ref.reconstruct(tolerance=tol, region=ROI)
+            got = chaotic.reconstruct(tolerance=tol, region=ROI)
+            assert got.degraded is False
+            np.testing.assert_array_equal(got.data, expected.data)
+            assert got.error_bound == expected.error_bound
+
+
+class TestDegradeAndResume:
+    def test_mid_staircase_outage_degrades_then_resumes(
+        self, stored, clean_staircase
+    ):
+        """Retries disabled, outage at step 3: degrade returns step 2's
+        committed answer; after recovery the staircase resumes
+        bit-identically."""
+        flaky = FaultInjectingStore(stored, sleep=_noop_sleep)
+        recon = Reconstructor(open_field(flaky, "vx"))
+        for tol, ref in zip(STAIRCASE[:2], clean_staircase[:2]):
+            np.testing.assert_array_equal(
+                recon.reconstruct(tolerance=tol).data, ref
+            )
+
+        flaky.transient_rate = 1.0  # total outage, no retry layer
+        degraded = recon.reconstruct(tolerance=STAIRCASE[2],
+                                     on_fault="degrade")
+        assert degraded.degraded is True
+        assert degraded.failed_groups is not None
+        np.testing.assert_array_equal(degraded.data, clean_staircase[1])
+
+        flaky.transient_rate = 0.0  # store recovers
+        for tol, ref in zip(STAIRCASE[2:], clean_staircase[2:]):
+            resumed = recon.reconstruct(tolerance=tol)
+            assert resumed.degraded is False
+            np.testing.assert_array_equal(resumed.data, ref)
+
+    def test_repeated_degrade_is_stable(self, stored, clean_staircase):
+        """Asking again during the outage keeps returning the same
+        committed answer — degrade is idempotent, not compounding."""
+        flaky = FaultInjectingStore(stored, sleep=_noop_sleep)
+        recon = Reconstructor(open_field(flaky, "vx"))
+        recon.reconstruct(tolerance=STAIRCASE[0])
+        flaky.transient_rate = 1.0
+        first = recon.reconstruct(tolerance=1e-3, on_fault="degrade")
+        second = recon.reconstruct(tolerance=1e-3, on_fault="degrade")
+        assert first.degraded and second.degraded
+        np.testing.assert_array_equal(first.data, second.data)
+        np.testing.assert_array_equal(first.data, clean_staircase[0])
+
+    def test_tiled_roi_outage_degrades_then_resumes(self, tiled_stored):
+        store, tiled = tiled_stored
+        ref = TiledReconstructor(tiled)
+        ref_steps = [ref.reconstruct(tolerance=t, region=ROI)
+                     for t in STAIRCASE[:3]]
+
+        flaky = FaultInjectingStore(store, sleep=_noop_sleep)
+        recon = TiledReconstructor(open_tiled_field(flaky, "rho"))
+        step1 = recon.reconstruct(tolerance=STAIRCASE[0], region=ROI)
+        np.testing.assert_array_equal(step1.data, ref_steps[0].data)
+
+        flaky.transient_rate = 1.0
+        degraded = recon.reconstruct(tolerance=STAIRCASE[1], region=ROI,
+                                     on_fault="degrade")
+        assert degraded.degraded is True
+        assert degraded.failed_tiles
+        np.testing.assert_array_equal(degraded.data, step1.data)
+
+        flaky.transient_rate = 0.0
+        for tol, expected in zip(STAIRCASE[1:3], ref_steps[1:3]):
+            resumed = recon.reconstruct(tolerance=tol, region=ROI)
+            assert resumed.degraded is False
+            np.testing.assert_array_equal(resumed.data, expected.data)
+
+
+class TestOnDiskCorruptionRecovery:
+    def test_directory_store_corruption_degrade_restore_resume(
+        self, data, tmp_path
+    ):
+        """End-to-end repair story on a real directory store: corrupt a
+        segment file on disk, watch the typed error, degrade through
+        the outage, restore the file, resume bit-identically."""
+        store = DirectoryStore(tmp_path / "s")
+        store_field(store, refactor(data, name="vx"))
+        ref = Reconstructor(open_field(store, "vx"))
+        ref1 = ref.reconstruct(tolerance=STAIRCASE[0])
+        ref2 = ref.reconstruct(tolerance=STAIRCASE[3])
+
+        recon = Reconstructor(open_field(store, "vx"))
+        step1 = recon.reconstruct(tolerance=STAIRCASE[0])
+        np.testing.assert_array_equal(step1.data, ref1.data)
+
+        # Garble every not-yet-fetched payload segment on disk.
+        originals = {}
+        for key in store.keys():
+            if ".index" in key:
+                continue
+            path = tmp_path / "s" / key
+            blob = path.read_bytes()
+            originals[key] = blob
+            path.write_bytes(b"\xff" + blob[1:])
+
+        with pytest.raises(SegmentCorruptionError):
+            recon.reconstruct(tolerance=STAIRCASE[3])
+        degraded = recon.reconstruct(tolerance=STAIRCASE[3],
+                                     on_fault="degrade")
+        assert degraded.degraded is True
+        np.testing.assert_array_equal(degraded.data, step1.data)
+
+        for key, blob in originals.items():  # the operator repairs
+            (tmp_path / "s" / key).write_bytes(blob)
+        resumed = recon.reconstruct(tolerance=STAIRCASE[3])
+        assert resumed.degraded is False
+        np.testing.assert_array_equal(resumed.data, ref2.data)
+
+    def test_permanent_single_segment_failure_gives_up_typed(
+        self, stored
+    ):
+        """One permanently-failing key: retries exhaust and the typed
+        transient error (not a decode crash) reaches the caller."""
+        key = next(k for k in stored.keys()
+                   if ".index" not in k and ".L0." in k)
+        flaky = FaultInjectingStore(stored, fail_first={key: 10 ** 9},
+                                    sleep=_noop_sleep)
+        reader = ResilientReader(flaky, chaos_policy(max_attempts=3))
+        recon = Reconstructor(open_field(reader, "vx"))
+        with pytest.raises(TransientStoreError):
+            recon.reconstruct(tolerance=1e-3)
+        assert reader.policy.giveups >= 1
