@@ -21,6 +21,14 @@ Two sections, both on the tiled engine (``repro.core.tiling``):
   backing-store bytes while matching the full reconstruction on that
   slab bit for bit at every step (``speedup_roi_fetch_bytes`` is the
   guarded bytes ratio).
+* **parallel vs serial ROI decode** — the same store-backed ROI
+  staircase decoded serially and under each parallel execution backend
+  (threads and true-parallel processes; see ``repro.core.backends``),
+  asserted bit-identical step for step. The headline
+  ``speedup_parallel_*`` keys record the best backend, so on a machine
+  where the GIL nullifies threads the process backend carries the
+  floor, and the per-backend ``ratio_vs_serial_*`` entries record each
+  engine honestly without being regression-guarded.
 
 Writes ``BENCH_tiles.json`` at the repo root.
 
@@ -73,6 +81,10 @@ DIMS = (96, 96, 96)
 TILE = (48, 48, 48)  # 8 tiles
 PAR_WORKERS = 4
 REPS = 3
+#: Parallel execution backends measured against the serial engine; the
+#: best of them backs the guarded headline speedups. Bare kinds are
+#: sized with the section's worker count.
+BACKENDS = ("threads", "processes")
 
 # -- region-of-interest section ---------------------------------------
 ROI_DIMS = (64, 64, 64)
@@ -102,38 +114,122 @@ def _best_time(fn, reps: int):
     return best, result
 
 
+def _sized_specs(backends, workers: int) -> list[str]:
+    """Size bare backend kinds with the section's worker count."""
+    return [b if ":" in b else f"{b}:{workers}" for b in backends]
+
+
 def _bench_parallel_refactor(
     dims: tuple[int, ...], tile: tuple[int, ...], reps: int,
-    par_workers: int,
+    par_workers: int, backends,
 ) -> dict:
     data = gen.gaussian_random_field(dims, -5.0 / 3.0, seed=21,
                                      dtype=np.float32)
     seq = TiledRefactorer(tile)
-    par = TiledRefactorer(tile, num_workers=par_workers)
-    # One untimed pass each warms the shared per-shape refactorers,
-    # permutation caches, and the worker pool, so the timed reps
-    # compare engines rather than first-touch costs.
+    # One untimed pass warms the shared per-shape refactorers and
+    # permutation caches, so the timed reps compare engines rather
+    # than first-touch costs; each backend gets the same warm pass
+    # (pool spin-up, worker-side config shipping) below.
     tiled_seq = seq.refactor(data, name="par")
-    tiled_par = par.refactor(data, name="par")
-    identical = all(
-        a.to_bytes() == b.to_bytes()
-        for a, b in zip(tiled_seq.fields, tiled_par.fields)
-    )
     t_seq, tiled_seq = _best_time(
         lambda: seq.refactor(data, name="par"), reps
     )
-    t_par, _ = _best_time(lambda: par.refactor(data, name="par"), reps)
-    par.close()
-    return {
+    out = {
         "num_tiles": tiled_seq.num_tiles,
         "tile_shape": list(tile),
         "workers": par_workers,
+        "backends": _sized_specs(backends, par_workers),
         "sequential_ms": t_seq * 1e3,
-        "parallel_ms": t_par * 1e3,
-        "speedup_parallel_refactor": t_seq / t_par,
-        "parallel_matches_sequential": identical,
         "stored_bytes": tiled_seq.total_bytes(),
     }
+    identical = True
+    best_kind, best_t = None, float("inf")
+    for spec in _sized_specs(backends, par_workers):
+        kind = spec.split(":")[0]
+        par = TiledRefactorer(tile, num_workers=par_workers, backend=spec)
+        tiled_par = par.refactor(data, name="par")  # warm pass
+        identical = identical and all(
+            a.to_bytes() == b.to_bytes()
+            for a, b in zip(tiled_seq.fields, tiled_par.fields)
+        )
+        t_par, _ = _best_time(
+            lambda: par.refactor(data, name="par"), reps
+        )
+        par.close()
+        out[f"parallel_ms_{kind}"] = t_par * 1e3
+        out[f"ratio_vs_serial_{kind}"] = t_seq / t_par
+        if t_par < best_t:
+            best_kind, best_t = kind, t_par
+    out["parallel_ms"] = best_t * 1e3
+    out["parallel_backend"] = best_kind
+    out["speedup_parallel_refactor"] = t_seq / best_t
+    out["parallel_matches_sequential"] = identical
+    return out
+
+
+def _bench_parallel_roi_decode(
+    dims: tuple[int, ...], tile: tuple[int, ...], region,
+    tolerances: list[float], reps: int, par_workers: int, backends,
+) -> dict:
+    data = gen.gaussian_random_field(dims, -5.0 / 3.0, seed=23,
+                                     dtype=np.float32)
+    tiled = TiledRefactorer(tile).refactor(data, name="pardec")
+    tmp = Path(tempfile.mkdtemp(prefix="bench_tiles_pardec_"))
+    try:
+        store = DirectoryStore(tmp / "campaign", file_open_latency_s=2e-4)
+        store_tiled_field(store, tiled)
+
+        def walk(num_workers=0, backend=None):
+            recon = TiledReconstructor(
+                open_tiled_field(store, "pardec"),
+                num_workers=num_workers, backend=backend,
+            )
+            try:
+                return [
+                    recon.reconstruct(tolerance=t, relative=True,
+                                      region=region)
+                    for t in tolerances
+                ], len(recon.touched_tiles)
+            finally:
+                recon.close()
+
+        walk()  # warm the OS page cache before timing anything
+        t_serial, (serial_steps, tiles_touched) = _best_time(
+            lambda: walk(), reps
+        )
+        out = {
+            "num_tiles": tiled.num_tiles,
+            "tile_shape": list(tile),
+            "tiles_touched": tiles_touched,
+            "workers": par_workers,
+            "backends": _sized_specs(backends, par_workers),
+            "tolerances_relative": tolerances,
+            "serial_ms": t_serial * 1e3,
+        }
+        identical = True
+        best_kind, best_t = None, float("inf")
+        for spec in _sized_specs(backends, par_workers):
+            kind = spec.split(":")[0]
+            walk(num_workers=par_workers, backend=spec)  # warm pass
+            t_par, (par_steps, _) = _best_time(
+                lambda: walk(num_workers=par_workers, backend=spec), reps
+            )
+            identical = identical and all(
+                np.array_equal(s_out, p_out) and s_bound == p_bound
+                for (s_out, s_bound), (p_out, p_bound)
+                in zip(serial_steps, par_steps)
+            )
+            out[f"parallel_ms_{kind}"] = t_par * 1e3
+            out[f"ratio_vs_serial_{kind}"] = t_serial / t_par
+            if t_par < best_t:
+                best_kind, best_t = kind, t_par
+    finally:
+        shutil.rmtree(tmp, ignore_errors=True)
+    out["parallel_ms"] = best_t * 1e3
+    out["parallel_backend"] = best_kind
+    out["speedup_parallel_roi_decode"] = t_serial / best_t
+    out["parallel_matches_serial"] = identical
+    return out
 
 
 def _bench_roi_retrieval(
@@ -216,6 +312,7 @@ def run(
     roi_tile: tuple[int, ...] = ROI_TILE,
     roi_region=ROI_REGION,
     roi_tolerances: list[float] = ROI_TOLERANCES,
+    backends=BACKENDS,
 ) -> dict:
     return {
         "benchmark": "tiles",
@@ -229,12 +326,17 @@ def run(
             "dtype": "float32",
             "reps": reps,
             "cpu_count": os.cpu_count() or 1,
+            "backends": list(backends),
         },
         "parallel_refactor": _bench_parallel_refactor(
-            dims, tile, reps, par_workers
+            dims, tile, reps, par_workers, backends
         ),
         "roi_retrieval": _bench_roi_retrieval(
             roi_dims, roi_tile, roi_region, roi_tolerances
+        ),
+        "parallel_roi_decode": _bench_parallel_roi_decode(
+            roi_dims, roi_tile, roi_region, roi_tolerances, reps,
+            par_workers, backends
         ),
     }
 
@@ -250,25 +352,34 @@ def _check_correctness(results: dict) -> None:
     """Gates that hold on any machine, smoke or full size."""
     par = results["parallel_refactor"]
     roi = results["roi_retrieval"]
+    dec = results["parallel_roi_decode"]
     assert par["parallel_matches_sequential"], \
         "parallel tiled refactor diverged from the sequential streams"
     assert roi["roi_bit_identical_every_step"], \
         "ROI reconstruction diverged from the full-domain slice"
+    assert dec["parallel_matches_serial"], \
+        "parallel ROI decode diverged from the serial staircase"
     assert roi["final_roi_error"] <= roi["final_roi_error_bound"]
     assert roi["region_fraction_of_domain"] <= 1.0 / 8.0
 
 
 def _check_floors(results: dict) -> None:
-    """The ISSUE 5 acceptance floors (full-size runs only)."""
+    """The ISSUE 5/7 acceptance floors (full-size runs only)."""
     par = results["parallel_refactor"]
     roi = results["roi_retrieval"]
+    dec = results["parallel_roi_decode"]
     assert roi["roi_bytes_fraction"] <= MAX_ROI_BYTES_FRACTION, roi
     if results["config"]["cpu_count"] >= 2:
+        # With >= 2 CPUs the best backend (the process pool where the
+        # GIL defeats threads) must buy real wall-clock parallelism.
         assert (par["speedup_parallel_refactor"]
                 >= MIN_PARALLEL_SPEEDUP), par
+        assert (dec["speedup_parallel_roi_decode"]
+                >= MIN_PARALLEL_SPEEDUP), dec
     else:
-        # A thread pool cannot beat wall clock on one core; require it
-        # not to badly regress the sequential path instead.
+        # No backend can beat wall clock on one core; require the
+        # refactor pool not to badly regress the sequential path, and
+        # record the decode ratios honestly without failing.
         assert (par["speedup_parallel_refactor"]
                 >= MIN_SINGLE_CORE_RATIO), par
 
@@ -289,6 +400,17 @@ def _report(results: dict) -> None:
           f"({roi['full_wall_ms']:.1f}ms), ROI walk "
           f"{roi['roi_store_bytes']} B ({roi['roi_wall_ms']:.1f}ms): "
           f"{roi['roi_bytes_fraction']:.1%} of full-domain bytes")
+    dec = results["parallel_roi_decode"]
+    ratios = ", ".join(
+        f"{key.removeprefix('ratio_vs_serial_')} "
+        f"{dec[key]:.2f}x"
+        for key in sorted(dec) if key.startswith("ratio_vs_serial_")
+    )
+    print(f"\n== parallel ROI decode: {dec['tiles_touched']}/"
+          f"{dec['num_tiles']} tiles, {dec['workers']} workers ==")
+    print(f"serial {dec['serial_ms']:.1f}ms; {ratios}; best "
+          f"{dec['parallel_backend']} "
+          f"({dec['speedup_parallel_roi_decode']:.2f}x)")
 
 
 def _full_run() -> dict:
@@ -306,15 +428,41 @@ def test_tiles_benchmark() -> None:
     _full_run()
 
 
+def _parse_backends(args: list[str]):
+    """``--backend KIND[:N]`` (repeatable) restricts the measured
+    parallel backends; default is every kind in ``BACKENDS``."""
+    picked = []
+    skip = False
+    for i, arg in enumerate(args):
+        if skip:
+            skip = False
+            continue
+        if arg == "--backend":
+            if i + 1 >= len(args):
+                raise SystemExit("--backend needs a value, e.g. "
+                                 "--backend processes:2")
+            picked.append(args[i + 1])
+            skip = True
+        elif arg.startswith("--backend="):
+            picked.append(arg.split("=", 1)[1])
+    return tuple(picked) or BACKENDS
+
+
 def main(argv: list[str] | None = None) -> None:
     args = sys.argv[1:] if argv is None else argv
+    backends = _parse_backends(args)
     if "--smoke" in args:
-        results = run(**SMOKE_KWARGS)
+        results = run(**SMOKE_KWARGS, backends=backends)
         _check_correctness(results)
-        print("bench_tiles smoke ok (tiny sizes, no timing floors, "
-              "nothing written)")
+        print(f"bench_tiles smoke ok (tiny sizes, backends "
+              f"{list(results['config']['backends'])}, no timing "
+              f"floors, nothing written)")
         return
-    _full_run()
+    results = run(backends=backends)
+    RESULT_PATH.write_text(json.dumps(results, indent=2))
+    _report(results)
+    _check_correctness(results)
+    _check_floors(results)
     print(f"\nwrote {RESULT_PATH}")
 
 

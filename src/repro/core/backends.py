@@ -1,0 +1,746 @@
+"""Execution backends: serial, threads, and true-parallel processes.
+
+The pipeline classes fan independent jobs out through
+:class:`~repro.core._pool.WorkerPoolMixin`. Threads were the only
+parallel option before this module, and ``BENCH_tiles.json`` recorded
+what that buys on the tiled refactor hot path: ~0.95x, i.e. nothing —
+the NumPy kernels release the GIL but the Python glue between them does
+not. This module adds the third backend: a pool of persistent worker
+*processes* with true parallelism.
+
+Backend selection (:func:`resolve_backend`) has three tiers, strongest
+first:
+
+1. an explicit ``backend=`` argument on the engine (or its config);
+2. the ``REPRO_BACKEND`` environment variable (``serial``, ``threads``,
+   ``processes``, optionally ``kind:N`` to pin the worker count) — the
+   switch that re-runs an entire existing test suite under a different
+   backend without touching a line of it;
+3. the engine's ``num_workers``: ``> 1`` means threads (the historical
+   behaviour), else serial.
+
+Inside a worker process every engine resolves to serial regardless of
+the above — process pools never nest.
+
+:class:`ProcessBackend` keeps long-lived daemon workers connected over
+pipes. Tasks are addressed by ``"module:function"`` name (never by
+pickling code objects), inputs travel as pickled arguments or — for
+large tile blocks — through :mod:`multiprocessing.shared_memory`
+buffers, and per-engine configuration is shipped *once per worker* via
+:meth:`ProcessBackend.ensure_shared` so warm per-worker
+``Refactorer``/``Reconstructor`` instances can be reused across calls.
+Typed exceptions (:mod:`repro.core.errors`) pickle cleanly and are
+re-raised in the parent with their class and arguments intact, so
+retry/degrade classification works identically across the process
+boundary.
+
+Every live backend is registered for ``atexit`` teardown (workers are
+additionally daemonic), so a leaked pool can never hang interpreter
+shutdown.
+"""
+
+from __future__ import annotations
+
+import atexit
+import importlib
+import multiprocessing
+import os
+import pickle
+import threading
+import traceback
+import uuid
+import weakref
+import zlib
+from collections.abc import Callable, Sequence
+
+import numpy as np
+
+#: Environment override: ``serial`` / ``threads`` / ``processes``,
+#: optionally suffixed ``:N`` to pin the worker count (``processes:4``).
+BACKEND_ENV = "REPRO_BACKEND"
+#: Optional multiprocessing start-method override (``fork`` / ``spawn`` /
+#: ``forkserver``); the platform default is used when unset.
+START_METHOD_ENV = "REPRO_MP_START"
+
+BACKEND_KINDS = ("serial", "threads", "processes")
+
+_JOIN_TIMEOUT_S = 5.0
+_POLL_INTERVAL_S = 0.05
+
+# Set in worker processes only: the nested-pool guard resolve_backend
+# consults so a Refactorer configured with num_workers=4 stays serial
+# when it is *itself* running inside a pool worker.
+_IN_WORKER = False
+
+
+def in_worker() -> bool:
+    """True when the current process is a backend worker."""
+    return _IN_WORKER
+
+
+def default_process_workers() -> int:
+    """Worker count when a parallel backend is forced without one."""
+    return max(1, min(4, os.cpu_count() or 1))
+
+
+class BackendSpec(tuple):
+    """Resolved execution backend: ``(kind, workers)``.
+
+    A tuple subclass so call sites can unpack it; ``workers`` is the
+    effective fan-out width (0 for serial).
+    """
+
+    def __new__(cls, kind: str, workers: int) -> "BackendSpec":
+        return super().__new__(cls, (kind, int(workers)))
+
+    @property
+    def kind(self) -> str:
+        return self[0]
+
+    @property
+    def workers(self) -> int:
+        return self[1]
+
+
+def parse_backend_spec(spec: str) -> tuple[str, int | None]:
+    """Parse ``"kind"`` or ``"kind:N"`` into ``(kind, workers | None)``."""
+    text = str(spec).strip().lower()
+    workers: int | None = None
+    if ":" in text:
+        text, _, count = text.partition(":")
+        try:
+            workers = int(count)
+        except ValueError:
+            raise ValueError(
+                f"invalid backend worker count in {spec!r}"
+            ) from None
+        if workers < 1:
+            raise ValueError(f"backend worker count must be >= 1: {spec!r}")
+    if text not in BACKEND_KINDS:
+        raise ValueError(
+            f"backend must be one of {BACKEND_KINDS}, got {spec!r}"
+        )
+    return text, workers
+
+
+def resolve_backend(
+    explicit: str | None = None, num_workers: int = 0
+) -> BackendSpec:
+    """Resolve the effective execution backend for one engine.
+
+    Precedence: the in-worker guard (always serial — pools never nest),
+    then an explicit ``backend=`` argument, then the ``REPRO_BACKEND``
+    environment variable, then the historical ``num_workers`` rule
+    (``> 1`` means threads, else serial). A forced parallel kind whose
+    caller did not size the pool (``num_workers <= 1`` and no ``:N``
+    suffix) defaults to :func:`default_process_workers`.
+    """
+    if _IN_WORKER:
+        return BackendSpec("serial", 0)
+    kind: str
+    workers: int | None
+    if explicit is not None:
+        kind, workers = parse_backend_spec(explicit)
+    else:
+        env = os.environ.get(BACKEND_ENV)
+        if env:
+            kind, workers = parse_backend_spec(env)
+        else:
+            kind = "threads" if num_workers and num_workers > 1 else "serial"
+            workers = None
+    if kind == "serial":
+        return BackendSpec("serial", 0)
+    if workers is None:
+        workers = (
+            int(num_workers)
+            if num_workers and num_workers > 1
+            else default_process_workers()
+        )
+    return BackendSpec(kind, workers)
+
+
+def task_name(fn: Callable) -> str:
+    """Stable ``"module:function"`` address of a module-level function.
+
+    Process workers resolve tasks by this name through a normal import,
+    so no code object ever crosses the pipe — the same mechanism under
+    ``fork`` and ``spawn`` start methods.
+    """
+    qualname = fn.__qualname__
+    if "." in qualname or "<" in qualname:
+        raise ValueError(
+            f"process tasks must be module-level functions, got {qualname!r}"
+        )
+    return f"{fn.__module__}:{qualname}"
+
+
+_RESOLVED_TASKS: dict[str, Callable] = {}
+
+
+def _resolve_task(name: str) -> Callable:
+    fn = _RESOLVED_TASKS.get(name)
+    if fn is None:
+        module, _, attr = name.partition(":")
+        fn = getattr(importlib.import_module(module), attr)
+        _RESOLVED_TASKS[name] = fn
+    return fn
+
+
+def worker_shared(state: dict, token: str):
+    """A worker-resident object previously shipped via ``ensure_shared``."""
+    try:
+        return state["shared"][token]
+    except KeyError:
+        raise RuntimeError(
+            f"shared object {token!r} was never shipped to this worker "
+            "(backend restarted mid-session?)"
+        ) from None
+
+
+# -- exception transport ---------------------------------------------------
+
+def _encode_exc(exc: BaseException) -> tuple:
+    """Encode an exception for the pipe, preserving its type when possible.
+
+    Typed store errors (no custom ``__init__``) round-trip through
+    pickle with class and args intact; anything unpicklable degrades to
+    a ``RuntimeError`` carrying the original repr and traceback text.
+    """
+    tb = traceback.format_exc()
+    try:
+        payload = pickle.dumps(exc)
+        pickle.loads(payload)
+        return ("pickle", payload, tb)
+    except Exception:
+        return ("repr", f"{type(exc).__name__}: {exc}", tb)
+
+
+def _decode_exc(encoded: tuple) -> BaseException:
+    if encoded[0] == "pickle":
+        exc = pickle.loads(encoded[1])
+        exc.remote_traceback = encoded[2]
+        return exc
+    exc = RuntimeError(
+        f"process worker raised an unpicklable exception: {encoded[1]}"
+    )
+    exc.remote_traceback = encoded[2]
+    return exc
+
+
+# -- shared-memory tile shipping -------------------------------------------
+
+def share_array(arr: np.ndarray):
+    """Publish a contiguous array in a shared-memory segment.
+
+    Returns the ``SharedMemory`` handle (caller must ``close()`` and
+    ``unlink()`` after the consuming calls complete) — workers attach by
+    name with :func:`attach_shared_block` and copy out only their slice.
+    """
+    from multiprocessing import shared_memory
+
+    arr = np.ascontiguousarray(arr)
+    shm = shared_memory.SharedMemory(create=True, size=max(1, arr.nbytes))
+    view = np.ndarray(arr.shape, dtype=arr.dtype, buffer=shm.buf)
+    view[...] = arr
+    del view
+    return shm
+
+
+def attach_shared_block(
+    name: str,
+    shape: Sequence[int],
+    dtype_str: str,
+    offset: Sequence[int],
+    extent: Sequence[int],
+) -> np.ndarray:
+    """Copy one tile block out of a shared-memory segment (worker side).
+
+    Attaches, slices ``[offset, offset + extent)``, copies the block to
+    an owned contiguous array, and detaches. The parent created the
+    segment, so the worker-side attach is unregistered from the
+    ``resource_tracker`` (Python registers attach-only handles too,
+    which would otherwise double-unlink the segment).
+    """
+    from multiprocessing import resource_tracker, shared_memory
+
+    shm = shared_memory.SharedMemory(name=name)
+    try:
+        resource_tracker.unregister(shm._name, "shared_memory")
+    except Exception:
+        pass
+    try:
+        full = np.ndarray(
+            tuple(int(s) for s in shape),
+            dtype=np.dtype(dtype_str),
+            buffer=shm.buf,
+        )
+        window = tuple(
+            slice(int(o), int(o) + int(e))
+            for o, e in zip(offset, extent)
+        )
+        block = np.array(full[window], order="C", copy=True)
+        del full
+    finally:
+        shm.close()
+    return block
+
+
+# -- worker main loop ------------------------------------------------------
+
+def _worker_main(task_conn, result_conn) -> None:
+    global _IN_WORKER
+    _IN_WORKER = True
+    # A forked worker inherits the parent's backend registry (and, with
+    # it, pipe fds of sibling pools). Neutralize the copies so a clean
+    # worker exit never runs teardown against the parent's pools.
+    _LIVE_BACKENDS.clear()
+    global _SHARED_BACKEND
+    _SHARED_BACKEND = None
+    state: dict = {"shared": {}}
+    while True:
+        try:
+            message = task_conn.recv()
+        except (EOFError, OSError, KeyboardInterrupt):
+            break
+        if message is None:
+            break
+        seq, name, args = message
+        try:
+            result = _resolve_task(name)(state, *args)
+            out = (seq, True, result)
+        except BaseException as exc:
+            out = (seq, False, _encode_exc(exc))
+        try:
+            result_conn.send(out)
+        except Exception as exc:
+            try:
+                result_conn.send((
+                    seq, False,
+                    _encode_exc(RuntimeError(
+                        f"task {name!r} produced an unpicklable result: "
+                        f"{exc}"
+                    )),
+                ))
+            except Exception:
+                break
+    try:
+        result_conn.close()
+        task_conn.close()
+    except Exception:
+        pass
+
+
+# -- built-in tasks --------------------------------------------------------
+
+def _task_apply(state, fn, job):
+    """Generic ``map_jobs`` task: apply a picklable function to a job."""
+    return fn(job)
+
+
+def _task_put_shared(state, token, obj):
+    state["shared"][token] = obj
+    return None
+
+
+def _task_drop_shared(state, token):
+    state["shared"].pop(token, None)
+    return None
+
+
+def _task_drop_session(state, token):
+    for key in [k for k in state if isinstance(k, tuple) and token in k]:
+        state.pop(key, None)
+    return None
+
+
+def _task_ping(state):
+    return os.getpid()
+
+
+class _Worker:
+    __slots__ = ("process", "task_conn", "result_conn")
+
+    def __init__(self, process, task_conn, result_conn) -> None:
+        self.process = process
+        self.task_conn = task_conn
+        self.result_conn = result_conn
+
+
+class WorkerCrashedError(RuntimeError):
+    """A pool worker died before returning its pending results."""
+
+
+class ProcessBackend:
+    """A pool of persistent worker processes addressed by task name.
+
+    Workers are daemonic, started lazily on first dispatch, and reused
+    across calls — worker-resident state (shipped configs, warm
+    per-shape refactorers, per-tile reconstructors) survives between
+    :meth:`map_calls` rounds. ``generation`` increments every time the
+    worker set is (re)created, so engines holding worker-resident
+    sessions can detect a restart and re-ship their inputs.
+
+    Dispatch is a barrier: one thread at a time sends a batch of tasks
+    (grouped per worker, sticky keys routing related tasks to the same
+    worker) and drains every result before returning. A task failure is
+    re-raised in the parent *after* the drain, with the earliest-
+    submitted failure winning — mirroring the serial loop's
+    first-failure semantics while keeping the pipes consistent.
+    """
+
+    def __init__(
+        self, num_workers: int, start_method: str | None = None
+    ) -> None:
+        if num_workers < 1:
+            raise ValueError("num_workers must be >= 1")
+        self.num_workers = int(num_workers)
+        self._start_method = start_method
+        self._workers: list[_Worker] | None = None
+        self._lock = threading.RLock()
+        self._shared_tokens: set[str] = set()
+        self.generation = 0
+        self.tasks_dispatched = 0
+        # Teardown is fenced to the creating process: a forked child
+        # inherits this object (and dup'd pipe fds), and its GC/atexit
+        # must never send shutdown sentinels to the owner's workers.
+        self._owner_pid = os.getpid()
+        _LIVE_BACKENDS.add(self)
+
+    # -- lifecycle --------------------------------------------------------
+    @property
+    def alive(self) -> bool:
+        with self._lock:
+            return self._workers is not None and all(
+                w.process.is_alive() for w in self._workers
+            )
+
+    def _context(self):
+        method = self._start_method or os.environ.get(START_METHOD_ENV)
+        if method:
+            return multiprocessing.get_context(method)
+        return multiprocessing.get_context()
+
+    def _ensure(self) -> list[_Worker]:
+        if self._workers is not None:
+            return self._workers
+        ctx = self._context()
+        workers = []
+        for _ in range(self.num_workers):
+            task_r, task_w = ctx.Pipe(duplex=False)
+            result_r, result_w = ctx.Pipe(duplex=False)
+            process = ctx.Process(
+                target=_worker_main,
+                args=(task_r, result_w),
+                daemon=True,
+            )
+            process.start()
+            # The parent keeps only its ends of each pipe.
+            task_r.close()
+            result_w.close()
+            workers.append(_Worker(process, task_w, result_r))
+        self._workers = workers
+        self._shared_tokens = set()
+        self.generation += 1
+        return workers
+
+    def close(self, timeout: float = _JOIN_TIMEOUT_S) -> None:
+        """Stop the workers (idempotent). The pool restarts on next use.
+
+        No-op in any process other than the one that created the pool:
+        when a *different* backend forks workers, those children hold
+        inherited references to this object, and releasing the last one
+        (``_worker_main`` clears the shared-singleton global) would
+        otherwise run ``__del__`` -> ``close()`` in the child and kill
+        this pool's workers out from under the owning process.
+        """
+        if os.getpid() != self._owner_pid:
+            return
+        acquired = self._lock.acquire(timeout=timeout)
+        try:
+            workers, self._workers = self._workers, None
+            self._shared_tokens = set()
+        finally:
+            if acquired:
+                self._lock.release()
+        if not workers:
+            return
+        for worker in workers:
+            try:
+                worker.task_conn.send(None)
+            except Exception:
+                pass
+        for worker in workers:
+            worker.process.join(timeout=timeout)
+        for worker in workers:
+            if worker.process.is_alive():
+                worker.process.terminate()
+                worker.process.join(timeout=1.0)
+            for conn in (worker.task_conn, worker.result_conn):
+                try:
+                    conn.close()
+                except Exception:
+                    pass
+
+    def __enter__(self) -> "ProcessBackend":
+        return self
+
+    def __exit__(self, *exc) -> None:
+        self.close()
+
+    def __del__(self) -> None:
+        try:
+            self.close(timeout=1.0)
+        except Exception:
+            pass
+
+    def ensure_alive(self) -> int:
+        """Spin the worker set up if needed; returns the generation.
+
+        Session-holding engines call this *before* deciding what to
+        ship: reading ``generation`` without it could race a restart
+        inside the subsequent dispatch and strand worker state one
+        generation behind.
+        """
+        with self._lock:
+            self._ensure()
+            return self.generation
+
+    # -- dispatch ---------------------------------------------------------
+    def worker_for(self, key) -> int:
+        """Sticky routing: a stable worker index for *key*.
+
+        Same key, same worker (CRC32 of the key's string form) — the
+        mechanism that keeps a tile's worker-resident decode state on
+        one process across progressive steps.
+        """
+        return zlib.crc32(str(key).encode()) % self.num_workers
+
+    def map_calls(
+        self, calls: Sequence[tuple[str, tuple, object]]
+    ) -> list:
+        """Run ``(task_name, args, sticky_key)`` calls; results in order.
+
+        ``sticky_key=None`` round-robins; anything else routes through
+        :meth:`worker_for`. Blocks until every call settled; the
+        earliest-submitted failure is then re-raised (typed exceptions
+        survive the boundary intact).
+        """
+        if not calls:
+            return []
+        with self._lock:
+            workers = self._ensure()
+            batches: list[list] = [[] for _ in workers]
+            for seq, (name, args, key) in enumerate(calls):
+                index = (
+                    seq % len(workers) if key is None
+                    else self.worker_for(key)
+                )
+                batches[index].append((seq, name, tuple(args)))
+            for worker, batch in zip(workers, batches):
+                for message in batch:
+                    worker.task_conn.send(message)
+            self.tasks_dispatched += len(calls)
+            results: list = [None] * len(calls)
+            failures: list[tuple[int, tuple]] = []
+            for worker, batch in zip(workers, batches):
+                for _ in batch:
+                    seq, ok, payload = self._recv(worker)
+                    if ok:
+                        results[seq] = payload
+                    else:
+                        failures.append((seq, payload))
+        if failures:
+            failures.sort()
+            raise _decode_exc(failures[0][1])
+        return results
+
+    def _recv(self, worker: _Worker):
+        while True:
+            if worker.result_conn.poll(_POLL_INTERVAL_S):
+                try:
+                    return worker.result_conn.recv()
+                except (EOFError, OSError) as exc:
+                    self._abandon()
+                    raise WorkerCrashedError(
+                        "process backend worker closed its result pipe "
+                        "mid-task"
+                    ) from exc
+            if not worker.process.is_alive():
+                # Drain anything flushed before death, then give up.
+                if worker.result_conn.poll(0):
+                    continue
+                self._abandon()
+                raise WorkerCrashedError(
+                    f"process backend worker (pid "
+                    f"{worker.process.pid}) died with exit code "
+                    f"{worker.process.exitcode}"
+                )
+
+    def _abandon(self) -> None:
+        """Discard the worker set after a crash (restart on next use)."""
+        workers, self._workers = self._workers, None
+        self._shared_tokens = set()
+        if not workers:
+            return
+        for worker in workers:
+            if worker.process.is_alive():
+                worker.process.terminate()
+            for conn in (worker.task_conn, worker.result_conn):
+                try:
+                    conn.close()
+                except Exception:
+                    pass
+
+    def call(self, name: str, *args, sticky=None):
+        """One task on one worker; returns its result."""
+        return self.map_calls([(name, args, sticky)])[0]
+
+    def broadcast(self, name: str, *args) -> list:
+        """Run the task once on *every* worker (e.g. shipping config)."""
+        with self._lock:
+            workers = self._ensure()
+            calls = [(name, args, None)] * len(workers)
+            batches = [[(seq, name, tuple(args))]
+                       for seq in range(len(workers))]
+            for worker, batch in zip(workers, batches):
+                for message in batch:
+                    worker.task_conn.send(message)
+            self.tasks_dispatched += len(calls)
+            results: list = [None] * len(workers)
+            failures: list[tuple[int, tuple]] = []
+            for worker, batch in zip(workers, batches):
+                for _ in batch:
+                    seq, ok, payload = self._recv(worker)
+                    if ok:
+                        results[seq] = payload
+                    else:
+                        failures.append((seq, payload))
+        if failures:
+            failures.sort()
+            raise _decode_exc(failures[0][1])
+        return results
+
+    def ensure_shared(self, token: str, obj) -> None:
+        """Ship *obj* to every worker exactly once (per pool generation).
+
+        The "pickle once per worker" path for codec tables, refactor
+        configs, and store handles: later calls with the same token are
+        free, and a pool restart (new generation) re-ships on the next
+        call. Tasks read it back with :func:`worker_shared`.
+        """
+        with self._lock:
+            self._ensure()
+            if token in self._shared_tokens:
+                return
+            self.broadcast(task_name(_task_put_shared), token, obj)
+            self._shared_tokens.add(token)
+
+    def drop_shared(self, token: str) -> None:
+        """Best-effort release of a shipped shared object on all workers."""
+        try:
+            with self._lock:
+                if self._workers is None:
+                    return
+                self._shared_tokens.discard(token)
+                self.broadcast(task_name(_task_drop_shared), token)
+        except Exception:
+            pass
+
+    def drop_session(self, token: str) -> None:
+        """Best-effort release of worker-resident session state."""
+        try:
+            with self._lock:
+                if self._workers is None:
+                    return
+                self.broadcast(task_name(_task_drop_session), token)
+        except Exception:
+            pass
+
+    def map_jobs(self, fn: Callable, jobs: Sequence) -> list:
+        """Order-preserving ``[fn(j) for j in jobs]`` across the workers.
+
+        The generic escape hatch behind
+        :meth:`~repro.core._pool.WorkerPoolMixin.map_jobs`: *fn* and
+        every job must be picklable (module-level functions, plain
+        data). Closures — the engines' usual jobs — cannot cross a
+        process boundary, so unpicklable work falls back to the serial
+        loop; the engines' hot paths use dedicated task functions
+        instead and never hit this fallback.
+        """
+        if not jobs:
+            return []
+        try:
+            pickle.dumps(fn)
+            for job in jobs:
+                pickle.dumps(job)
+        except Exception:
+            return [fn(job) for job in jobs]
+        apply_name = task_name(_task_apply)
+        return self.map_calls([(apply_name, (fn, job), None) for job in jobs])
+
+
+# -- shared pool + atexit safety net ---------------------------------------
+
+_LIVE_BACKENDS: "weakref.WeakSet[ProcessBackend]" = weakref.WeakSet()
+_SHARED_BACKEND: ProcessBackend | None = None
+_SHARED_BACKEND_LOCK = threading.Lock()
+
+
+def shared_process_backend(num_workers: int | None = None) -> ProcessBackend:
+    """The process-wide shared :class:`ProcessBackend`.
+
+    Engines resolved to the ``processes`` kind share one pool instead of
+    forking per engine (a test suite under ``REPRO_BACKEND=processes``
+    builds hundreds of engines). The pool is created at the first
+    caller's width and *grows* when a later caller asks for more
+    workers — growth restarts the workers, which bumps ``generation``
+    so session-holding engines re-ship their state. It never shrinks.
+    """
+    global _SHARED_BACKEND
+    want = num_workers or default_process_workers()
+    with _SHARED_BACKEND_LOCK:
+        backend = _SHARED_BACKEND
+        if backend is None:
+            backend = _SHARED_BACKEND = ProcessBackend(want)
+        elif want > backend.num_workers:
+            backend.close()
+            backend = _SHARED_BACKEND = ProcessBackend(want)
+        return backend
+
+
+def shutdown_all_backends(timeout: float = 1.0) -> None:
+    """Stop every live process backend (the ``atexit`` safety net).
+
+    Idempotent and exception-free: leaked pools (never ``close()``\\ d)
+    must not hang or crash interpreter shutdown. Workers are daemonic
+    as a second line of defense, but an orderly sentinel + join here
+    lets them flush and exit cleanly.
+    """
+    for backend in list(_LIVE_BACKENDS):
+        try:
+            backend.close(timeout=timeout)
+        except Exception:
+            pass
+
+
+atexit.register(shutdown_all_backends)
+
+
+__all__ = [
+    "BACKEND_ENV",
+    "START_METHOD_ENV",
+    "BACKEND_KINDS",
+    "BackendSpec",
+    "parse_backend_spec",
+    "resolve_backend",
+    "default_process_workers",
+    "in_worker",
+    "task_name",
+    "worker_shared",
+    "share_array",
+    "attach_shared_block",
+    "ProcessBackend",
+    "WorkerCrashedError",
+    "shared_process_backend",
+    "shutdown_all_backends",
+]

@@ -158,6 +158,19 @@ class FaultInjectingStore:
         with self._lock:
             return self._access_counts.get(key, 0)
 
+    # Shipped by value to process-backend workers. Fault decisions are
+    # pure functions of (seed, key, nth-access-of-key) and the access
+    # counters travel with the copy, so a worker that takes over a key's
+    # accesses replays exactly the schedule the parent would have seen.
+    def __getstate__(self) -> dict:
+        state = self.__dict__.copy()
+        del state["_lock"]
+        return state
+
+    def __setstate__(self, state: dict) -> None:
+        self.__dict__.update(state)
+        self._lock = threading.Lock()
+
     # Membership goes through the type slot, so it cannot be delegated
     # via __getattr__ like the remaining reader/store surface is.
     def __contains__(self, key: str) -> bool:
@@ -309,6 +322,18 @@ class RetryPolicy:
             "giveups": self.giveups,
         }
 
+    # Process-backend transport: the seeded RNG state and counters copy
+    # over; only the lock is recreated. ``sleep``/``clock`` must be
+    # module-level callables (the defaults are) to cross the boundary.
+    def __getstate__(self) -> dict:
+        state = self.__dict__.copy()
+        del state["_rng_lock"]
+        return state
+
+    def __setstate__(self, state: dict) -> None:
+        self.__dict__.update(state)
+        self._rng_lock = threading.Lock()
+
 
 class ResilientReader:
     """Retrying, verifying view of a :class:`~repro.core.store.SegmentReader`.
@@ -341,6 +366,17 @@ class ResilientReader:
             self._checksums.update(
                 {k: int(v) for k, v in checksums.items()}
             )
+
+    # Process-backend transport: wrapped reader, policy, and registered
+    # checksums copy over; the lock is recreated worker-side.
+    def __getstate__(self) -> dict:
+        state = self.__dict__.copy()
+        del state["_checksums_lock"]
+        return state
+
+    def __setstate__(self, state: dict) -> None:
+        self.__dict__.update(state)
+        self._checksums_lock = threading.Lock()
 
     def _get_once(self, key: str) -> bytes:
         blob = self._reader.get(key)

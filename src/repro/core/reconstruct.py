@@ -21,16 +21,20 @@ from dataclasses import dataclass
 import numpy as np
 
 from repro.bitplane.encoding import (
+    BitplaneStream,
     PartialDecodeState,
     apply_planes,
+    begin_decode_state,
     decode_bitplanes,
     finalize_decode,
 )
 from repro.core._pool import WorkerPoolMixin
+from repro.core.backends import parse_backend_spec, task_name
 from repro.core.errors import StoreError
 from repro.core.planner import RetrievalPlan, plan_full, plan_greedy
 from repro.core.stream import RefactoredField
 from repro.decompose import MultilevelTransform
+from repro.lossless.hybrid import CompressedGroup, decompress_groups
 
 
 @dataclass
@@ -112,6 +116,55 @@ class DecodeCounters:
         )
 
 
+def _level_decode_meta(lv) -> dict:
+    """Stream metadata a worker needs to rebuild decode state/streams.
+
+    Mirrors the keyword set of
+    :func:`~repro.bitplane.encoding.begin_decode_state` (minus
+    ``dtype``) and :class:`~repro.bitplane.encoding.BitplaneStream`
+    (minus ``dtype``/``design``/``planes``), so it splats into either.
+    """
+    return {
+        "num_elements": lv.num_elements,
+        "num_bitplanes": lv.num_bitplanes,
+        "exponent": lv.exponent,
+        "max_abs": lv.max_abs,
+        "layout": lv.layout,
+        "warp_size": lv.warp_size,
+        "signed_encoding": lv.signed_encoding,
+    }
+
+
+def _task_apply_level_increment(state, meta, pstate, blobs):
+    """Process-backend task: inject shipped plane groups into *pstate*.
+
+    The worker half of the incremental engine's split: the parent
+    fetched the serialized groups (so I/O accounting, caching, and
+    fault policy stayed parent-side) and this runs exactly the compute
+    the serial path runs — decompress, ``apply_planes`` at the state's
+    own cursor, finalize. Returns ``(values, advanced_state, planes)``
+    for the parent to commit.
+    """
+    groups = [CompressedGroup.from_bytes(blob) for blob in blobs]
+    planes = decompress_groups(groups)
+    if pstate is None:
+        pstate = begin_decode_state(dtype=np.dtype(np.float64), **meta)
+    pstate = apply_planes(pstate, planes, pstate.planes_applied)
+    return finalize_decode(pstate), pstate, len(planes)
+
+
+def _task_decode_level_full(state, meta, design, blobs, num_planes):
+    """Process-backend task: full re-decode of one level's groups."""
+    groups = [CompressedGroup.from_bytes(blob) for blob in blobs]
+    stream = BitplaneStream(
+        planes=decompress_groups(groups),
+        dtype=np.dtype(np.float64),
+        design=design,
+        **meta,
+    )
+    return decode_bitplanes(stream, num_planes)
+
+
 class Reconstructor(WorkerPoolMixin):
     """Tolerance-driven, incremental reconstruction of one variable.
 
@@ -144,11 +197,15 @@ class Reconstructor(WorkerPoolMixin):
         num_workers: int = 0,
         incremental: bool = True,
         transform: MultilevelTransform | None = None,
+        backend: str | None = None,
     ) -> None:
         if num_workers < 0:
             raise ValueError("num_workers must be >= 0")
         self.field = field
         self.num_workers = int(num_workers)
+        if backend is not None:
+            parse_backend_spec(backend)  # validates, raises on junk
+        self.backend = backend
         self.incremental = bool(incremental)
         if transform is None:
             transform = MultilevelTransform(
@@ -312,6 +369,14 @@ class Reconstructor(WorkerPoolMixin):
             self._decode_level_incremental if self.incremental
             else self._decode_level_full
         )
+        spec = self._backend_spec()
+        use_processes = spec.kind == "processes" and spec.workers > 1
+
+        def run_step(jobs: list[tuple]) -> list[tuple]:
+            if use_processes and len(jobs) > 1:
+                return self._decode_levels_processes(jobs)
+            return self.map_jobs(decode_level, jobs)
+
         jobs = [
             (idx, lv, want)
             for idx, (lv, want) in enumerate(zip(self.field.levels, groups))
@@ -319,7 +384,7 @@ class Reconstructor(WorkerPoolMixin):
         degraded = False
         failed_groups: list[int] | None = None
         try:
-            outcomes = self.map_jobs(decode_level, jobs)
+            outcomes = run_step(jobs)
         except StoreError:
             if on_fault != "degrade":
                 raise
@@ -337,7 +402,7 @@ class Reconstructor(WorkerPoolMixin):
                     zip(self.field.levels, groups)
                 )
             ]
-            outcomes = self.map_jobs(decode_level, jobs)
+            outcomes = run_step(jobs)
 
         level_values = [values for _, values, _, _ in outcomes]
         coeffs = self.transform.assemble_levels(level_values)
@@ -442,6 +507,62 @@ class Reconstructor(WorkerPoolMixin):
         )
         return idx, values, None, (want, lv.planes_in_groups(want))
 
+    def _decode_levels_processes(self, jobs: list[tuple]) -> list[tuple]:
+        """Per-level decodes on worker processes; fetch stays parent-side.
+
+        The parent materializes each level's serialized plane groups
+        through the field's (possibly lazy) group sequence — so
+        ``IOCounters``, the shared segment cache, retry policy, and
+        :class:`~repro.core.errors.StoreError` propagation are exactly
+        the serial path's — and ships only compute (decompress, plane
+        injection, finalize) to the workers. ``PartialDecodeState``
+        travels out and back; commits stay parent-side, preserving the
+        retry-after-failure contract. Levels whose step needs no new
+        groups are served from cache locally without a round-trip.
+        """
+        backend = self._process_backend()
+        calls: list[tuple] = []
+        placement: list[tuple[int, int, tuple[int, int]]] = []
+        outcomes: list[tuple | None] = [None] * len(jobs)
+        for j, (idx, lv, want) in enumerate(jobs):
+            if self.incremental:
+                have = self._fetched[idx]
+                if want <= have:
+                    outcomes[j] = self._decode_level_incremental(
+                        (idx, lv, want)
+                    )
+                    continue
+                blobs = [lv.groups[g].to_bytes() for g in range(have, want)]
+                calls.append((
+                    task_name(_task_apply_level_increment),
+                    (_level_decode_meta(lv), self._states[idx], blobs),
+                    None,
+                ))
+                placement.append((j, idx, (want - have, -1)))
+            else:
+                blobs = [lv.groups[g].to_bytes() for g in range(want)]
+                num_planes = lv.planes_in_groups(want)
+                calls.append((
+                    task_name(_task_decode_level_full),
+                    (
+                        _level_decode_meta(lv), self.field.design,
+                        blobs, num_planes,
+                    ),
+                    None,
+                ))
+                placement.append((j, idx, (want, num_planes)))
+        if calls:
+            results = backend.map_calls(calls)
+            for (j, idx, decoded), result in zip(placement, results):
+                if self.incremental:
+                    values, state, num_planes = result
+                    outcomes[j] = (
+                        idx, values, state, (decoded[0], num_planes)
+                    )
+                else:
+                    outcomes[j] = (idx, result, None, decoded)
+        return outcomes
+
     def progressive(
         self,
         tolerances: list[float],
@@ -469,8 +590,9 @@ def reconstruct(
     tolerance: float | None = None,
     relative: bool = False,
     num_workers: int = 0,
+    backend: str | None = None,
 ) -> ReconstructionResult:
     """One-shot convenience wrapper around :class:`Reconstructor`."""
-    return Reconstructor(field, num_workers=num_workers).reconstruct(
-        tolerance, relative=relative
-    )
+    return Reconstructor(
+        field, num_workers=num_workers, backend=backend
+    ).reconstruct(tolerance, relative=relative)

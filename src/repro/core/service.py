@@ -242,10 +242,13 @@ class ServiceSession:
         service: "RetrievalService",
         field: LazyRefactoredField,
         num_workers: int = 0,
+        backend: str | None = None,
     ) -> None:
         self.service = service
         self.field = field
-        self.reconstructor = Reconstructor(field, num_workers=num_workers)
+        self.reconstructor = Reconstructor(
+            field, num_workers=num_workers, backend=backend
+        )
 
     def reconstruct(
         self,
@@ -338,11 +341,12 @@ class TiledServiceSession:
         service: "RetrievalService",
         tiled: LazyTiledField,
         num_workers: int = 0,
+        backend: str | None = None,
     ) -> None:
         self.service = service
         self.tiled = tiled
         self.reconstructor = TiledReconstructor(
-            tiled, num_workers=num_workers
+            tiled, num_workers=num_workers, backend=backend
         )
 
     def reconstruct(
@@ -407,8 +411,14 @@ class TiledServiceSession:
         return self.reconstructor.decode_state_bytes()
 
     def stats(self) -> dict:
-        """This session's progressive-state accounting, JSON-ready."""
-        io = self.tiled.io_counters()
+        """This session's progressive-state accounting, JSON-ready.
+
+        I/O counters aggregate over wherever the session's tiles decode:
+        the parent's lazy tile fields (serial/thread backends, reads
+        through the shared cache) or the worker-resident reconstructors
+        (process backend, reads direct from the store).
+        """
+        io = self.reconstructor.aggregate_io_counters()
         return {
             "tiles": self.tiled.num_tiles,
             "tiles_touched": self.tiles_touched,
@@ -491,16 +501,21 @@ class RetrievalService(WorkerPoolMixin):
         """
         return open_field(self.store, name, cache=self.cache)
 
-    def session(self, name: str, num_workers: int = 0) -> ServiceSession:
+    def session(
+        self, name: str, num_workers: int = 0, backend: str | None = None
+    ) -> ServiceSession:
         """Start a progressive session over variable *name*.
 
-        ``num_workers`` is forwarded to the session's
+        ``num_workers``/``backend`` are forwarded to the session's
         :class:`~repro.core.reconstruct.Reconstructor` for per-level
-        decode parallelism; it is independent of the service's prefetch
-        pool.
+        decode parallelism; they are independent of the service's
+        prefetch pool. Under the ``processes`` backend segment fetches
+        still happen parent-side through the shared cache (workers do
+        compute only), so caching and prefetch behave identically.
         """
         session = ServiceSession(
-            self, self.open(name), num_workers=num_workers
+            self, self.open(name), num_workers=num_workers,
+            backend=backend,
         )
         with self._sessions_lock:
             self._sessions.add(session)
@@ -517,18 +532,22 @@ class RetrievalService(WorkerPoolMixin):
         return open_tiled_field(self.store, name, cache=self.cache)
 
     def tiled_session(
-        self, name: str, num_workers: int = 0
+        self, name: str, num_workers: int = 0, backend: str | None = None
     ) -> TiledServiceSession:
         """Start a progressive session over tiled variable *name*.
 
-        ``num_workers`` is forwarded to the session's
+        ``num_workers``/``backend`` are forwarded to the session's
         :class:`~repro.core.tiling.TiledReconstructor` for concurrent
-        per-tile decoding; it is independent of the service's prefetch
-        pool. The session supports region-of-interest steps
-        (``reconstruct(region=...)``).
+        per-tile decoding; they are independent of the service's
+        prefetch pool. The session supports region-of-interest steps
+        (``reconstruct(region=...)``). Under the ``processes`` backend
+        tiles decode in worker processes that read the store directly —
+        bypassing the service's shared cache and prefetch (which are
+        naturally inert: no parent-side reconstructors exist to walk).
         """
         session = TiledServiceSession(
-            self, self.open_tiled(name), num_workers=num_workers
+            self, self.open_tiled(name), num_workers=num_workers,
+            backend=backend,
         )
         with self._sessions_lock:
             self._sessions.add(session)

@@ -120,6 +120,17 @@ class MemoryStore:
     def __contains__(self, key: str) -> bool:
         return key in self._blobs
 
+    # Shipped by value to process-backend workers (each gets its own
+    # copy of blobs and counters); only the lock cannot travel.
+    def __getstate__(self) -> dict:
+        state = self.__dict__.copy()
+        del state["_stats_lock"]
+        return state
+
+    def __setstate__(self, state: dict) -> None:
+        self.__dict__.update(state)
+        self._stats_lock = threading.Lock()
+
     def keys(self) -> list[str]:
         """Sorted list of stored segment keys."""
         return sorted(self._blobs)
@@ -277,6 +288,17 @@ class DirectoryStore:
 
     def __contains__(self, key: str) -> bool:
         return self._path_for(key).exists()
+
+    # Shipped by value to process-backend workers: the path travels, the
+    # manifest/counters are copied at ship time, the lock is recreated.
+    def __getstate__(self) -> dict:
+        state = self.__dict__.copy()
+        del state["_stats_lock"]
+        return state
+
+    def __setstate__(self, state: dict) -> None:
+        self.__dict__.update(state)
+        self._stats_lock = threading.Lock()
 
     def keys(self) -> list[str]:
         """Sorted list of manifest-recorded segment keys."""
@@ -621,7 +643,7 @@ def open_tiled_field(store, name: str, cache=None, verify: bool = True):
             f"tiled index record {tiled_index_key(name)!r} is corrupt: "
             f"{exc}"
         ) from exc
-    return LazyTiledField(
+    field = LazyTiledField(
         shape=tuple(index["shape"]),
         dtype=np.dtype(index["dtype"]),
         tiles=tiles,
@@ -633,6 +655,12 @@ def open_tiled_field(store, name: str, cache=None, verify: bool = True):
             store, field_name, cache=cache, verify=verify
         ),
     )
+    # The process execution backend ships (store, verify) to its workers
+    # so they can open tile sub-fields store-side — the opener closure
+    # above cannot cross a process boundary. The shared cache stays
+    # parent-side by design: workers read the store directly.
+    field.source = (store, verify)
+    return field
 
 
 def open_field(

@@ -34,6 +34,7 @@ from __future__ import annotations
 
 import math
 import threading
+import uuid
 from collections.abc import Callable, Sequence
 from dataclasses import dataclass
 from itertools import product
@@ -41,8 +42,15 @@ from itertools import product
 import numpy as np
 
 from repro.core._pool import WorkerPoolMixin
+from repro.core.backends import (
+    attach_shared_block,
+    parse_backend_spec,
+    share_array,
+    task_name,
+    worker_shared,
+)
 from repro.core.errors import StoreError
-from repro.core.reconstruct import Reconstructor
+from repro.core.reconstruct import DecodeCounters, Reconstructor
 from repro.core.refactor import RefactorConfig, Refactorer
 from repro.core.stream import IOCounters, RefactoredField
 from repro.decompose import MultilevelTransform
@@ -278,6 +286,32 @@ class LazyTiledField(TiledField):
         ])
 
 
+def _task_refactor_tile(
+    state, token, shm_name, shape, dtype_str, offset, extent, tile_name
+):
+    """Process-backend task: refactor one tile out of shared memory.
+
+    The tile block is copied out of the parent's shared-memory segment
+    (never pickled through the pipe); the
+    :class:`~repro.core.refactor.RefactorConfig` arrived once per worker
+    under *token*, and the per-shape :class:`Refactorer` built from it
+    stays warm in the worker across calls — boundary tiles of the same
+    shape reuse it exactly as the serial engine's per-shape cache does.
+    Returns the serialized field, whose byte layout is the cross-backend
+    identity contract.
+    """
+    config = worker_shared(state, token)
+    cache = state.setdefault(("tile-refactorers", token), {})
+    key = tuple(int(e) for e in extent)
+    refactorer = cache.get(key)
+    if refactorer is None:
+        refactorer = Refactorer(key, config)
+        refactorer.transform.level_indices()
+        cache[key] = refactorer
+    block = attach_shared_block(shm_name, shape, dtype_str, offset, extent)
+    return refactorer.refactor(block, name=tile_name).to_bytes()
+
+
 class TiledRefactorer(WorkerPoolMixin):
     """Refactor large fields tile by tile (the streaming write path).
 
@@ -285,7 +319,13 @@ class TiledRefactorer(WorkerPoolMixin):
     the instance's shared thread pool — the within-device pipeline of
     Fig. 4, with per-shape :class:`~repro.core.refactor.Refactorer`
     instances (transform geometry, error weights) still shared across
-    tiles. The tile order of the result is identical either way.
+    tiles. Resolving to the ``processes`` backend (``backend=`` /
+    ``REPRO_BACKEND``) instead publishes the field in a shared-memory
+    segment and fans tiles out across worker processes — true
+    parallelism, with the config pickled once per worker and warm
+    per-shape refactorers reused across calls. The tile order — and
+    every tile's serialized bytes — of the result is identical under
+    all three backends.
     """
 
     def __init__(
@@ -293,13 +333,20 @@ class TiledRefactorer(WorkerPoolMixin):
         tile_shape: tuple[int, ...],
         config: RefactorConfig | None = None,
         num_workers: int = 0,
+        backend: str | None = None,
     ) -> None:
         if num_workers < 0:
             raise ValueError("num_workers must be >= 0")
         self.tile_shape = tuple(int(t) for t in tile_shape)
         self.config = config or RefactorConfig()
         self.num_workers = int(num_workers)
+        if backend is not None:
+            parse_backend_spec(backend)  # validates, raises on junk
+        self.backend = backend
         self._refactorers: dict[tuple[int, ...], Refactorer] = {}
+        # ensure_shared token for shipping the config once per worker;
+        # a fresh UUID so recycled ids can never alias a stale config.
+        self._config_token = f"tiled-refactor-config:{uuid.uuid4().hex}"
 
     def _pool_size(self) -> int:
         return self.num_workers
@@ -340,6 +387,20 @@ class TiledRefactorer(WorkerPoolMixin):
         else:
             value_range = 0.0
         tiles = plan_tiles(data.shape, self.tile_shape)
+        spec = self._backend_spec()
+        if (
+            spec.kind == "processes" and spec.workers > 1
+            and len(tiles) > 1 and data.size
+        ):
+            fields = self._refactor_tiles_processes(data, tiles, name)
+            return TiledField(
+                shape=data.shape,
+                dtype=data.dtype,
+                tiles=tiles,
+                fields=fields,
+                value_range=value_range,
+                name=name,
+            )
         for tile in tiles:  # materialize shared state before the fan-out
             self._refactorer_for(tile.shape)
 
@@ -359,6 +420,40 @@ class TiledRefactorer(WorkerPoolMixin):
             value_range=value_range,
             name=name,
         )
+
+    def _refactor_tiles_processes(
+        self, data: np.ndarray, tiles: list[TileSpec], name: str
+    ) -> list[RefactoredField]:
+        """Fan tile refactors out across the process backend.
+
+        The whole field is published once in a shared-memory segment;
+        each call ships only coordinates, and each worker copies out
+        exactly its tile's block. Results come back as serialized
+        fields (the byte-identity contract), deserialized in tile
+        order. The segment is unlinked as soon as the calls settle.
+        """
+        backend = self._process_backend()
+        backend.ensure_shared(self._config_token, self.config)
+        arr = np.ascontiguousarray(data)
+        shm = share_array(arr)
+        try:
+            refactor_name = task_name(_task_refactor_tile)
+            blobs = backend.map_calls([
+                (
+                    refactor_name,
+                    (
+                        self._config_token, shm.name, arr.shape,
+                        arr.dtype.str, tile.offset, tile.shape,
+                        f"{name}.T" + "_".join(map(str, tile.index)),
+                    ),
+                    None,
+                )
+                for tile in tiles
+            ])
+        finally:
+            shm.close()
+            shm.unlink()
+        return [RefactoredField.from_bytes(blob) for blob in blobs]
 
 
 class TiledReconstructionResult(tuple):
@@ -403,6 +498,96 @@ class TiledReconstructionResult(tuple):
         return self[1]
 
 
+def _task_decode_tile(
+    state, session, store_token, pos, src, incremental, tol, on_fault,
+    window,
+):
+    """Process-backend task: one tile's progressive reconstruction step.
+
+    The worker owns the tile's full progressive state — a warm
+    :class:`~repro.core.reconstruct.Reconstructor` (retained decode
+    partials, fetch progress, counters) kept resident under the
+    session's key and reused across staircase steps; sticky dispatch
+    guarantees the same tile always lands on the same worker. *src*
+    rides along only on the tile's first touch (or after a backend
+    restart): either the serialized field bytes (eager fields) or the
+    stored tile name to open against the session's shipped store.
+    Same-geometry tiles share one transform per worker. A lazy tile
+    whose open faults under ``on_fault="degrade"`` reports
+    ``"unopened"`` (and is retried on the next call) — mirroring the
+    serial engine's zeros-with-inf-bound fallback, which stays
+    parent-side.
+    """
+    sess = state.setdefault(
+        ("tiled-session", session),
+        {"recons": {}, "sources": {}, "transforms": {}},
+    )
+    if src is not None:
+        sess["sources"][pos] = src
+        sess["recons"].pop(pos, None)  # backend restart: state is gone
+    recon = sess["recons"].get(pos)
+    if recon is None:
+        try:
+            kind, payload = sess["sources"][pos]
+        except KeyError:
+            raise RuntimeError(
+                f"tile {pos} source not resident on this worker "
+                "(backend restarted mid-step?)"
+            ) from None
+        try:
+            if kind == "bytes":
+                field = RefactoredField.from_bytes(payload)
+            else:
+                from repro.core.store import open_field
+
+                store, verify = worker_shared(state, store_token)
+                field = open_field(store, payload, verify=verify)
+        except StoreError:
+            if on_fault != "degrade":
+                raise
+            return {"status": "unopened"}
+        key = (
+            tuple(field.shape), field.num_levels, field.mode,
+            field.min_size,
+        )
+        transform = sess["transforms"].get(key)
+        if transform is None:
+            transform = MultilevelTransform(
+                field.shape,
+                num_levels=field.num_levels,
+                mode=field.mode,
+                min_size=field.min_size,
+            )
+            transform.level_indices()
+            sess["transforms"][key] = transform
+        recon = Reconstructor(
+            field, incremental=incremental, transform=transform
+        )
+        sess["recons"][pos] = recon
+    result = recon.reconstruct(tolerance=tol, on_fault=on_fault)
+    tile_local = tuple(slice(lo, hi) for lo, hi in window)
+    io = getattr(recon.field, "io_counters", None)
+    counters = recon.decode_counters
+    return {
+        "status": "ok",
+        "block": np.ascontiguousarray(result.data[tile_local]),
+        "error_bound": result.error_bound,
+        "degraded": result.degraded,
+        "failed_groups": result.failed_groups,
+        "fetched_bytes": recon.fetched_bytes,
+        "fetched_groups": recon.fetched_groups,
+        "decode_state_bytes": recon.decode_state_bytes(),
+        "decode_counters": (
+            counters.groups_decoded, counters.planes_decoded,
+            counters.level_decodes, counters.level_reuses,
+        ),
+        "io": None if io is None else (
+            io.segment_reads, io.bytes_fetched,
+            io.cold_bytes, io.cache_hit_bytes,
+        ),
+    }
+
+
 class TiledReconstructor(WorkerPoolMixin):
     """Progressive reconstruction of a tiled field with a global bound.
 
@@ -423,15 +608,28 @@ class TiledReconstructor(WorkerPoolMixin):
         tiled: TiledField,
         num_workers: int = 0,
         incremental: bool = True,
+        backend: str | None = None,
     ) -> None:
         if num_workers < 0:
             raise ValueError("num_workers must be >= 0")
         self.tiled = tiled
         self.num_workers = int(num_workers)
         self.incremental = bool(incremental)
+        if backend is not None:
+            parse_backend_spec(backend)  # validates, raises on junk
+        self.backend = backend
         self._recons: dict[int, Reconstructor] = {}
         self._transforms: dict[tuple, MultilevelTransform] = {}
         self._state_lock = threading.Lock()
+        # Process-backend session bookkeeping: the worker-resident state
+        # is addressed by this token; ``_shipped`` records the backend
+        # generation each tile's source was last shipped under (a
+        # restart invalidates it), and ``_shadow`` mirrors each remote
+        # tile's accounting after its latest step so the aggregate
+        # properties answer without a round-trip.
+        self._session_token = f"tiled-session:{uuid.uuid4().hex}"
+        self._shipped: dict[int, int] = {}
+        self._shadow: dict[int, dict] = {}
 
     def _pool_size(self) -> int:
         return self.num_workers
@@ -479,9 +677,9 @@ class TiledReconstructor(WorkerPoolMixin):
 
     @property
     def touched_tiles(self) -> list[int]:
-        """Tile positions whose reconstructors exist (sorted)."""
+        """Tile positions with progressive state, local or remote."""
         with self._state_lock:
-            return sorted(self._recons)
+            return sorted(set(self._recons) | set(self._shadow))
 
     def touched_reconstructors(self) -> list[Reconstructor]:
         """Touched tiles' reconstructors, in tile-position order.
@@ -494,16 +692,63 @@ class TiledReconstructor(WorkerPoolMixin):
             recons = dict(self._recons)
         return [recons[i] for i in sorted(recons)]
 
+    def _shadow_values(self) -> list[dict]:
+        with self._state_lock:
+            return list(self._shadow.values())
+
     @property
     def fetched_bytes(self) -> int:
-        """Cumulative payload bytes fetched across touched tiles."""
-        return sum(r.fetched_bytes for r in self.touched_reconstructors())
+        """Cumulative payload bytes fetched across touched tiles.
+
+        Covers both parent-side reconstructors and (under the process
+        backend) the worker-resident ones, whose accounting is mirrored
+        back after every step.
+        """
+        return sum(
+            r.fetched_bytes for r in self.touched_reconstructors()
+        ) + sum(s["fetched_bytes"] for s in self._shadow_values())
 
     def decode_state_bytes(self) -> int:
         """Resident bytes of retained decode state across touched tiles."""
         return sum(
             r.decode_state_bytes() for r in self.touched_reconstructors()
-        )
+        ) + sum(s["decode_state_bytes"] for s in self._shadow_values())
+
+    def aggregate_decode_counters(self) -> DecodeCounters:
+        """Summed :class:`~repro.core.reconstruct.DecodeCounters` of every
+        touched tile, local or worker-resident — the backend-independent
+        decode-work total the differential suite compares."""
+        total = DecodeCounters()
+        for recon in self.touched_reconstructors():
+            counters = recon.decode_counters
+            total.groups_decoded += counters.groups_decoded
+            total.planes_decoded += counters.planes_decoded
+            total.level_decodes += counters.level_decodes
+            total.level_reuses += counters.level_reuses
+        for shadow in self._shadow_values():
+            groups, planes, decodes, reuses = shadow["decode_counters"]
+            total.groups_decoded += groups
+            total.planes_decoded += planes
+            total.level_decodes += decodes
+            total.level_reuses += reuses
+        return total
+
+    def aggregate_io_counters(self) -> IOCounters:
+        """Summed segment traffic of every touched tile, local or remote.
+
+        Serial/thread sessions read through the parent's lazy tile
+        fields; process sessions read store-side in the workers, whose
+        counters are mirrored back after every step. Eager (in-memory)
+        fields contribute zeros either way.
+        """
+        parts = []
+        tiled_io = getattr(self.tiled, "io_counters", None)
+        if callable(tiled_io):
+            parts.append(tiled_io())
+        for shadow in self._shadow_values():
+            if shadow.get("io") is not None:
+                parts.append(IOCounters(*shadow["io"]))
+        return IOCounters.total(parts)
 
     def reconstruct(
         self,
@@ -602,11 +847,19 @@ class TiledReconstructor(WorkerPoolMixin):
                 result.failed_groups,
             )
 
+        spec = self._backend_spec()
+        if spec.kind == "processes" and spec.workers > 1:
+            # Worker-resident tile state: always route through the
+            # backend once resolved to it (even single-tile steps), so
+            # a tile's progressive state lives in exactly one place.
+            outcomes = self._decode_tiles_processes(jobs, tol, on_fault)
+        else:
+            outcomes = self.map_jobs(decode_tile, jobs)
         worst = 0.0
         degraded = False
         failed_tiles: list[int] = []
         failed_groups: dict[int, list[int] | None] = {}
-        for outcome in self.map_jobs(decode_tile, jobs):
+        for outcome in outcomes:
             position, region_local, block, bound, tile_degraded, groups = (
                 outcome
             )
@@ -623,6 +876,93 @@ class TiledReconstructor(WorkerPoolMixin):
             failed_tiles=failed_tiles,
             failed_groups=failed_groups,
         )
+
+    def _decode_tiles_processes(
+        self, jobs: list[tuple], tol: float | None, on_fault: str
+    ) -> list[tuple]:
+        """One step of every selected tile on the process backend.
+
+        Sticky dispatch pins each tile to one worker, where its warm
+        :class:`~repro.core.reconstruct.Reconstructor` persists across
+        staircase steps. A tile's source ships exactly once per backend
+        generation: serialized bytes for eager fields, the tile's
+        stored name for store-backed fields (the store itself travels
+        once per worker under the session's token — workers then fetch
+        their own segments, bypassing any parent-side shared cache).
+        Each result mirrors the tile's accounting back into
+        ``_shadow`` so the aggregates stay answerable parent-side.
+        """
+        backend = self._process_backend()
+        source = getattr(self.tiled, "source", None)
+        names = getattr(self.tiled, "tile_field_names", None)
+        store_token = None
+        if source is not None and names is not None:
+            store_token = f"tiled-store:{self._session_token}"
+            backend.ensure_shared(store_token, source)
+        generation = backend.ensure_alive()
+        decode_name = task_name(_task_decode_tile)
+        calls = []
+        placement = []
+        for pos, (tile_local, region_local) in jobs:
+            src = None
+            if self._shipped.get(pos) != generation:
+                if store_token is not None:
+                    src = ("store", names[pos])
+                else:
+                    src = ("bytes", self.tiled.fields[pos].to_bytes())
+            window = tuple((s.start, s.stop) for s in tile_local)
+            calls.append((
+                decode_name,
+                (
+                    self._session_token, store_token, pos, src,
+                    self.incremental, tol, on_fault, window,
+                ),
+                pos,  # sticky: the tile's decode state lives here
+            ))
+            placement.append((pos, tile_local, region_local))
+        results = backend.map_calls(calls)
+        outcomes = []
+        for (pos, tile_local, region_local), res in zip(
+            placement, results
+        ):
+            self._shipped[pos] = generation
+            if res["status"] == "unopened":
+                # Mirrors the serial never-opened degrade: zeros, no
+                # guarantee, nothing cached — the next call retries.
+                shape = tuple(s.stop - s.start for s in tile_local)
+                outcomes.append((
+                    pos, region_local,
+                    np.zeros(shape, dtype=self.tiled.dtype),
+                    math.inf, True, None,
+                ))
+                continue
+            with self._state_lock:
+                self._shadow[pos] = {
+                    key: res[key]
+                    for key in (
+                        "fetched_bytes", "fetched_groups",
+                        "decode_state_bytes", "decode_counters", "io",
+                    )
+                }
+            outcomes.append((
+                pos, region_local, res["block"], res["error_bound"],
+                res["degraded"], res["failed_groups"],
+            ))
+        return outcomes
+
+    def close(self) -> None:
+        """Release worker-resident session state, then the local pool."""
+        if self._shipped:
+            try:
+                backend = self._process_backend()
+                backend.drop_session(self._session_token)
+                backend.drop_shared(
+                    f"tiled-store:{self._session_token}"
+                )
+            except Exception:
+                pass
+            self._shipped.clear()
+        super().close()
 
     def progressive(
         self,

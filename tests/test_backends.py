@@ -1,0 +1,626 @@
+"""Cross-backend differential suite: serial / threads / processes.
+
+The execution backend must be *unobservable* except in wall-clock time:
+every engine (eager refactor, incremental and full-decode staircases,
+tiled region-of-interest retrieval, degraded-mode resume, service
+sessions) must produce bit-identical bytes, identical error bounds,
+identical ``IOCounters``/``DecodeCounters``, and identical
+degraded/failed-tile reporting under all three backends. Each test
+computes its reference on the serial engine and diffs a parametrized
+backend against it, so a future backend (or a regression in an existing
+one) fails loudly here rather than corrupting science silently.
+
+Also covers the backend-selection rules, hypothesis properties of
+``map_jobs`` (ordering, exception propagation, lifecycle), the nested
+re-entrant submission fix, and ``atexit`` teardown of leaked pools.
+"""
+
+from __future__ import annotations
+
+import os
+import subprocess
+import sys
+import threading
+import time
+from pathlib import Path
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core._pool import WorkerPoolMixin
+from repro.core.backends import (
+    BACKEND_ENV,
+    ProcessBackend,
+    default_process_workers,
+    parse_backend_spec,
+    resolve_backend,
+    shared_process_backend,
+    task_name,
+    worker_shared,
+)
+from repro.core.errors import TransientStoreError
+from repro.core.faults import FaultInjectingStore
+from repro.core.refactor import RefactorConfig, refactor
+from repro.core.reconstruct import Reconstructor
+from repro.core.service import RetrievalService
+from repro.core.store import (
+    MemoryStore,
+    open_field,
+    open_tiled_field,
+    segment_key,
+    store_field,
+    store_tiled_field,
+)
+from repro.core.tiling import TiledReconstructor, TiledRefactorer
+from repro.data import generators as gen
+
+BACKENDS = ["serial", "threads:2", "processes:2"]
+STAIRCASE = [1e-1, 3e-2, 1e-2, 3e-3, 1e-3]
+ROI = (slice(4, 14), slice(2, 12), None)
+SRC = Path(__file__).resolve().parent.parent / "src"
+
+pytestmark = pytest.mark.backend
+
+
+# -- shared task/job functions (module-level: process-backend picklable) ---
+
+def _square(x):
+    return x * x
+
+
+def _explode_on_negative(x):
+    if x < 0:
+        raise ValueError(f"negative job {x}")
+    return x
+
+
+def _raise_transient(x):
+    raise TransientStoreError(f"synthetic fault {x}")
+
+
+def _resolved_kind_with_forced_parallel(_):
+    # Inside a process worker the guard must force serial regardless of
+    # what num_workers asks for — nested pools are forbidden.
+    return resolve_backend(None, 8).kind
+
+
+class _Host(WorkerPoolMixin):
+    """Minimal pool host for backend/property tests."""
+
+    def __init__(self, num_workers: int = 0, backend: str | None = None):
+        self.num_workers = int(num_workers)
+        self.backend = backend
+
+    def _pool_size(self) -> int:
+        return self.num_workers
+
+
+# -- fixtures ---------------------------------------------------------------
+
+@pytest.fixture(scope="module")
+def data():
+    return gen.gaussian_random_field((18, 14, 10), -2.0, seed=21,
+                                     dtype=np.float64)
+
+
+@pytest.fixture(scope="module")
+def reference_field(data):
+    return refactor(data, name="vx")
+
+
+@pytest.fixture(scope="module")
+def reference_staircase(reference_field):
+    recon = Reconstructor(reference_field)
+    return [recon.reconstruct(tolerance=t) for t in STAIRCASE]
+
+
+@pytest.fixture(scope="module")
+def reference_tiled(data):
+    return TiledRefactorer((8, 8, 8)).refactor(data, name="rho")
+
+
+@pytest.fixture(scope="module")
+def stored(reference_field):
+    store = MemoryStore()
+    store_field(store, reference_field)
+    return store
+
+
+@pytest.fixture(scope="module")
+def tiled_stored(reference_tiled):
+    store = MemoryStore()
+    store_tiled_field(store, reference_tiled)
+    return store
+
+
+def _fresh_tiled_store(reference_tiled):
+    store = MemoryStore()
+    store_tiled_field(store, reference_tiled)
+    return store
+
+
+# -- backend selection rules ------------------------------------------------
+
+class TestBackendSelection:
+    def test_parse_specs(self):
+        assert parse_backend_spec("serial") == ("serial", None)
+        assert parse_backend_spec("Threads:4") == ("threads", 4)
+        assert parse_backend_spec("processes:2") == ("processes", 2)
+
+    @pytest.mark.parametrize("junk", ["gpu", "threads:x", "processes:0"])
+    def test_parse_rejects_junk(self, junk):
+        with pytest.raises(ValueError):
+            parse_backend_spec(junk)
+
+    def test_num_workers_rule(self, monkeypatch):
+        monkeypatch.delenv(BACKEND_ENV, raising=False)
+        assert resolve_backend(None, 0) == ("serial", 0)
+        assert resolve_backend(None, 1) == ("serial", 0)
+        assert resolve_backend(None, 4) == ("threads", 4)
+
+    def test_env_override(self, monkeypatch):
+        monkeypatch.setenv(BACKEND_ENV, "processes:3")
+        assert resolve_backend(None, 0) == ("processes", 3)
+        # the historical num_workers sizing survives an unsized override
+        monkeypatch.setenv(BACKEND_ENV, "processes")
+        assert resolve_backend(None, 4) == ("processes", 4)
+
+    def test_explicit_beats_env(self, monkeypatch):
+        monkeypatch.setenv(BACKEND_ENV, "processes:3")
+        assert resolve_backend("threads:2", 0) == ("threads", 2)
+        assert resolve_backend("serial", 8) == ("serial", 0)
+
+    def test_forced_parallel_kind_gets_default_width(self, monkeypatch):
+        monkeypatch.delenv(BACKEND_ENV, raising=False)
+        spec = resolve_backend("processes", 0)
+        assert spec.kind == "processes"
+        assert spec.workers == default_process_workers()
+
+    def test_worker_processes_resolve_serial(self):
+        host = _Host(2, backend="processes:2")
+        kinds = host.map_jobs(_resolved_kind_with_forced_parallel, [0, 1])
+        assert kinds == ["serial", "serial"]
+
+    def test_invalid_backend_rejected_at_construction(self, reference_field):
+        with pytest.raises(ValueError):
+            RefactorConfig(backend="gpu")
+        with pytest.raises(ValueError):
+            Reconstructor(reference_field, backend="threads:zero")
+        with pytest.raises(ValueError):
+            TiledRefactorer((8, 8, 8), backend="processes:-1")
+
+
+# -- differential: refactor -------------------------------------------------
+
+class TestRefactorDifferential:
+    @pytest.mark.parametrize("backend", BACKENDS)
+    def test_refactor_byte_identical(self, data, reference_field, backend):
+        config = RefactorConfig(num_workers=2, backend=backend)
+        field = refactor(data, config, name="vx")
+        assert field.to_bytes() == reference_field.to_bytes()
+
+    @pytest.mark.parametrize("backend", BACKENDS)
+    def test_tiled_refactor_byte_identical(self, data, reference_tiled,
+                                           backend):
+        tiled = TiledRefactorer(
+            (8, 8, 8), num_workers=2, backend=backend
+        ).refactor(data, name="rho")
+        assert len(tiled.fields) == len(reference_tiled.fields)
+        for built, ref in zip(tiled.fields, reference_tiled.fields):
+            assert built.to_bytes() == ref.to_bytes()
+        assert tiled.value_range == reference_tiled.value_range
+
+
+# -- differential: reconstruction ------------------------------------------
+
+def _assert_steps_identical(result, reference):
+    np.testing.assert_array_equal(result.data, reference.data)
+    assert result.error_bound == reference.error_bound
+    assert result.decoded_groups == reference.decoded_groups
+    assert result.decoded_planes == reference.decoded_planes
+    assert result.degraded == reference.degraded
+    assert result.failed_groups == reference.failed_groups
+
+
+class TestReconstructDifferential:
+    @pytest.mark.parametrize("backend", BACKENDS)
+    def test_eager_staircase(self, reference_field, reference_staircase,
+                             backend):
+        recon = Reconstructor(reference_field, num_workers=2,
+                              backend=backend)
+        for tol, ref in zip(STAIRCASE, reference_staircase):
+            _assert_steps_identical(recon.reconstruct(tolerance=tol), ref)
+        ref_session = Reconstructor(reference_field)
+        for tol in STAIRCASE:
+            ref_session.reconstruct(tolerance=tol)
+        assert recon.fetched_groups == ref_session.fetched_groups
+        assert recon.decode_counters == ref_session.decode_counters
+        assert recon.decode_state_bytes() == ref_session.decode_state_bytes()
+
+    @pytest.mark.parametrize("backend", BACKENDS)
+    def test_full_decode_engine(self, reference_field, reference_staircase,
+                                backend):
+        recon = Reconstructor(reference_field, num_workers=2,
+                              incremental=False, backend=backend)
+        for tol, ref in zip(STAIRCASE, reference_staircase):
+            step = recon.reconstruct(tolerance=tol)
+            np.testing.assert_array_equal(step.data, ref.data)
+            assert step.error_bound == ref.error_bound
+
+    @pytest.mark.parametrize("backend", BACKENDS)
+    def test_lazy_staircase_with_io_counters(self, stored,
+                                             reference_staircase, backend):
+        ref_recon = Reconstructor(open_field(stored, "vx"))
+        recon = Reconstructor(open_field(stored, "vx"), num_workers=2,
+                              backend=backend)
+        for tol, ref in zip(STAIRCASE, reference_staircase):
+            expected = ref_recon.reconstruct(tolerance=tol)
+            step = recon.reconstruct(tolerance=tol)
+            np.testing.assert_array_equal(step.data, ref.data)
+            assert step.incremental_bytes == expected.incremental_bytes
+            assert step.cold_bytes == expected.cold_bytes
+            assert step.cache_hit_bytes == expected.cache_hit_bytes
+        # lazy fetch stays parent-side under every backend, so the
+        # session-cumulative segment traffic matches exactly
+        assert (recon.field.io_counters.snapshot()
+                == ref_recon.field.io_counters.snapshot())
+
+
+class TestTiledDifferential:
+    @pytest.mark.parametrize("backend", BACKENDS)
+    def test_roi_staircase_with_aggregates(self, reference_tiled,
+                                           tiled_stored, backend):
+        ref = TiledReconstructor(open_tiled_field(tiled_stored, "rho"))
+        got = TiledReconstructor(
+            open_tiled_field(_fresh_tiled_store_from(tiled_stored), "rho"),
+            num_workers=2, backend=backend,
+        )
+        for tol in STAIRCASE:
+            expected = ref.reconstruct(tolerance=tol, region=ROI)
+            step = got.reconstruct(tolerance=tol, region=ROI)
+            np.testing.assert_array_equal(step.data, expected.data)
+            assert step.error_bound == expected.error_bound
+            assert step.degraded == expected.degraded
+            assert step.failed_tiles == expected.failed_tiles
+        assert got.touched_tiles == ref.touched_tiles
+        assert got.fetched_bytes == ref.fetched_bytes
+        assert got.decode_state_bytes() == ref.decode_state_bytes()
+        assert (got.aggregate_decode_counters()
+                == ref.aggregate_decode_counters())
+        assert (got.aggregate_io_counters().snapshot()
+                == ref.aggregate_io_counters().snapshot())
+        got.close()
+
+    @pytest.mark.parametrize("backend", BACKENDS)
+    def test_widening_region_pays_only_new_tiles(self, tiled_stored,
+                                                 backend):
+        ref = TiledReconstructor(open_tiled_field(tiled_stored, "rho"))
+        got = TiledReconstructor(
+            open_tiled_field(_fresh_tiled_store_from(tiled_stored), "rho"),
+            num_workers=2, backend=backend,
+        )
+        for region in (ROI, None):  # widen ROI -> full domain
+            expected = ref.reconstruct(tolerance=1e-2, region=region)
+            step = got.reconstruct(tolerance=1e-2, region=region)
+            np.testing.assert_array_equal(step.data, expected.data)
+        assert got.fetched_bytes == ref.fetched_bytes
+        assert got.touched_tiles == ref.touched_tiles
+        got.close()
+
+
+def _fresh_tiled_store_from(stored: MemoryStore) -> MemoryStore:
+    """Copy a stored tiled field into a fresh store (fresh counters)."""
+    copy = MemoryStore()
+    for key in stored.keys():
+        copy.put(key, stored.get(key))
+    return copy
+
+
+# -- differential: degraded-mode resume ------------------------------------
+
+class TestDegradedResumeDifferential:
+    """Pre-programmed fault schedules replay identically everywhere.
+
+    ``fail_first`` schedules are pure functions of per-key access
+    counts, which the process backend preserves: untiled fetches stay
+    parent-side, and tiled fetches are pinned to one worker per tile.
+    """
+
+    @pytest.mark.parametrize("backend", BACKENDS)
+    def test_untiled_degrade_then_resume(self, stored, reference_staircase,
+                                         backend):
+        key = segment_key("vx", 0, 2)
+
+        def build(backend_spec):
+            flaky = FaultInjectingStore(stored, fail_first={key: 1})
+            return Reconstructor(open_field(flaky, "vx"), num_workers=2,
+                                 backend=backend_spec)
+
+        ref, got = build(None), build(backend)
+        saw_degraded = False
+        for tol in STAIRCASE:
+            expected = ref.reconstruct(tolerance=tol, on_fault="degrade")
+            step = got.reconstruct(tolerance=tol, on_fault="degrade")
+            np.testing.assert_array_equal(step.data, expected.data)
+            assert step.error_bound == expected.error_bound
+            assert step.degraded == expected.degraded
+            assert step.failed_groups == expected.failed_groups
+            saw_degraded = saw_degraded or step.degraded
+        # the schedule must actually have degraded one step, and the
+        # final refinement must still land on the clean reference
+        assert saw_degraded
+        np.testing.assert_array_equal(
+            got.reconstruct(tolerance=STAIRCASE[-1]).data,
+            reference_staircase[-1].data,
+        )
+
+    @pytest.mark.parametrize("backend", BACKENDS)
+    def test_tiled_unopened_and_midstep_degrade(self, reference_tiled,
+                                                backend):
+        # fail the first access of one tile's index (never-opened
+        # degrade: zeros + inf bound) and of another tile's first
+        # segment (mid-step degrade from committed state)
+        schedule = {
+            "rho.T0_0_0.index": 1,
+            segment_key("rho.T0_1_0", 0, 0): 1,
+        }
+
+        def build(backend_spec):
+            store = _fresh_tiled_store(reference_tiled)
+            flaky = FaultInjectingStore(store, fail_first=schedule)
+            return TiledReconstructor(open_tiled_field(flaky, "rho"),
+                                      num_workers=2, backend=backend_spec)
+
+        ref, got = build(None), build(backend)
+        saw_degraded = False
+        for tol in STAIRCASE[:3]:
+            expected = ref.reconstruct(tolerance=tol, region=ROI,
+                                       on_fault="degrade")
+            step = got.reconstruct(tolerance=tol, region=ROI,
+                                   on_fault="degrade")
+            np.testing.assert_array_equal(step.data, expected.data)
+            assert step.error_bound == expected.error_bound
+            assert step.degraded == expected.degraded
+            assert step.failed_tiles == expected.failed_tiles
+            assert step.failed_groups == expected.failed_groups
+            saw_degraded = saw_degraded or step.degraded
+        assert saw_degraded  # the schedule must not be vacuous
+        got.close()
+
+    @pytest.mark.parametrize("backend", BACKENDS)
+    def test_raise_mode_propagates_typed_error(self, reference_tiled,
+                                               backend):
+        store = _fresh_tiled_store(reference_tiled)
+        flaky = FaultInjectingStore(
+            store, fail_first={"rho.T0_0_0.index": 1}
+        )
+        recon = TiledReconstructor(open_tiled_field(flaky, "rho"),
+                                   num_workers=2, backend=backend)
+        with pytest.raises(TransientStoreError):
+            recon.reconstruct(tolerance=1e-2, region=ROI)
+        recon.close()
+
+
+# -- differential: service sessions ----------------------------------------
+
+class TestServiceDifferential:
+    @pytest.mark.parametrize("backend", BACKENDS)
+    def test_session_staircase(self, stored, reference_staircase, backend):
+        service = RetrievalService(stored, prefetch=True)
+        ref_service = RetrievalService(stored, prefetch=True)
+        with service.session("vx", num_workers=2, backend=backend) as got, \
+                ref_service.session("vx") as ref:
+            for tol, clean in zip(STAIRCASE, reference_staircase):
+                expected = ref.reconstruct(tolerance=tol)
+                ref_service.drain_prefetch()
+                step = got.reconstruct(tolerance=tol)
+                service.drain_prefetch()
+                np.testing.assert_array_equal(step.data, clean.data)
+                np.testing.assert_array_equal(step.data, expected.data)
+                assert step.cold_bytes == expected.cold_bytes
+                assert step.cache_hit_bytes == expected.cache_hit_bytes
+            assert got.stats() == ref.stats()
+        service.close()
+        ref_service.close()
+
+    @pytest.mark.parametrize("backend", BACKENDS)
+    def test_tiled_session_roi_staircase(self, tiled_stored, backend):
+        service = RetrievalService(tiled_stored)
+        ref_service = RetrievalService(tiled_stored)
+        with service.tiled_session(
+            "rho", num_workers=2, backend=backend
+        ) as got, ref_service.tiled_session("rho") as ref:
+            for tol in STAIRCASE:
+                expected = ref.reconstruct(tolerance=tol, region=ROI)
+                step = got.reconstruct(tolerance=tol, region=ROI)
+                np.testing.assert_array_equal(step.data, expected.data)
+                assert step.error_bound == expected.error_bound
+            assert got.tiles_touched == ref.tiles_touched
+            assert got.fetched_bytes == ref.fetched_bytes
+            assert got.decode_state_bytes == ref.decode_state_bytes
+            got_stats, ref_stats = got.stats(), ref.stats()
+            # process workers read the store directly (no shared cache),
+            # so the cold/hit *split* may differ; the reads must not
+            for key in ("tiles", "tiles_touched", "fetched_bytes",
+                        "decode_state_bytes", "segment_reads"):
+                assert got_stats[key] == ref_stats[key]
+        service.close()
+        ref_service.close()
+
+
+# -- map_jobs properties ----------------------------------------------------
+
+class TestMapJobsProperties:
+    @pytest.mark.parametrize("backend", BACKENDS)
+    @given(jobs=st.lists(st.integers(-1000, 1000), max_size=25))
+    @settings(max_examples=15, deadline=None)
+    def test_ordering_matches_serial_loop(self, backend, jobs):
+        host = _Host(2, backend=backend)
+        try:
+            assert host.map_jobs(_square, jobs) == [x * x for x in jobs]
+        finally:
+            host.close()
+
+    @pytest.mark.parametrize("backend", BACKENDS)
+    @given(
+        prefix=st.lists(st.integers(0, 100), max_size=10),
+        bad=st.integers(-100, -1),
+        suffix=st.lists(st.integers(-100, 100), max_size=10),
+    )
+    @settings(max_examples=15, deadline=None)
+    def test_exception_propagates_with_args_intact(self, backend, prefix,
+                                                   bad, suffix):
+        host = _Host(2, backend=backend)
+        jobs = prefix + [bad] + suffix
+        first_bad = next(x for x in jobs if x < 0)
+        try:
+            with pytest.raises(ValueError) as excinfo:
+                host.map_jobs(_explode_on_negative, jobs)
+            # every backend surfaces the *earliest submitted* failure
+            assert excinfo.value.args == (f"negative job {first_bad}",)
+        finally:
+            host.close()
+
+    @pytest.mark.parametrize("backend", BACKENDS)
+    def test_typed_store_error_crosses_the_boundary(self, backend):
+        host = _Host(2, backend=backend)
+        try:
+            with pytest.raises(TransientStoreError) as excinfo:
+                host.map_jobs(_raise_transient, [1, 2])
+            assert excinfo.value.args == ("synthetic fault 1",)
+            if backend.startswith("processes"):
+                assert "TransientStoreError" in excinfo.value.remote_traceback
+        finally:
+            host.close()
+
+    @pytest.mark.parametrize("backend", BACKENDS)
+    @given(jobs=st.lists(st.integers(0, 50), min_size=2, max_size=12))
+    @settings(max_examples=10, deadline=None)
+    def test_lifecycle_close_then_reuse(self, backend, jobs):
+        host = _Host(2, backend=backend)
+        try:
+            assert host.map_jobs(_square, jobs) == [x * x for x in jobs]
+            host.close()  # pool torn down...
+            assert host.map_jobs(_square, jobs) == [x * x for x in jobs]
+        finally:
+            host.close()
+
+
+class TestProcessBackendLifecycle:
+    def test_restart_bumps_generation_and_reships_shared(self):
+        backend = ProcessBackend(2)
+        try:
+            token = "test-shared-object"
+            backend.ensure_shared(token, {"answer": 42})
+            first = backend.generation
+            assert first >= 1
+            got = backend.call(task_name(_read_shared), token)
+            assert got == {"answer": 42}
+            backend.close()
+            # restart: generation bumps, shared state must be re-shipped
+            backend.ensure_shared(token, {"answer": 43})
+            assert backend.ensure_alive() == first + 1
+            assert backend.call(task_name(_read_shared), token) == {
+                "answer": 43
+            }
+        finally:
+            backend.close()
+
+    def test_shared_backend_grows_but_never_shrinks(self):
+        small = shared_process_backend(1)
+        assert small.num_workers >= 1
+        grown = shared_process_backend(2)  # may replace to widen
+        assert grown.num_workers >= 2
+        again = shared_process_backend(1)  # a narrower ask never shrinks
+        assert again is grown
+        assert again.num_workers >= 2
+
+    def test_forked_child_cannot_tear_down_the_shared_pool(self):
+        """Spinning up a *private* pool forks children that inherit the
+        shared singleton (and its pipe fds); when the child clears the
+        singleton global, the resulting GC must not close the parent's
+        shared workers. Regression: this exact sequence used to kill
+        the shared pool and break every later process-backed engine."""
+        host = _Host(2, backend="processes:2")
+        assert host.map_jobs(_square, [2, 3]) == [4, 9]  # shared pool up
+        private = ProcessBackend(2)
+        try:
+            private.ensure_alive()
+        finally:
+            private.close()
+        time.sleep(0.5)  # any child-side teardown would have landed
+        assert shared_process_backend(1).alive, \
+            "a forked child's teardown reached the shared pool"
+        assert host.map_jobs(_square, [4]) == [16]
+
+
+def _read_shared(state, token):
+    return worker_shared(state, token)
+
+
+# -- satellite: nested re-entrant submission --------------------------------
+
+class TestReentrantSubmission:
+    def test_nested_map_jobs_completes_instead_of_deadlocking(self):
+        """A job running on the host's own saturated pool re-enters
+        map_jobs; before the fix this deadlocked (ThreadPoolExecutor
+        does not steal work), so run under a watchdog."""
+        host = _Host(2, backend="threads:2")
+        inner = list(range(6))
+
+        def outer(_):
+            return sum(host.map_jobs(_square, inner))
+
+        outcome = {}
+
+        def run():
+            outcome["result"] = host.map_jobs(outer, list(range(4)))
+
+        worker = threading.Thread(target=run, daemon=True)
+        worker.start()
+        worker.join(timeout=20)
+        try:
+            assert not worker.is_alive(), "nested map_jobs deadlocked"
+            expected = sum(x * x for x in inner)
+            assert outcome["result"] == [expected] * 4
+        finally:
+            host.close()
+
+
+# -- satellite: atexit teardown of leaked pools -----------------------------
+
+class TestAtexitSafety:
+    def test_leaked_pools_do_not_hang_interpreter_exit(self):
+        """A process that uses both backends and exits without closing
+        anything must still terminate promptly with status 0."""
+        script = """
+import numpy as np
+from repro.core._pool import WorkerPoolMixin
+from repro.core.refactor import RefactorConfig, refactor
+
+class Host(WorkerPoolMixin):
+    num_workers = 2
+    def _pool_size(self):
+        return self.num_workers
+
+data = np.linspace(0.0, 1.0, 2520).reshape(18, 14, 10)
+field = refactor(data, RefactorConfig(num_workers=2, backend="processes:2"))
+host = Host()
+host.backend = "threads:2"
+host.map_jobs(abs, [-1, 2, -3, 4])
+print("leaked-ok", len(field.levels))
+# exit WITHOUT close() on the host, the shared process backend, or
+# the thread pool: the atexit registries must reap them all
+"""
+        env = dict(os.environ)
+        env["PYTHONPATH"] = str(SRC) + os.pathsep + env.get(
+            "PYTHONPATH", ""
+        )
+        result = subprocess.run(
+            [sys.executable, "-c", script],
+            capture_output=True, text=True, timeout=120, env=env,
+        )
+        assert result.returncode == 0, result.stderr
+        assert "leaked-ok" in result.stdout

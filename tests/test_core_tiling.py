@@ -181,8 +181,13 @@ class TestParallelTiles:
     def test_close_tears_down_cached_refactorer_pools(self, field):
         from repro.core.refactor import RefactorConfig
 
+        # Pinned to the thread backend: this is a white-box test of
+        # the cached refactorers' *thread* pools (a REPRO_BACKEND
+        # override would otherwise route around them).
         with TiledRefactorer(
-            (12, 12, 12), RefactorConfig(num_workers=2), num_workers=2
+            (12, 12, 12),
+            RefactorConfig(num_workers=2, backend="threads:2"),
+            num_workers=2, backend="threads:2",
         ) as refac:
             refac.refactor(field)
             assert any(
@@ -243,7 +248,10 @@ class TestLazyConstruction:
 
     def test_same_shape_tiles_share_transforms(self, field):
         tiled = TiledRefactorer((12, 12, 12)).refactor(field)
-        recon = TiledReconstructor(tiled)
+        # Pinned serial: the memo under test lives in the parent's
+        # reconstructors (process workers keep their own per-session
+        # memo, exercised by tests/test_backends.py).
+        recon = TiledReconstructor(tiled, backend="serial")
         recon.reconstruct(tolerance=1e-2)
         # 20x24x28 over 12^3 tiles yields at most 8 distinct shapes but
         # 12 tiles; the transform memo must not exceed the shape count.
