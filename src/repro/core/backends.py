@@ -44,6 +44,7 @@ from __future__ import annotations
 import atexit
 import importlib
 import multiprocessing
+import multiprocessing.connection
 import os
 import pickle
 import threading
@@ -51,6 +52,7 @@ import traceback
 import uuid
 import weakref
 import zlib
+from collections import deque
 from collections.abc import Callable, Sequence
 
 import numpy as np
@@ -378,14 +380,19 @@ class ProcessBackend:
     per-shape refactorers, per-tile reconstructors) survives between
     :meth:`map_calls` rounds. ``generation`` increments every time the
     worker set is (re)created, so engines holding worker-resident
-    sessions can detect a restart and re-ship their inputs.
+    sessions can detect a restart and re-ship their inputs; ``uid``
+    names the pool instance itself, so they can also detect the pool
+    being *replaced* by a fresh one whose generation counter restarted
+    (key resident state on ``(uid, generation)``, never generation
+    alone).
 
-    Dispatch is a barrier: one thread at a time sends a batch of tasks
-    (grouped per worker, sticky keys routing related tasks to the same
-    worker) and drains every result before returning. A task failure is
-    re-raised in the parent *after* the drain, with the earliest-
-    submitted failure winning — mirroring the serial loop's
-    first-failure semantics while keeping the pipes consistent.
+    Dispatch is a barrier: one thread at a time feeds tasks (sticky
+    keys routing related tasks to the same worker, at most one in
+    flight per worker) while draining results, returning only when
+    every call settled. A task failure is re-raised in the parent
+    *after* the drain, with the earliest-submitted failure winning —
+    mirroring the serial loop's first-failure semantics while keeping
+    the pipes consistent.
     """
 
     def __init__(
@@ -398,6 +405,7 @@ class ProcessBackend:
         self._workers: list[_Worker] | None = None
         self._lock = threading.RLock()
         self._shared_tokens: set[str] = set()
+        self.uid = uuid.uuid4().hex
         self.generation = 0
         self.tasks_dispatched = 0
         # Teardown is fenced to the creating process: a forked child
@@ -455,13 +463,19 @@ class ProcessBackend:
         """
         if os.getpid() != self._owner_pid:
             return
-        acquired = self._lock.acquire(timeout=timeout)
+        if not self._lock.acquire(timeout=timeout):
+            # Another thread is mid-dispatch (map_calls holds the lock
+            # for its whole feed+drain barrier). Tearing the workers
+            # down underneath it would turn the in-flight batch into a
+            # spurious WorkerCrashedError and race the unlocked
+            # mutation of ``_workers`` — leave teardown to the atexit
+            # registry / daemonic reaping instead.
+            return
         try:
             workers, self._workers = self._workers, None
             self._shared_tokens = set()
         finally:
-            if acquired:
-                self._lock.release()
+            self._lock.release()
         if not workers:
             return
         for worker in workers:
@@ -521,37 +535,105 @@ class ProcessBackend:
         """Run ``(task_name, args, sticky_key)`` calls; results in order.
 
         ``sticky_key=None`` round-robins; anything else routes through
-        :meth:`worker_for`. Blocks until every call settled; the
-        earliest-submitted failure is then re-raised (typed exceptions
-        survive the boundary intact).
+        :meth:`worker_for`. Dispatch interleaves feeding and draining
+        with at most one task in flight per worker: a worker only ever
+        receives a task while it is idle in ``recv`` with an empty
+        result pipe, so neither side can block writing a large payload
+        while the other is blocked writing its own (OS pipe buffers are
+        ~64KB — sending a whole batch before draining deadlocks as soon
+        as tasks and results together exceed them). Blocks until every
+        call settled; the earliest-submitted failure is then re-raised
+        (typed exceptions survive the boundary intact).
         """
         if not calls:
             return []
         with self._lock:
             workers = self._ensure()
-            batches: list[list] = [[] for _ in workers]
+            queues: list[deque] = [deque() for _ in workers]
             for seq, (name, args, key) in enumerate(calls):
                 index = (
                     seq % len(workers) if key is None
                     else self.worker_for(key)
                 )
-                batches[index].append((seq, name, tuple(args)))
-            for worker, batch in zip(workers, batches):
-                for message in batch:
-                    worker.task_conn.send(message)
+                queues[index].append((seq, name, tuple(args)))
             self.tasks_dispatched += len(calls)
             results: list = [None] * len(calls)
-            failures: list[tuple[int, tuple]] = []
-            for worker, batch in zip(workers, batches):
-                for _ in batch:
-                    seq, ok, payload = self._recv(worker)
+            failures: list[tuple[int, BaseException]] = []
+            inflight = [0] * len(workers)
+            settled = 0
+
+            def feed(index: int) -> None:
+                nonlocal settled
+                worker = workers[index]
+                while queues[index] and not inflight[index]:
+                    message = queues[index].popleft()
+                    try:
+                        worker.task_conn.send(message)
+                    except (OSError, EOFError) as exc:
+                        self._abandon()
+                        raise WorkerCrashedError(
+                            "process backend worker closed its task "
+                            "pipe mid-dispatch"
+                        ) from exc
+                    except Exception as exc:
+                        # Unpicklable task arguments: the message never
+                        # reached the worker, so settle it locally and
+                        # keep the pipes consistent.
+                        failures.append((message[0], exc))
+                        settled += 1
+                        continue
+                    inflight[index] = 1
+
+            for index in range(len(workers)):
+                feed(index)
+            conn_index = {
+                workers[i].result_conn: i for i in range(len(workers))
+            }
+            while settled < len(calls):
+                active = [
+                    workers[i].result_conn
+                    for i in range(len(workers))
+                    if inflight[i]
+                ]
+                if not active:
+                    break  # every remaining call settled locally
+                ready = multiprocessing.connection.wait(
+                    active, timeout=_POLL_INTERVAL_S
+                )
+                for conn in ready:
+                    index = conn_index[conn]
+                    try:
+                        seq, ok, payload = conn.recv()
+                    except (EOFError, OSError) as exc:
+                        self._abandon()
+                        raise WorkerCrashedError(
+                            "process backend worker closed its result "
+                            "pipe mid-task"
+                        ) from exc
+                    inflight[index] = 0
+                    settled += 1
                     if ok:
                         results[seq] = payload
                     else:
-                        failures.append((seq, payload))
+                        failures.append((seq, _decode_exc(payload)))
+                    feed(index)
+                if ready:
+                    continue
+                for i in range(len(workers)):
+                    worker = workers[i]
+                    if not inflight[i] or worker.process.is_alive():
+                        continue
+                    if worker.result_conn.poll(0):
+                        continue  # flushed before death; drain next pass
+                    self._abandon()
+                    raise WorkerCrashedError(
+                        f"process backend worker (pid "
+                        f"{worker.process.pid}) died with exit code "
+                        f"{worker.process.exitcode}"
+                    )
         if failures:
-            failures.sort()
-            raise _decode_exc(failures[0][1])
+            failures.sort(key=lambda item: item[0])
+            raise failures[0][1]
         return results
 
     def _recv(self, worker: _Worker):
@@ -663,16 +745,18 @@ class ProcessBackend:
         :meth:`~repro.core._pool.WorkerPoolMixin.map_jobs`: *fn* and
         every job must be picklable (module-level functions, plain
         data). Closures — the engines' usual jobs — cannot cross a
-        process boundary, so unpicklable work falls back to the serial
-        loop; the engines' hot paths use dedicated task functions
-        instead and never hit this fallback.
+        process boundary, so an unpicklable *fn* falls back to the
+        serial loop; the engines' hot paths use dedicated task
+        functions instead and never hit this fallback. Only *fn* is
+        probed (probing every job would serialize each one twice —
+        exactly on the large jobs where pickling is expensive); a job
+        that then fails to pickle at dispatch raises, with the rest of
+        the batch still settled.
         """
         if not jobs:
             return []
         try:
             pickle.dumps(fn)
-            for job in jobs:
-                pickle.dumps(job)
         except Exception:
             return [fn(job) for job in jobs]
         apply_name = task_name(_task_apply)

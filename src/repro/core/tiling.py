@@ -623,12 +623,14 @@ class TiledReconstructor(WorkerPoolMixin):
         self._state_lock = threading.Lock()
         # Process-backend session bookkeeping: the worker-resident state
         # is addressed by this token; ``_shipped`` records the backend
-        # generation each tile's source was last shipped under (a
-        # restart invalidates it), and ``_shadow`` mirrors each remote
-        # tile's accounting after its latest step so the aggregate
-        # properties answer without a round-trip.
+        # ``(uid, generation)`` each tile's source was last shipped
+        # under (a worker restart bumps the generation, and a pool
+        # *replacement* — e.g. the shared backend growing — changes the
+        # uid, so either forces a re-ship), and ``_shadow`` mirrors
+        # each remote tile's accounting after its latest step so the
+        # aggregate properties answer without a round-trip.
         self._session_token = f"tiled-session:{uuid.uuid4().hex}"
-        self._shipped: dict[int, int] = {}
+        self._shipped: dict[int, tuple[str, int]] = {}
         self._shadow: dict[int, dict] = {}
 
     def _pool_size(self) -> int:
@@ -884,8 +886,9 @@ class TiledReconstructor(WorkerPoolMixin):
 
         Sticky dispatch pins each tile to one worker, where its warm
         :class:`~repro.core.reconstruct.Reconstructor` persists across
-        staircase steps. A tile's source ships exactly once per backend
-        generation: serialized bytes for eager fields, the tile's
+        staircase steps. A tile's source ships exactly once per pool
+        instance and generation (a restart *or* a replacement pool
+        re-ships): serialized bytes for eager fields, the tile's
         stored name for store-backed fields (the store itself travels
         once per worker under the session's token — workers then fetch
         their own segments, bypassing any parent-side shared cache).
@@ -899,7 +902,7 @@ class TiledReconstructor(WorkerPoolMixin):
         if source is not None and names is not None:
             store_token = f"tiled-store:{self._session_token}"
             backend.ensure_shared(store_token, source)
-        generation = backend.ensure_alive()
+        generation = (backend.uid, backend.ensure_alive())
         decode_name = task_name(_task_decode_tile)
         calls = []
         placement = []

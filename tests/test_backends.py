@@ -560,6 +560,76 @@ def _read_shared(state, token):
     return worker_shared(state, token)
 
 
+def _reverse_blob(blob):
+    return blob[::-1]
+
+
+class TestPipeCapacity:
+    def test_large_task_and_result_payloads_do_not_deadlock(self):
+        """Task and result payloads far beyond the ~64KB OS pipe buffer:
+        the old send-everything-then-drain barrier deadlocked (worker
+        blocked writing an undrained result, parent blocked writing the
+        rest of the batch), so run under a watchdog."""
+        backend = ProcessBackend(2)
+        blobs = [bytes([65 + i]) * (300 * 1024) for i in range(6)]
+        outcome = {}
+
+        def run():
+            outcome["result"] = backend.map_jobs(_reverse_blob, blobs)
+
+        worker = threading.Thread(target=run, daemon=True)
+        worker.start()
+        worker.join(timeout=60)
+        try:
+            assert not worker.is_alive(), \
+                "large payloads deadlocked the dispatch barrier"
+            assert outcome["result"] == [b[::-1] for b in blobs]
+        finally:
+            backend.close()
+
+    def test_unpicklable_job_raises_with_rest_of_batch_settled(self):
+        """fn is probed for picklability but jobs are not (probing would
+        serialize each one twice); a job that cannot pickle surfaces as
+        that call's failure without wedging the pipes."""
+        backend = ProcessBackend(2)
+        try:
+            with pytest.raises(TypeError):
+                backend.map_jobs(_square, [1, threading.Lock(), 3])
+            # the pool stayed consistent: the next batch works
+            assert backend.map_jobs(_square, [2, 3]) == [4, 9]
+        finally:
+            backend.close()
+
+
+class TestPoolReplacementReship:
+    def test_grown_shared_pool_forces_tile_reship(self, reference_tiled,
+                                                  tiled_stored):
+        """Growing the shared pool mid-session replaces it with a fresh
+        ProcessBackend whose generation counter restarts — and can land
+        on the same generation number the session recorded on the old
+        pool. Re-ship decisions must key on pool identity (uid) too, or
+        the fresh workers raise 'tile source not resident'."""
+        ref = TiledReconstructor(open_tiled_field(tiled_stored, "rho"))
+        got = TiledReconstructor(
+            open_tiled_field(_fresh_tiled_store_from(tiled_stored), "rho"),
+            num_workers=2, backend="processes:2",
+        )
+        try:
+            expected = ref.reconstruct(tolerance=STAIRCASE[0], region=ROI)
+            step = got.reconstruct(tolerance=STAIRCASE[0], region=ROI)
+            np.testing.assert_array_equal(step.data, expected.data)
+            before = shared_process_backend(1)
+            grown = shared_process_backend(before.num_workers + 1)
+            assert grown is not before
+            assert grown.uid != before.uid
+            expected = ref.reconstruct(tolerance=STAIRCASE[1], region=ROI)
+            step = got.reconstruct(tolerance=STAIRCASE[1], region=ROI)
+            np.testing.assert_array_equal(step.data, expected.data)
+            assert step.error_bound == expected.error_bound
+        finally:
+            got.close()
+
+
 # -- satellite: nested re-entrant submission --------------------------------
 
 class TestReentrantSubmission:
