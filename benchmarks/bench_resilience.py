@@ -1,6 +1,6 @@
 """Resilience benchmark: checksum overhead and faulty-store recovery.
 
-Two questions the fault-tolerance subsystem must answer with numbers:
+Three questions the fault-tolerance subsystem must answer with numbers:
 
 * **What does integrity cost when nothing is wrong?** The clean
   cold-read path — open a directory-backed field, fetch every segment,
@@ -15,6 +15,13 @@ Two questions the fault-tolerance subsystem must answer with numbers:
   same staircase on the clean store — plus the injected-fault and
   retry counts, and a bit-identity check that recovery never changed
   an answer.
+* **What does losing a worker cost?** The same tiled staircase on the
+  process backend with one seeded mid-run worker kill
+  (:class:`~repro.core.faults.WorkerChaos`) vs the clean parallel run.
+  The self-healing pool respawns the dead worker and retries its task;
+  the acceptance criterion is a recovered wall within 1.5× of the
+  clean wall, and the recorded ``speedup_crash_recovery`` ratio joins
+  the regression gate.
 
 Writes ``BENCH_resilience.json`` at the repo root.
 
@@ -41,10 +48,23 @@ from pathlib import Path
 import numpy as np
 import pytest
 
-from repro.core.faults import FaultInjectingStore, ResilientReader, RetryPolicy
+from repro.core.backends import shared_process_backend
+from repro.core.faults import (
+    FaultInjectingStore,
+    ResilientReader,
+    RetryPolicy,
+    WorkerChaos,
+)
 from repro.core.reconstruct import Reconstructor
 from repro.core.refactor import refactor
-from repro.core.store import DirectoryStore, open_field, store_field
+from repro.core.store import (
+    DirectoryStore,
+    open_field,
+    open_tiled_field,
+    store_field,
+    store_tiled_field,
+)
+from repro.core.tiling import TiledReconstructor, TiledRefactorer
 from repro.data import generators as gen
 
 pytestmark = pytest.mark.bench
@@ -55,12 +75,21 @@ RESULT_PATH = REPO_ROOT / "BENCH_resilience.json"
 DIMS = (48, 48, 48)
 REPEATS = 5
 TOLERANCES = [1e-1, 1e-2, 1e-3]  # relative staircase
+#: Crash-recovery staircase: deeper, so the one-time kill cost (respawn
+#: + re-decode of the dead worker's resident tile state) is measured
+#: against a realistic progressive session rather than dominating it.
+CRASH_TOLERANCES = [1e-1, 3e-2, 1e-2, 3e-3, 1e-3]
 TRANSIENT_RATE = 0.10
 CHAOS_SEED = 7
 
 #: Acceptance ceiling: verification may cost at most this fraction of
 #: the unverified clean cold-read wall.
 MAX_CHECKSUM_OVERHEAD = 0.05
+
+#: Acceptance ceiling: one worker kill (respawn + task retry + tile
+#: re-ship) may cost at most this fraction of the clean parallel wall —
+#: i.e. the recovered staircase stays within 1.5x.
+MAX_CRASH_OVERHEAD = 0.5
 
 
 def _build_store(root: Path, dims: tuple[int, ...]) -> DirectoryStore:
@@ -148,6 +177,87 @@ def _bench_recovery(store: MemoryStore, tolerances, repeats: int) -> dict:
     }
 
 
+def _tiled_staircase(store, tolerances, num_workers=0, backend=None):
+    recon = TiledReconstructor(open_tiled_field(store, "rho"),
+                               num_workers=num_workers, backend=backend)
+    try:
+        out = None
+        for tol in tolerances:
+            out = recon.reconstruct(tolerance=tol, relative=True).data
+        return out
+    finally:
+        recon.close()
+
+
+def _bench_crash_recovery(tmp: Path, dims: tuple[int, ...],
+                          tolerances, repeats: int) -> dict:
+    """Tiled staircase on the process backend, one seeded worker kill.
+
+    Clean parallel wall vs the wall with a mid-run
+    ``WorkerChaos.single_kill`` (``os._exit``, no cleanup): the pool
+    respawns the dead worker, retries its task, and re-ships the lost
+    tile sources. Each crashed repeat gets a fresh marker directory so
+    the kill fires every time, and every recovered staircase is checked
+    bit-identical against the serial reference.
+    """
+    data = gen.gaussian_random_field(dims, -5.0 / 3.0, seed=29,
+                                     dtype=np.float32)
+    tile = tuple(max(1, d // 2) for d in dims)
+    store = DirectoryStore(tmp / "tiled")
+    tiled = TiledRefactorer(tile).refactor(data, name="rho")
+    store_tiled_field(store, tiled)
+    num_tiles = len(tiled.tiles)
+
+    reference = _tiled_staircase(store, tolerances)
+    wall_clean = _best_wall(
+        lambda: _tiled_staircase(store, tolerances,
+                                 num_workers=2, backend="processes:2"),
+        repeats,
+    )
+
+    backend = shared_process_backend(2)
+    respawns_before = backend.health()["respawns"]
+    wall_crashed = float("inf")
+    kills_fired = 0
+    bit_identical = True
+    for i in range(repeats):
+        scratch = tmp / f"chaos-{i}"
+        scratch.mkdir()
+        chaos = WorkerChaos.single_kill(CHAOS_SEED, num_tiles, scratch)
+        backend.install_chaos(chaos)
+        try:
+            t0 = time.perf_counter()
+            recovered = _tiled_staircase(store, tolerances,
+                                         num_workers=2,
+                                         backend="processes:2")
+            wall_crashed = min(wall_crashed, time.perf_counter() - t0)
+        finally:
+            backend.clear_chaos()
+        kills_fired += chaos.total_fired()
+        bit_identical = bit_identical and bool(
+            np.array_equal(recovered, reference)
+        )
+    respawns = backend.health()["respawns"] - respawns_before
+
+    return {
+        "num_tiles": num_tiles,
+        "tolerances_relative": list(tolerances),
+        "wall_clean_s": wall_clean,
+        "wall_crashed_s": wall_crashed,
+        "crash_overhead_fraction": (
+            (wall_crashed - wall_clean) / wall_clean if wall_clean else 0.0
+        ),
+        # Guarded ratio: ~1.0 when recovery is effectively free; a drop
+        # below 0.8x the recorded value fails check_regression.
+        "speedup_crash_recovery": (
+            wall_clean / wall_crashed if wall_crashed else 0.0
+        ),
+        "kills_fired": kills_fired,
+        "worker_respawns": respawns,
+        "recovered_bit_identical": bit_identical,
+    }
+
+
 def run(dims: tuple[int, ...] = DIMS,
         tolerances: list[float] = TOLERANCES,
         repeats: int = REPEATS) -> dict:
@@ -155,6 +265,9 @@ def run(dims: tuple[int, ...] = DIMS,
         store = _build_store(Path(tmp) / "campaign", dims)
         overhead = _bench_checksum_overhead(store, tolerances[-1], repeats)
         recovery = _bench_recovery(store, tolerances, repeats)
+        crash_tols = (tolerances if len(tolerances) < 3
+                      else CRASH_TOLERANCES)
+        crash = _bench_crash_recovery(Path(tmp), dims, crash_tols, repeats)
         return {
             "config": {
                 "dims": list(dims),
@@ -167,6 +280,7 @@ def run(dims: tuple[int, ...] = DIMS,
             },
             "checksum_overhead": overhead,
             "recovery": recovery,
+            "crash_recovery": crash,
         }
 
 
@@ -186,10 +300,19 @@ def _report(results: dict) -> None:
     print(f"injected transients {r['injected_transients']}, "
           f"retries {r['retries']}, giveups {r['giveups']}, "
           f"bit-identical {r['recovered_bit_identical']}")
+    c = results["crash_recovery"]
+    print(f"\n== crash recovery (tiled staircase, {c['num_tiles']} tiles "
+          "on processes:2, one seeded worker kill per run) ==")
+    print(f"clean {c['wall_clean_s']*1e3:8.1f}ms   "
+          f"crashed {c['wall_crashed_s']*1e3:8.1f}ms   "
+          f"overhead {c['crash_overhead_fraction']:+.1%}")
+    print(f"kills fired {c['kills_fired']}, "
+          f"worker respawns {c['worker_respawns']}, "
+          f"bit-identical {c['recovered_bit_identical']}")
 
 
 def test_resilience_benchmark() -> None:
-    """Pytest entry point — enforces the checksum-overhead ceiling."""
+    """Pytest entry point — enforces the overhead ceilings."""
     results = run()
     RESULT_PATH.write_text(json.dumps(results, indent=2))
     _report(results)
@@ -197,6 +320,11 @@ def test_resilience_benchmark() -> None:
     assert results["recovery"]["giveups"] == 0
     assert (results["checksum_overhead"]["checksum_overhead_fraction"]
             <= MAX_CHECKSUM_OVERHEAD)
+    crash = results["crash_recovery"]
+    assert crash["recovered_bit_identical"]
+    assert crash["kills_fired"] >= 1
+    assert crash["worker_respawns"] >= 1
+    assert crash["crash_overhead_fraction"] <= MAX_CRASH_OVERHEAD
 
 
 def main(argv: list[str] | None = None) -> None:
@@ -207,6 +335,8 @@ def main(argv: list[str] | None = None) -> None:
         assert results["recovery"]["recovered_bit_identical"]
         assert results["recovery"]["injected_transients"] > 0
         assert results["recovery"]["giveups"] == 0
+        assert results["crash_recovery"]["recovered_bit_identical"]
+        assert results["crash_recovery"]["kills_fired"] > 0
         print("bench_resilience smoke ok (tiny sizes, no overhead "
               "ceiling, nothing written)")
         return

@@ -31,15 +31,20 @@ Public API:
 """
 
 from repro.core.errors import (
+    ComputeError,
     SegmentCorruptionError,
     SegmentNotFoundError,
     StoreError,
     TransientStoreError,
+    WorkerCrashedError,
+    WorkerStateError,
+    WorkerTimeoutError,
 )
 from repro.core.faults import (
     FaultInjectingStore,
     ResilientReader,
     RetryPolicy,
+    WorkerChaos,
 )
 from repro.core.planner import RetrievalPlan, plan_greedy, plan_round_robin
 from repro.core.reconstruct import ReconstructionResult, Reconstructor
@@ -107,7 +112,12 @@ __all__ = [
     "SegmentNotFoundError",
     "TransientStoreError",
     "SegmentCorruptionError",
+    "ComputeError",
+    "WorkerCrashedError",
+    "WorkerStateError",
+    "WorkerTimeoutError",
     "FaultInjectingStore",
+    "WorkerChaos",
     "RetryPolicy",
     "ResilientReader",
     "RetrievalService",

@@ -37,6 +37,20 @@ boundary.
 Every live backend is registered for ``atexit`` teardown (workers are
 additionally daemonic), so a leaked pool can never hang interpreter
 shutdown.
+
+The pool is *self-healing*: a worker that dies mid-task is replaced in
+place (same slot, so sticky routing still lands on it), its shared
+objects are re-shipped to the replacement, and the in-flight task is
+retried under a bounded per-task budget. A task that keeps killing its
+workers is quarantined — settled as *that call's*
+:class:`~repro.core.errors.WorkerCrashedError` while the rest of the
+batch completes. A hung-but-alive worker is bounded by per-call
+deadlines (``map_calls(..., deadline=)`` or the pool-level default):
+on expiry the worker is killed and respawned and the call settles as a
+:class:`~repro.core.errors.WorkerTimeoutError`. Respawns, retries,
+quarantines, and deadline kills are counted on the backend
+(:meth:`ProcessBackend.health`) and surfaced through
+``RetrievalService.stats()``.
 """
 
 from __future__ import annotations
@@ -48,6 +62,7 @@ import multiprocessing.connection
 import os
 import pickle
 import threading
+import time
 import traceback
 import uuid
 import weakref
@@ -56,6 +71,13 @@ from collections import deque
 from collections.abc import Callable, Sequence
 
 import numpy as np
+
+from repro.core.errors import (
+    ComputeError,
+    WorkerCrashedError,
+    WorkerStateError,
+    WorkerTimeoutError,
+)
 
 #: Environment override: ``serial`` / ``threads`` / ``processes``,
 #: optionally suffixed ``:N`` to pin the worker count (``processes:4``).
@@ -68,6 +90,21 @@ BACKEND_KINDS = ("serial", "threads", "processes")
 
 _JOIN_TIMEOUT_S = 5.0
 _POLL_INTERVAL_S = 0.05
+#: terminate → join budget before escalating to SIGKILL when reaping a
+#: dead or condemned worker (and again after the kill).
+_REAP_TIMEOUT_S = 1.0
+#: Budget for restoring shared objects onto a freshly-respawned worker;
+#: a replacement that cannot even unpickle the session state within
+#: this window is a hard failure, not something to heal around.
+_RESPAWN_SHIP_TIMEOUT_S = 30.0
+#: Default per-task crash-retry budget: a task may kill this many
+#: workers and still be retried; one more death quarantines it.
+_MAX_TASK_RETRIES = 2
+
+#: ``ensure_shared`` token under which a process-level fault injector
+#: (:class:`~repro.core.faults.WorkerChaos`) rides to every worker; the
+#: worker main loop consults it before each non-maintenance task.
+WORKER_CHAOS_TOKEN = "worker-chaos"
 
 # Set in worker processes only: the nested-pool guard resolve_backend
 # consults so a Refactorer configured with num_workers=4 stays serial
@@ -193,7 +230,7 @@ def worker_shared(state: dict, token: str):
     try:
         return state["shared"][token]
     except KeyError:
-        raise RuntimeError(
+        raise WorkerStateError(
             f"shared object {token!r} was never shipped to this worker "
             "(backend restarted mid-session?)"
         ) from None
@@ -308,6 +345,14 @@ def _worker_main(task_conn, result_conn) -> None:
             break
         seq, name, args = message
         try:
+            # Process-level chaos rides in as a shared object: consult it
+            # before every *engine* task (never the shipping/maintenance
+            # tasks themselves, or installing chaos could fire it). Kill
+            # modes never return; a "raise" schedule settles as an
+            # ordinary task failure.
+            chaos = state["shared"].get(WORKER_CHAOS_TOKEN)
+            if chaos is not None and name not in _MAINTENANCE_TASKS:
+                chaos.before_task(seq, name)
             result = _resolve_task(name)(state, *args)
             out = (seq, True, result)
         except BaseException as exc:
@@ -359,17 +404,27 @@ def _task_ping(state):
     return os.getpid()
 
 
-class _Worker:
-    __slots__ = ("process", "task_conn", "result_conn")
+#: Pool-plumbing tasks the chaos hook must never intercept: firing on a
+#: shared-object ship would kill the respawn/recovery machinery itself.
+_MAINTENANCE_TASKS = frozenset(
+    f"{__name__}:{fn.__name__}"
+    for fn in (_task_put_shared, _task_drop_shared, _task_drop_session,
+               _task_ping)
+)
 
-    def __init__(self, process, task_conn, result_conn) -> None:
+
+class _Worker:
+    __slots__ = ("process", "task_conn", "result_conn", "generation")
+
+    def __init__(self, process, task_conn, result_conn,
+                 generation: int = 0) -> None:
         self.process = process
         self.task_conn = task_conn
         self.result_conn = result_conn
-
-
-class WorkerCrashedError(RuntimeError):
-    """A pool worker died before returning its pending results."""
+        #: Pool generation this worker was spawned under — the slot's
+        #: re-ship key: state resident here survives respawns of
+        #: *other* slots, which only bump the pool-level counter.
+        self.generation = generation
 
 
 class ProcessBackend:
@@ -393,21 +448,57 @@ class ProcessBackend:
     *after* the drain, with the earliest-submitted failure winning —
     mirroring the serial loop's first-failure semantics while keeping
     the pipes consistent.
+
+    The pool heals itself instead of dying with its workers. A worker
+    that crashes mid-task is respawned *in place* — the replacement
+    takes the dead worker's slot so sticky routing is undisturbed, the
+    generation bumps so engines re-ship worker-resident session state,
+    and every ``ensure_shared`` object is restored onto the replacement
+    before it sees a task (tokens stay valid across the respawn). The
+    in-flight task is retried on the replacement under
+    ``max_task_retries``; a task that outlives its budget is
+    quarantined as that call's :class:`WorkerCrashedError` while the
+    rest of the batch completes (the same local-settlement contract as
+    unpicklable jobs). Deadlines (per ``map_calls`` call or
+    ``default_deadline``) bound hung-but-alive workers: on expiry the
+    worker is killed and respawned and the call settles as
+    :class:`WorkerTimeoutError`. ``respawns`` / ``task_retries`` /
+    ``quarantines`` / ``deadline_kills`` count every recovery action
+    (snapshot via :meth:`health`; reset by :meth:`close`).
     """
 
     def __init__(
-        self, num_workers: int, start_method: str | None = None
+        self,
+        num_workers: int,
+        start_method: str | None = None,
+        *,
+        default_deadline: float | None = None,
+        max_task_retries: int = _MAX_TASK_RETRIES,
     ) -> None:
         if num_workers < 1:
             raise ValueError("num_workers must be >= 1")
+        if default_deadline is not None and default_deadline <= 0:
+            raise ValueError("default_deadline must be > 0")
+        if max_task_retries < 0:
+            raise ValueError("max_task_retries must be >= 0")
         self.num_workers = int(num_workers)
         self._start_method = start_method
         self._workers: list[_Worker] | None = None
         self._lock = threading.RLock()
         self._shared_tokens: set[str] = set()
+        # Parent-side copies of everything shipped via ensure_shared,
+        # kept so a respawned worker can be restored without the owning
+        # engine even noticing the crash.
+        self._shared_objects: dict[str, object] = {}
         self.uid = uuid.uuid4().hex
         self.generation = 0
         self.tasks_dispatched = 0
+        self.default_deadline = default_deadline
+        self.max_task_retries = int(max_task_retries)
+        self.respawns = 0
+        self.task_retries = 0
+        self.quarantines = 0
+        self.deadline_kills = 0
         # Teardown is fenced to the creating process: a forked child
         # inherits this object (and dup'd pipe fds), and its GC/atexit
         # must never send shutdown sentinels to the owner's workers.
@@ -428,28 +519,87 @@ class ProcessBackend:
             return multiprocessing.get_context(method)
         return multiprocessing.get_context()
 
+    def _spawn_worker(self, ctx) -> _Worker:
+        task_r, task_w = ctx.Pipe(duplex=False)
+        result_r, result_w = ctx.Pipe(duplex=False)
+        process = ctx.Process(
+            target=_worker_main,
+            args=(task_r, result_w),
+            daemon=True,
+        )
+        process.start()
+        # The parent keeps only its ends of each pipe.
+        task_r.close()
+        result_w.close()
+        return _Worker(process, task_w, result_r, self.generation)
+
     def _ensure(self) -> list[_Worker]:
         if self._workers is not None:
             return self._workers
         ctx = self._context()
-        workers = []
-        for _ in range(self.num_workers):
-            task_r, task_w = ctx.Pipe(duplex=False)
-            result_r, result_w = ctx.Pipe(duplex=False)
-            process = ctx.Process(
-                target=_worker_main,
-                args=(task_r, result_w),
-                daemon=True,
-            )
-            process.start()
-            # The parent keeps only its ends of each pipe.
-            task_r.close()
-            result_w.close()
-            workers.append(_Worker(process, task_w, result_r))
+        self.generation += 1
+        workers = [self._spawn_worker(ctx) for _ in range(self.num_workers)]
         self._workers = workers
         self._shared_tokens = set()
-        self.generation += 1
+        self._shared_objects = {}
         return workers
+
+    @staticmethod
+    def _reap(worker: _Worker) -> None:
+        """Retire one worker without leaving a zombie behind.
+
+        ``join`` is what actually reaps a dead child — terminating
+        without joining accumulates defunct processes for the life of
+        the parent. Escalate to ``kill`` for a worker that ignores
+        SIGTERM (e.g. hung in uninterruptible state) and join again.
+        """
+        process = worker.process
+        if process.is_alive():
+            process.terminate()
+        process.join(timeout=_REAP_TIMEOUT_S)
+        if process.is_alive():
+            process.kill()
+            process.join(timeout=_REAP_TIMEOUT_S)
+        for conn in (worker.task_conn, worker.result_conn):
+            try:
+                conn.close()
+            except Exception:
+                pass
+
+    def _respawn(self, index: int) -> _Worker:
+        """Replace the worker in *index*'s slot (call holding the lock).
+
+        The replacement keeps the slot so :meth:`worker_for` sticky
+        routing is undisturbed. The pool-level generation bumps (any
+        engine keying on it re-ships conservatively), but only *this
+        slot's* spawn stamp changes — engines that sticky-route
+        resident state can key on :meth:`slot_generations` instead and
+        re-ship nothing for the surviving workers. Shared objects are
+        restored synchronously before the replacement sees a task, so
+        ``ensure_shared`` tokens stay valid — a respawn is invisible to
+        engines that only use shared state.
+        """
+        workers = self._workers
+        assert workers is not None
+        self._reap(workers[index])
+        self.generation += 1
+        worker = workers[index] = self._spawn_worker(self._context())
+        self.respawns += 1
+        put = task_name(_task_put_shared)
+        for seq, (token, obj) in enumerate(self._shared_objects.items()):
+            try:
+                worker.task_conn.send((seq, put, (token, obj)))
+                self._recv(worker, deadline=_RESPAWN_SHIP_TIMEOUT_S)
+            except WorkerCrashedError:
+                # The replacement itself failed while restoring state:
+                # the environment is broken, not one task — give up on
+                # the whole pool.
+                self._abandon()
+                raise WorkerCrashedError(
+                    "replacement worker died while restoring shared "
+                    f"object {token!r} after a respawn"
+                ) from None
+        return worker
 
     def close(self, timeout: float = _JOIN_TIMEOUT_S) -> None:
         """Stop the workers (idempotent). The pool restarts on next use.
@@ -474,6 +624,14 @@ class ProcessBackend:
         try:
             workers, self._workers = self._workers, None
             self._shared_tokens = set()
+            self._shared_objects = {}
+            # A closed pool starts its next life with clean health
+            # telemetry: the counters describe the current worker set's
+            # recovery history, not the process's.
+            self.respawns = 0
+            self.task_retries = 0
+            self.quarantines = 0
+            self.deadline_kills = 0
         finally:
             self._lock.release()
         if not workers:
@@ -486,14 +644,7 @@ class ProcessBackend:
         for worker in workers:
             worker.process.join(timeout=timeout)
         for worker in workers:
-            if worker.process.is_alive():
-                worker.process.terminate()
-                worker.process.join(timeout=1.0)
-            for conn in (worker.task_conn, worker.result_conn):
-                try:
-                    conn.close()
-                except Exception:
-                    pass
+            self._reap(worker)
 
     def __enter__(self) -> "ProcessBackend":
         return self
@@ -519,6 +670,19 @@ class ProcessBackend:
             self._ensure()
             return self.generation
 
+    def slot_generations(self) -> list[int]:
+        """Per-slot spawn generations (spins the pool up if needed).
+
+        Finer-grained re-ship keying than the pool-level counter: a
+        respawn replaces exactly one slot, so state resident on every
+        other worker is untouched. Engines that sticky-route resident
+        items can key each one on
+        ``(uid, slot_generations()[worker_for(key)])`` and rebuild only
+        what actually died instead of re-shipping the whole session.
+        """
+        with self._lock:
+            return [w.generation for w in self._ensure()]
+
     # -- dispatch ---------------------------------------------------------
     def worker_for(self, key) -> int:
         """Sticky routing: a stable worker index for *key*.
@@ -530,7 +694,11 @@ class ProcessBackend:
         return zlib.crc32(str(key).encode()) % self.num_workers
 
     def map_calls(
-        self, calls: Sequence[tuple[str, tuple, object]]
+        self,
+        calls: Sequence[tuple[str, tuple, object]],
+        *,
+        deadline: float | None = None,
+        settle: bool = False,
     ) -> list:
         """Run ``(task_name, args, sticky_key)`` calls; results in order.
 
@@ -541,12 +709,27 @@ class ProcessBackend:
         result pipe, so neither side can block writing a large payload
         while the other is blocked writing its own (OS pipe buffers are
         ~64KB — sending a whole batch before draining deadlocks as soon
-        as tasks and results together exceed them). Blocks until every
-        call settled; the earliest-submitted failure is then re-raised
-        (typed exceptions survive the boundary intact).
+        as tasks and results together exceed them).
+
+        A worker that dies mid-task is respawned in place and the task
+        retried there (its slot keeps the sticky mapping) under the
+        per-task ``max_task_retries`` budget; past the budget the call
+        is quarantined as a :class:`WorkerCrashedError` and the batch
+        keeps going. *deadline* (falling back to ``default_deadline``;
+        seconds per task attempt) bounds hung-but-alive workers: on
+        expiry the worker is killed and respawned and the call settles
+        as :class:`WorkerTimeoutError`.
+
+        Blocks until every call settled. With ``settle=False`` the
+        earliest-submitted failure is then re-raised (typed exceptions
+        survive the boundary intact); ``settle=True`` instead returns
+        one ``(ok, value_or_exception)`` pair per call so the caller —
+        e.g. degraded-mode tiled retrieval — can disposition failures
+        individually without losing the rest of the batch.
         """
         if not calls:
             return []
+        effective = self.default_deadline if deadline is None else deadline
         with self._lock:
             workers = self._ensure()
             queues: list[deque] = [deque() for _ in workers]
@@ -559,58 +742,111 @@ class ProcessBackend:
             self.tasks_dispatched += len(calls)
             results: list = [None] * len(calls)
             failures: list[tuple[int, BaseException]] = []
-            inflight = [0] * len(workers)
+            # The exact message each worker is busy with (None = idle):
+            # crash recovery needs the payload back to requeue it.
+            inflight: list[tuple | None] = [None] * len(workers)
+            sent_at = [0.0] * len(workers)
+            crashes: dict[int, int] = {}
             settled = 0
 
             def feed(index: int) -> None:
                 nonlocal settled
-                worker = workers[index]
-                while queues[index] and not inflight[index]:
-                    message = queues[index].popleft()
+                while queues[index] and inflight[index] is None:
+                    message = queues[index][0]
                     try:
-                        worker.task_conn.send(message)
-                    except (OSError, EOFError) as exc:
-                        self._abandon()
-                        raise WorkerCrashedError(
-                            "process backend worker closed its task "
-                            "pipe mid-dispatch"
-                        ) from exc
+                        workers[index].task_conn.send(message)
+                    except (OSError, EOFError):
+                        # The worker died while idle (nothing of this
+                        # batch was on it): replace it and resend the
+                        # same message on the fresh pipe.
+                        self._respawn(index)
+                        continue
                     except Exception as exc:
                         # Unpicklable task arguments: the message never
                         # reached the worker, so settle it locally and
                         # keep the pipes consistent.
+                        queues[index].popleft()
                         failures.append((message[0], exc))
                         settled += 1
                         continue
-                    inflight[index] = 1
+                    queues[index].popleft()
+                    inflight[index] = message
+                    sent_at[index] = time.monotonic()
+
+            def crashed(index: int) -> None:
+                """Worker *index* died with a task on it: heal or settle."""
+                nonlocal settled
+                message = inflight[index]
+                inflight[index] = None
+                process = workers[index].process
+                pid, code = process.pid, process.exitcode
+                self._respawn(index)
+                if message is not None:
+                    seq = message[0]
+                    count = crashes[seq] = crashes.get(seq, 0) + 1
+                    if count > self.max_task_retries:
+                        self.quarantines += 1
+                        failures.append((seq, WorkerCrashedError(
+                            f"task {message[1]!r} (call #{seq}) killed "
+                            f"{count} consecutive workers (last pid "
+                            f"{pid}, exit code {code}); quarantined"
+                        )))
+                        settled += 1
+                    else:
+                        self.task_retries += 1
+                        queues[index].appendleft(message)
+                feed(index)
+
+            def timed_out(index: int) -> None:
+                nonlocal settled
+                message = inflight[index]
+                inflight[index] = None
+                process = workers[index].process
+                pid = process.pid
+                self.deadline_kills += 1
+                try:
+                    process.kill()
+                except Exception:
+                    pass
+                self._respawn(index)
+                failures.append((message[0], WorkerTimeoutError(
+                    f"task {message[1]!r} (call #{message[0]}) exceeded "
+                    f"the {effective:.3g}s deadline on worker pid {pid}; "
+                    "worker killed and respawned"
+                )))
+                settled += 1
+                feed(index)
 
             for index in range(len(workers)):
                 feed(index)
-            conn_index = {
-                workers[i].result_conn: i for i in range(len(workers))
-            }
             while settled < len(calls):
-                active = [
-                    workers[i].result_conn
+                pending = {
+                    workers[i].result_conn: i
                     for i in range(len(workers))
-                    if inflight[i]
-                ]
-                if not active:
-                    break  # every remaining call settled locally
+                    if inflight[i] is not None
+                }
+                if not pending:
+                    if not any(queues):
+                        break  # every remaining call settled locally
+                    # A respawn emptied the in-flight set with work
+                    # still queued (e.g. a quarantine freed the slot):
+                    # feed sends or settles until something is pending.
+                    for index in range(len(workers)):
+                        feed(index)
+                    continue
                 ready = multiprocessing.connection.wait(
-                    active, timeout=_POLL_INTERVAL_S
+                    list(pending), timeout=_POLL_INTERVAL_S
                 )
                 for conn in ready:
-                    index = conn_index[conn]
+                    index = pending[conn]
+                    if inflight[index] is None:
+                        continue
                     try:
                         seq, ok, payload = conn.recv()
-                    except (EOFError, OSError) as exc:
-                        self._abandon()
-                        raise WorkerCrashedError(
-                            "process backend worker closed its result "
-                            "pipe mid-task"
-                        ) from exc
-                    inflight[index] = 0
+                    except (EOFError, OSError):
+                        crashed(index)
+                        continue
+                    inflight[index] = None
                     settled += 1
                     if ok:
                         results[seq] = payload
@@ -619,30 +855,46 @@ class ProcessBackend:
                     feed(index)
                 if ready:
                     continue
+                now = time.monotonic()
                 for i in range(len(workers)):
-                    worker = workers[i]
-                    if not inflight[i] or worker.process.is_alive():
+                    if inflight[i] is None:
                         continue
-                    if worker.result_conn.poll(0):
-                        continue  # flushed before death; drain next pass
-                    self._abandon()
-                    raise WorkerCrashedError(
-                        f"process backend worker (pid "
-                        f"{worker.process.pid}) died with exit code "
-                        f"{worker.process.exitcode}"
-                    )
+                    worker = workers[i]
+                    if not worker.process.is_alive():
+                        if worker.result_conn.poll(0):
+                            continue  # flushed before death; drain next
+                        crashed(i)
+                    elif (
+                        effective is not None
+                        and now - sent_at[i] >= effective
+                    ):
+                        timed_out(i)
+        if settle:
+            outcomes: list[tuple[bool, object]] = [
+                (True, value) for value in results
+            ]
+            for seq, exc in failures:
+                outcomes[seq] = (False, exc)
+            return outcomes
         if failures:
             failures.sort(key=lambda item: item[0])
             raise failures[0][1]
         return results
 
-    def _recv(self, worker: _Worker):
+    def _recv(self, worker: _Worker, deadline: float | None = None):
+        """Receive one reply from *worker*, bounded by *deadline*.
+
+        Raises :class:`WorkerCrashedError` on death (after draining
+        anything flushed first) and :class:`WorkerTimeoutError` past
+        the deadline — the *caller* decides whether to respawn and
+        retry; this method never tears anything down.
+        """
+        start = time.monotonic()
         while True:
             if worker.result_conn.poll(_POLL_INTERVAL_S):
                 try:
                     return worker.result_conn.recv()
                 except (EOFError, OSError) as exc:
-                    self._abandon()
                     raise WorkerCrashedError(
                         "process backend worker closed its result pipe "
                         "mid-task"
@@ -651,52 +903,92 @@ class ProcessBackend:
                 # Drain anything flushed before death, then give up.
                 if worker.result_conn.poll(0):
                     continue
-                self._abandon()
                 raise WorkerCrashedError(
                     f"process backend worker (pid "
                     f"{worker.process.pid}) died with exit code "
                     f"{worker.process.exitcode}"
                 )
+            if (
+                deadline is not None
+                and time.monotonic() - start >= deadline
+            ):
+                raise WorkerTimeoutError(
+                    f"process backend worker (pid {worker.process.pid}) "
+                    f"sent no reply within the {deadline:.3g}s deadline"
+                )
 
     def _abandon(self) -> None:
-        """Discard the worker set after a crash (restart on next use)."""
+        """Discard the worker set after a crash (restart on next use).
+
+        Every abandoned worker is reaped (terminate → join → kill
+        escalation), never just terminated: an un-joined child stays a
+        zombie for the life of the parent process.
+        """
         workers, self._workers = self._workers, None
         self._shared_tokens = set()
+        self._shared_objects = {}
         if not workers:
             return
         for worker in workers:
-            if worker.process.is_alive():
-                worker.process.terminate()
-            for conn in (worker.task_conn, worker.result_conn):
-                try:
-                    conn.close()
-                except Exception:
-                    pass
+            self._reap(worker)
 
     def call(self, name: str, *args, sticky=None):
         """One task on one worker; returns its result."""
         return self.map_calls([(name, args, sticky)])[0]
 
+    def _broadcast_send(self, index: int, message: tuple) -> None:
+        """Send *message* to worker *index*, respawning a dead one."""
+        while True:
+            try:
+                self._workers[index].task_conn.send(message)
+                return
+            except (OSError, EOFError):
+                self._respawn(index)
+
     def broadcast(self, name: str, *args) -> list:
-        """Run the task once on *every* worker (e.g. shipping config)."""
+        """Run the task once on *every* worker (e.g. shipping config).
+
+        Heals like :meth:`map_calls`: a worker that dies mid-broadcast
+        is respawned in place and its copy of the task re-sent (once);
+        a worker that hangs past ``default_deadline`` is killed,
+        respawned, and surfaced as :class:`WorkerTimeoutError`.
+        """
         with self._lock:
             workers = self._ensure()
-            calls = [(name, args, None)] * len(workers)
-            batches = [[(seq, name, tuple(args))]
-                       for seq in range(len(workers))]
-            for worker, batch in zip(workers, batches):
-                for message in batch:
-                    worker.task_conn.send(message)
-            self.tasks_dispatched += len(calls)
+            message_args = tuple(args)
+            self.tasks_dispatched += len(workers)
+            for index in range(len(workers)):
+                self._broadcast_send(index, (index, name, message_args))
             results: list = [None] * len(workers)
             failures: list[tuple[int, tuple]] = []
-            for worker, batch in zip(workers, batches):
-                for _ in batch:
-                    seq, ok, payload = self._recv(worker)
-                    if ok:
-                        results[seq] = payload
-                    else:
-                        failures.append((seq, payload))
+            for index in range(len(workers)):
+                for attempt in (0, 1):
+                    worker = workers[index]
+                    try:
+                        seq, ok, payload = self._recv(
+                            worker, deadline=self.default_deadline
+                        )
+                    except WorkerTimeoutError:
+                        self.deadline_kills += 1
+                        try:
+                            worker.process.kill()
+                        except Exception:
+                            pass
+                        self._respawn(index)
+                        raise
+                    except WorkerCrashedError:
+                        if attempt:
+                            raise
+                        self._respawn(index)
+                        self._broadcast_send(
+                            index, (index, name, message_args)
+                        )
+                        continue
+                    break
+                if ok:
+                    results[seq] = payload
+                else:
+                    failures.append((seq, payload))
         if failures:
             failures.sort()
             raise _decode_exc(failures[0][1])
@@ -708,7 +1000,9 @@ class ProcessBackend:
         The "pickle once per worker" path for codec tables, refactor
         configs, and store handles: later calls with the same token are
         free, and a pool restart (new generation) re-ships on the next
-        call. Tasks read it back with :func:`worker_shared`.
+        call. Tasks read it back with :func:`worker_shared`. The
+        parent keeps its own reference so a respawned worker can be
+        restored without the owning engine re-shipping.
         """
         with self._lock:
             self._ensure()
@@ -716,6 +1010,7 @@ class ProcessBackend:
                 return
             self.broadcast(task_name(_task_put_shared), token, obj)
             self._shared_tokens.add(token)
+            self._shared_objects[token] = obj
 
     def drop_shared(self, token: str) -> None:
         """Best-effort release of a shipped shared object on all workers."""
@@ -724,9 +1019,52 @@ class ProcessBackend:
                 if self._workers is None:
                     return
                 self._shared_tokens.discard(token)
+                self._shared_objects.pop(token, None)
                 self.broadcast(task_name(_task_drop_shared), token)
         except Exception:
             pass
+
+    def install_chaos(self, chaos) -> None:
+        """Ship a process-level fault injector to every worker.
+
+        *chaos* (typically :class:`~repro.core.faults.WorkerChaos`) is
+        consulted by the worker main loop before each engine task; it
+        rides the normal shared-object path, so respawned workers get
+        it back automatically — a chaos schedule survives the very
+        kills it causes. Installing replaces any previous injector.
+        """
+        with self._lock:
+            self._ensure()
+            self._shared_tokens.discard(WORKER_CHAOS_TOKEN)
+            self._shared_objects.pop(WORKER_CHAOS_TOKEN, None)
+            self.ensure_shared(WORKER_CHAOS_TOKEN, chaos)
+
+    def clear_chaos(self) -> None:
+        """Remove an installed fault injector from every worker."""
+        self.drop_shared(WORKER_CHAOS_TOKEN)
+
+    def health(self) -> dict:
+        """Pool-health counter snapshot, JSON-ready.
+
+        Recovery counters (``respawns``, ``task_retries``,
+        ``quarantines``, ``deadline_kills``) describe the current
+        worker set's lifetime and reset on :meth:`close`;
+        ``tasks_dispatched`` is cumulative for the backend instance.
+        """
+        with self._lock:
+            return {
+                "workers": self.num_workers,
+                "alive": self._workers is not None and all(
+                    w.process.is_alive() for w in self._workers
+                ),
+                "uid": self.uid,
+                "generation": self.generation,
+                "tasks_dispatched": self.tasks_dispatched,
+                "respawns": self.respawns,
+                "task_retries": self.task_retries,
+                "quarantines": self.quarantines,
+                "deadline_kills": self.deadline_kills,
+            }
 
     def drop_session(self, token: str) -> None:
         """Best-effort release of worker-resident session state."""
@@ -792,6 +1130,16 @@ def shared_process_backend(num_workers: int | None = None) -> ProcessBackend:
         return backend
 
 
+def current_process_backend() -> ProcessBackend | None:
+    """The live shared backend, or ``None`` — never creates one.
+
+    The observability twin of :func:`shared_process_backend`: telemetry
+    callers (``RetrievalService.stats()``) must not spin a pool up just
+    to report that none exists.
+    """
+    return _SHARED_BACKEND
+
+
 def shutdown_all_backends(timeout: float = 1.0) -> None:
     """Stop every live process backend (the ``atexit`` safety net).
 
@@ -814,6 +1162,7 @@ __all__ = [
     "BACKEND_ENV",
     "START_METHOD_ENV",
     "BACKEND_KINDS",
+    "WORKER_CHAOS_TOKEN",
     "BackendSpec",
     "parse_backend_spec",
     "resolve_backend",
@@ -824,7 +1173,13 @@ __all__ = [
     "share_array",
     "attach_shared_block",
     "ProcessBackend",
+    # Re-exported from repro.core.errors for backward compatibility
+    # (the taxonomy is their home since the self-healing pool).
+    "ComputeError",
     "WorkerCrashedError",
+    "WorkerStateError",
+    "WorkerTimeoutError",
     "shared_process_backend",
+    "current_process_backend",
     "shutdown_all_backends",
 ]

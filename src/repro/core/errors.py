@@ -1,4 +1,4 @@
-"""Typed error taxonomy for the segment I/O path.
+"""Typed error taxonomy for the segment I/O and compute paths.
 
 Real storage tiers fail in qualitatively different ways, and a caller's
 correct reaction differs per way:
@@ -18,6 +18,14 @@ compatibility the classes also subclass the builtin exceptions the
 pre-taxonomy code leaked (``KeyError`` for missing segments,
 ``ValueError`` for malformed streams), so existing ``except`` clauses
 keep working while new callers can classify precisely.
+
+The *compute* tier has its own branch rooted at :class:`ComputeError`:
+the process backend's workers can crash, hang past a deadline, or lose
+worker-resident session state across a respawn. Those failures are not
+storage faults, but a degraded-mode retrieval must treat them the same
+way — fall back to the last committed refinement, report the failed
+tiles, retry on the next call — so the degrade paths catch
+``(StoreError, ComputeError)`` as one family of recoverable faults.
 """
 
 from __future__ import annotations
@@ -62,6 +70,50 @@ class SegmentCorruptionError(StoreError, ValueError):
     """
 
 
+class ComputeError(Exception):
+    """Base of every execution-backend failure this package raises.
+
+    The compute-tier sibling of :class:`StoreError`: "the machinery
+    running the decode, not the math or the storage, went wrong".
+    Degraded-mode retrieval (``reconstruct(..., on_fault="degrade")``)
+    treats this family exactly like store faults — answer from the last
+    committed refinement, report the failure, retry next call.
+    """
+
+
+class WorkerCrashedError(ComputeError, RuntimeError):
+    """A pool worker died before returning its pending results.
+
+    Raised by :class:`~repro.core.backends.ProcessBackend` when a
+    worker's death could not be healed: the replacement worker(s) also
+    died running the same task (poison-task quarantine), or a
+    replacement could not be brought up at all. Subclasses
+    ``RuntimeError`` because the pre-taxonomy backend raised that.
+    """
+
+
+class WorkerTimeoutError(WorkerCrashedError, TimeoutError):
+    """A task exceeded its deadline and its worker was killed.
+
+    The deadline path (``map_calls(..., deadline=)`` or the pool-level
+    default) kills the hung worker, respawns its slot, and settles the
+    call with this error instead of blocking the dispatching thread
+    forever. Subclasses ``TimeoutError`` for callers that classify
+    timeouts generically.
+    """
+
+
+class WorkerStateError(ComputeError, RuntimeError):
+    """Worker-resident state needed by a task is gone.
+
+    A respawned worker starts with empty session state: a sticky-routed
+    task that expected its warm per-tile reconstructor (or a shared
+    object that was never shipped) raises this, and the owning engine
+    heals it by re-shipping the source and retrying — it is a signal to
+    rebuild, not a hard failure.
+    """
+
+
 #: Errors a retry may heal: transient faults, and corruption (one
 #: re-fetch heals a wire-level flip). ``SegmentNotFoundError`` is
 #: deliberately absent. ``TimeoutError`` covers per-attempt timeouts
@@ -78,5 +130,9 @@ __all__ = [
     "SegmentNotFoundError",
     "TransientStoreError",
     "SegmentCorruptionError",
+    "ComputeError",
+    "WorkerCrashedError",
+    "WorkerTimeoutError",
+    "WorkerStateError",
     "RETRYABLE_ERRORS",
 ]

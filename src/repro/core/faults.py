@@ -20,6 +20,14 @@ protocol:
   (see :func:`~repro.core.store.index_checksums`), so one composable
   object turns a flaky store into one that either answers correctly or
   raises a classified error after a bounded effort.
+* :class:`WorkerChaos` — the *compute*-tier sibling of
+  :class:`FaultInjectingStore`: a schedule of process-level faults
+  (``os._exit``, SIGKILL, hang, raise) fired inside backend workers by
+  task index, with firing counts persisted to a scratch directory so a
+  schedule survives the worker kills it causes. Installed with
+  :meth:`~repro.core.backends.ProcessBackend.install_chaos`, it drives
+  the differential tests proving staircase results under worker-kill
+  chaos stay bit-identical to the serial backend.
 
 The layers compose: ``RetrievalService(ResilientReader(flaky, policy))``
 gives every session retried, verified fetches, and the service's
@@ -29,7 +37,9 @@ cold fetches.
 
 from __future__ import annotations
 
+import os
 import random
+import signal
 import threading
 import time
 import zlib
@@ -42,6 +52,10 @@ from repro.core.errors import (
     SegmentCorruptionError,
     TransientStoreError,
 )
+
+#: Exit status a :class:`WorkerChaos` ``"exit"`` schedule dies with —
+#: recognizable in ``WorkerCrashedError`` messages and test asserts.
+CHAOS_EXIT_CODE = 23
 
 
 class FaultInjectingStore:
@@ -180,6 +194,126 @@ class FaultInjectingStore:
         if name.startswith("_"):
             raise AttributeError(name)
         return getattr(self._inner, name)
+
+
+class WorkerChaos:
+    """Deterministic process-level fault schedule for backend workers.
+
+    Ships to every worker through
+    :meth:`~repro.core.backends.ProcessBackend.install_chaos`; the
+    worker main loop calls :meth:`before_task` with each engine task's
+    call index (its ``seq`` within the batch) right before executing
+    it. The *plan* maps task indexes to fault modes:
+
+    * ``"exit"`` — die hard via ``os._exit(CHAOS_EXIT_CODE)`` (no
+      cleanup, no exception transport — the parent sees only the
+      closed pipe);
+    * ``"sigkill"`` — ``SIGKILL`` to self (not even ``os._exit`` runs);
+    * ``"hang"`` — sleep ``hang_s`` while staying alive, the failure
+      mode only deadlines can bound;
+    * ``"raise"`` — raise a
+      :class:`~repro.core.errors.TransientStoreError` (an ordinary
+      task failure: settles immediately, no worker is harmed).
+
+    A plan entry is either a mode string (fires once) or a
+    ``(mode, times)`` pair — the fail-first-N schedule: the first
+    *times* executions of that task index fire, later ones succeed.
+    Firing counts persist as marker files under *scratch_dir*, which is
+    what makes kill schedules converge: the respawned worker receives a
+    pickled copy of this object whose in-memory counters would be
+    fresh, but the on-disk count survives the kill, so the retried task
+    runs clean instead of re-killing every replacement. *seed* is
+    recorded for schedule derivation (:meth:`single_kill`) and salts
+    nothing at fire time — every decision is a pure function of the
+    plan and the persisted counts, the property the differential
+    (serial vs processes) chaos tests build on.
+    """
+
+    MODES = ("exit", "sigkill", "hang", "raise")
+
+    def __init__(
+        self,
+        plan: Mapping[int, str | tuple[str, int]],
+        scratch_dir: str,
+        *,
+        seed: int = 0,
+        hang_s: float = 3600.0,
+    ) -> None:
+        normalized: dict[int, tuple[str, int]] = {}
+        for index, entry in dict(plan).items():
+            if isinstance(entry, str):
+                mode, times = entry, 1
+            else:
+                mode, times = entry
+            if mode not in self.MODES:
+                raise ValueError(
+                    f"chaos mode must be one of {self.MODES}, got "
+                    f"{mode!r}"
+                )
+            if int(times) < 1:
+                raise ValueError(f"chaos fire count must be >= 1: {entry!r}")
+            normalized[int(index)] = (mode, int(times))
+        self.plan = normalized
+        self.scratch_dir = str(scratch_dir)
+        self.seed = seed
+        self.hang_s = float(hang_s)
+
+    @classmethod
+    def single_kill(
+        cls,
+        seed: int,
+        num_tasks: int,
+        scratch_dir: str,
+        mode: str = "exit",
+    ) -> "WorkerChaos":
+        """One seeded kill: a deterministic task index in ``[0, num_tasks)``.
+
+        The canonical "one mid-run worker kill" schedule the chaos
+        differential tests and the crash-recovery benchmark use — same
+        seed, same victim.
+        """
+        index = random.Random(seed).randrange(int(num_tasks))
+        return cls({index: mode}, scratch_dir, seed=seed)
+
+    def _marker(self, index: int) -> str:
+        return os.path.join(self.scratch_dir, f"chaos-fired-{index}")
+
+    def fired(self, index: int) -> int:
+        """How many times *index*'s schedule has fired so far."""
+        try:
+            return os.path.getsize(self._marker(index))
+        except OSError:
+            return 0
+
+    def total_fired(self) -> int:
+        """Total firings across the whole plan (for harness asserts)."""
+        return sum(self.fired(index) for index in self.plan)
+
+    def before_task(self, index: int, name: str | None = None) -> None:
+        """Fire *index*'s scheduled fault, if any remain (worker side)."""
+        entry = self.plan.get(int(index))
+        if entry is None:
+            return
+        mode, times = entry
+        if self.fired(index) >= times:
+            return
+        # Record the firing *before* acting: a kill mode never returns,
+        # and an unrecorded kill would fire again on every retry.
+        with open(self._marker(index), "ab") as fh:
+            fh.write(b"x")
+            fh.flush()
+            os.fsync(fh.fileno())
+        if mode == "exit":
+            os._exit(CHAOS_EXIT_CODE)
+        if mode == "sigkill":
+            os.kill(os.getpid(), signal.SIGKILL)
+        if mode == "hang":
+            time.sleep(self.hang_s)
+            return
+        raise TransientStoreError(
+            f"chaos: injected failure for task index {index}"
+            + (f" ({name})" if name else "")
+        )
 
 
 class RetryPolicy:
@@ -410,6 +544,8 @@ class ResilientReader:
 
 __all__ = [
     "FaultInjectingStore",
+    "WorkerChaos",
+    "CHAOS_EXIT_CODE",
     "RetryPolicy",
     "ResilientReader",
 ]

@@ -30,7 +30,7 @@ from repro.bitplane.encoding import (
 )
 from repro.core._pool import WorkerPoolMixin
 from repro.core.backends import parse_backend_spec, task_name
-from repro.core.errors import StoreError
+from repro.core.errors import ComputeError, StoreError
 from repro.core.planner import RetrievalPlan, plan_full, plan_greedy
 from repro.core.stream import RefactoredField
 from repro.decompose import MultilevelTransform
@@ -385,13 +385,16 @@ class Reconstructor(WorkerPoolMixin):
         failed_groups: list[int] | None = None
         try:
             outcomes = run_step(jobs)
-        except StoreError:
+        except (StoreError, ComputeError):
             if on_fault != "degrade":
                 raise
             # Fall back to the last committed refinement: every group in
             # [0, have) is already memoized in the (lazy) field and every
             # committed level value is cached, so this decode pass
-            # touches no store and cannot fault again.
+            # touches no store and cannot fault again. ComputeError
+            # (a quarantined poison task, a deadline kill the backend
+            # could not heal) degrades the same way: level commits are
+            # parent-side, so recovery state is intact.
             degraded = True
             failed_groups = groups
             groups = list(self._fetched)

@@ -34,6 +34,7 @@ from concurrent.futures import Future
 from collections.abc import Sequence
 
 from repro.core._pool import WorkerPoolMixin
+from repro.core.backends import current_process_backend
 from repro.core.errors import SegmentCorruptionError
 from repro.core.reconstruct import ReconstructionResult, Reconstructor
 from repro.core.store import open_field, open_tiled_field
@@ -634,15 +635,28 @@ class RetrievalService(WorkerPoolMixin):
         their incremental decode engines keep resident (integer partials
         plus cached level values) — the memory the service trades for
         refinement steps that decode only the increment.
+
+        ``pool`` is the shared process backend's health snapshot
+        (respawns, task retries, quarantines, deadline kills — see
+        :meth:`~repro.core.backends.ProcessBackend.health`) when this
+        service resolves to the ``processes`` backend and a pool
+        exists, else ``None``. After a pool replacement (the shared
+        backend growing mid-session) it reports the *current* pool.
         """
         with self._sessions_lock:
             sessions = list(self._sessions)
+        pool = None
+        if self.uses_processes():
+            backend = current_process_backend()
+            if backend is not None:
+                pool = backend.health()
         return {
             "cache": self.cache.stats(),
             "prefetch_requests": self.prefetch_requests,
             "prefetch_failures": self.prefetch_failures,
             "store_reads": getattr(self.store, "reads", None),
             "store_bytes_read": getattr(self.store, "bytes_read", None),
+            "pool": pool,
             "sessions": {
                 "open": len(sessions),
                 "decode_state_bytes": sum(

@@ -49,7 +49,7 @@ from repro.core.backends import (
     task_name,
     worker_shared,
 )
-from repro.core.errors import StoreError
+from repro.core.errors import ComputeError, StoreError, WorkerStateError
 from repro.core.reconstruct import DecodeCounters, Reconstructor
 from repro.core.refactor import RefactorConfig, Refactorer
 from repro.core.stream import IOCounters, RefactoredField
@@ -523,16 +523,24 @@ def _task_decode_tile(
         {"recons": {}, "sources": {}, "transforms": {}},
     )
     if src is not None:
+        # A redundant ship (the parent re-shipping conservatively after
+        # a respawn elsewhere in the pool) must not destroy this
+        # worker's warm state: keep the resident reconstructor and only
+        # refresh the source — the serial engine likewise reuses one
+        # reconstructor across retries. A worker that actually died has
+        # nothing resident, so the rebuild below happens naturally.
         sess["sources"][pos] = src
-        sess["recons"].pop(pos, None)  # backend restart: state is gone
     recon = sess["recons"].get(pos)
     if recon is None:
         try:
             kind, payload = sess["sources"][pos]
         except KeyError:
-            raise RuntimeError(
+            # Typed so the parent engine can distinguish "this worker
+            # was respawned and lost my tile" (heal: re-ship + retry)
+            # from a real decode failure.
+            raise WorkerStateError(
                 f"tile {pos} source not resident on this worker "
-                "(backend restarted mid-step?)"
+                "(worker respawned or backend restarted mid-step?)"
             ) from None
         try:
             if kind == "bytes":
@@ -623,10 +631,11 @@ class TiledReconstructor(WorkerPoolMixin):
         self._state_lock = threading.Lock()
         # Process-backend session bookkeeping: the worker-resident state
         # is addressed by this token; ``_shipped`` records the backend
-        # ``(uid, generation)`` each tile's source was last shipped
-        # under (a worker restart bumps the generation, and a pool
-        # *replacement* — e.g. the shared backend growing — changes the
-        # uid, so either forces a re-ship), and ``_shadow`` mirrors
+        # ``(uid, slot generation)`` each tile's source was last shipped
+        # under (the tile's sticky worker being respawned bumps its
+        # slot stamp, and a pool restart or *replacement* — e.g. the
+        # shared backend growing — changes every stamp or the uid, so
+        # any of them forces a re-ship), and ``_shadow`` mirrors
         # each remote tile's accounting after its latest step so the
         # aggregate properties answer without a round-trip.
         self._session_token = f"tiled-session:{uuid.uuid4().hex}"
@@ -887,11 +896,14 @@ class TiledReconstructor(WorkerPoolMixin):
         Sticky dispatch pins each tile to one worker, where its warm
         :class:`~repro.core.reconstruct.Reconstructor` persists across
         staircase steps. A tile's source ships exactly once per pool
-        instance and generation (a restart *or* a replacement pool
+        instance and *slot* generation (the slot's worker being
+        respawned — or the whole pool restarting or being replaced —
         re-ships): serialized bytes for eager fields, the tile's
         stored name for store-backed fields (the store itself travels
         once per worker under the session's token — workers then fetch
         their own segments, bypassing any parent-side shared cache).
+        Keying on the slot rather than the pool keeps one worker's
+        crash from forcing every surviving worker's tiles to rebuild.
         Each result mirrors the tile's accounting back into
         ``_shadow`` so the aggregates stay answerable parent-side.
         """
@@ -902,56 +914,105 @@ class TiledReconstructor(WorkerPoolMixin):
         if source is not None and names is not None:
             store_token = f"tiled-store:{self._session_token}"
             backend.ensure_shared(store_token, source)
-        generation = (backend.uid, backend.ensure_alive())
         decode_name = task_name(_task_decode_tile)
-        calls = []
-        placement = []
-        for pos, (tile_local, region_local) in jobs:
-            src = None
-            if self._shipped.get(pos) != generation:
-                if store_token is not None:
-                    src = ("store", names[pos])
-                else:
-                    src = ("bytes", self.tiled.fields[pos].to_bytes())
-            window = tuple((s.start, s.stop) for s in tile_local)
-            calls.append((
-                decode_name,
-                (
-                    self._session_token, store_token, pos, src,
-                    self.incremental, tol, on_fault, window,
-                ),
-                pos,  # sticky: the tile's decode state lives here
-            ))
-            placement.append((pos, tile_local, region_local))
-        results = backend.map_calls(calls)
-        outcomes = []
-        for (pos, tile_local, region_local), res in zip(
-            placement, results
-        ):
-            self._shipped[pos] = generation
-            if res["status"] == "unopened":
-                # Mirrors the serial never-opened degrade: zeros, no
-                # guarantee, nothing cached — the next call retries.
-                shape = tuple(s.stop - s.start for s in tile_local)
-                outcomes.append((
-                    pos, region_local,
-                    np.zeros(shape, dtype=self.tiled.dtype),
-                    math.inf, True, None,
+        outcome_by_pos: dict[int, tuple] = {}
+        failures: list[tuple[int, BaseException]] = []
+        pending = list(jobs)
+        # A worker respawn mid-batch loses that worker's resident tiles:
+        # those calls settle as WorkerStateError, and one re-ship pass
+        # (the slot's new spawn stamp forces src to ride along) rebuilds
+        # them bit-identically from scratch. Two healing passes bound
+        # even a respawn happening *during* the retry pass.
+        for attempt in range(3):
+            slot_gens = backend.slot_generations()
+            calls = []
+            placement = []
+            ship_keys = {}
+            for pos, (tile_local, region_local) in pending:
+                key = (backend.uid, slot_gens[backend.worker_for(pos)])
+                ship_keys[pos] = key
+                src = None
+                if self._shipped.get(pos) != key:
+                    if store_token is not None:
+                        src = ("store", names[pos])
+                    else:
+                        src = ("bytes", self.tiled.fields[pos].to_bytes())
+                window = tuple((s.start, s.stop) for s in tile_local)
+                calls.append((
+                    decode_name,
+                    (
+                        self._session_token, store_token, pos, src,
+                        self.incremental, tol, on_fault, window,
+                    ),
+                    pos,  # sticky: the tile's decode state lives here
                 ))
-                continue
-            with self._state_lock:
-                self._shadow[pos] = {
-                    key: res[key]
-                    for key in (
-                        "fetched_bytes", "fetched_groups",
-                        "decode_state_bytes", "decode_counters", "io",
+                placement.append((pos, tile_local, region_local))
+            settled = backend.map_calls(calls, settle=True)
+            retry = []
+            for (pos, tile_local, region_local), (ok, value) in zip(
+                placement, settled
+            ):
+                if ok:
+                    self._shipped[pos] = ship_keys[pos]
+                    outcome_by_pos[pos] = self._tile_outcome(
+                        pos, tile_local, region_local, value
                     )
-                }
-            outcomes.append((
-                pos, region_local, res["block"], res["error_bound"],
-                res["degraded"], res["failed_groups"],
-            ))
-        return outcomes
+                    continue
+                self._shipped.pop(pos, None)
+                if isinstance(value, WorkerStateError) and attempt < 2:
+                    retry.append((pos, (tile_local, region_local)))
+                elif on_fault == "degrade" and isinstance(
+                    value, (StoreError, ComputeError)
+                ):
+                    # The tile's worker-resident refinement died with
+                    # its worker (crash, quarantine, or deadline kill):
+                    # nothing is committed parent-side, so degrade like
+                    # a never-opened tile — zeros, unbounded error —
+                    # and rebuild from scratch on the next call.
+                    shape = tuple(
+                        s.stop - s.start for s in tile_local
+                    )
+                    outcome_by_pos[pos] = (
+                        pos, region_local,
+                        np.zeros(shape, dtype=self.tiled.dtype),
+                        math.inf, True, None,
+                    )
+                else:
+                    failures.append((pos, value))
+            if not retry:
+                break
+            pending = retry
+        if failures:
+            failures.sort(key=lambda item: item[0])
+            raise failures[0][1]
+        return [outcome_by_pos[pos] for pos, _ in jobs]
+
+    def _tile_outcome(
+        self, pos: int, tile_local: tuple, region_local: tuple, res: dict
+    ) -> tuple:
+        """One worker reply → the serial decode_tile outcome shape."""
+        if res["status"] == "unopened":
+            # Mirrors the serial never-opened degrade: zeros, no
+            # guarantee, nothing cached — the next call retries (the
+            # source stayed resident, so no re-ship is needed).
+            shape = tuple(s.stop - s.start for s in tile_local)
+            return (
+                pos, region_local,
+                np.zeros(shape, dtype=self.tiled.dtype),
+                math.inf, True, None,
+            )
+        with self._state_lock:
+            self._shadow[pos] = {
+                key: res[key]
+                for key in (
+                    "fetched_bytes", "fetched_groups",
+                    "decode_state_bytes", "decode_counters", "io",
+                )
+            }
+        return (
+            pos, region_local, res["block"], res["error_bound"],
+            res["degraded"], res["failed_groups"],
+        )
 
     def close(self) -> None:
         """Release worker-resident session state, then the local pool."""

@@ -18,6 +18,7 @@ re-entrant submission fix, and ``atexit`` teardown of leaked pools.
 from __future__ import annotations
 
 import os
+import signal
 import subprocess
 import sys
 import threading
@@ -33,6 +34,7 @@ from repro.core._pool import WorkerPoolMixin
 from repro.core.backends import (
     BACKEND_ENV,
     ProcessBackend,
+    current_process_backend,
     default_process_workers,
     parse_backend_spec,
     resolve_backend,
@@ -40,8 +42,12 @@ from repro.core.backends import (
     task_name,
     worker_shared,
 )
-from repro.core.errors import TransientStoreError
-from repro.core.faults import FaultInjectingStore
+from repro.core.errors import (
+    TransientStoreError,
+    WorkerCrashedError,
+    WorkerTimeoutError,
+)
+from repro.core.faults import FaultInjectingStore, WorkerChaos
 from repro.core.refactor import RefactorConfig, refactor
 from repro.core.reconstruct import Reconstructor
 from repro.core.service import RetrievalService
@@ -694,3 +700,314 @@ print("leaked-ok", len(field.levels))
         )
         assert result.returncode == 0, result.stderr
         assert "leaked-ok" in result.stdout
+
+
+# -- tentpole: self-healing pool --------------------------------------------
+
+def _task_square(state, x):
+    return x * x
+
+
+def _task_pid(state):
+    return os.getpid()
+
+
+def _is_zombie(pid: int) -> bool:
+    """True when *pid* is a terminated-but-unreaped child (state Z)."""
+    try:
+        with open(f"/proc/{pid}/stat") as fh:
+            return fh.read().rsplit(")", 1)[1].split()[0] == "Z"
+    except OSError:
+        return False  # reaped: the /proc entry is gone
+
+
+class TestSelfHealingPool:
+    """Worker death is an incident the pool absorbs, not a batch error."""
+
+    @pytest.mark.parametrize("mode", ["exit", "sigkill"])
+    def test_worker_kill_heals_batch(self, tmp_path, mode):
+        """One seeded kill mid-batch: the dead worker is respawned in
+        place, the lost task retried there, and the batch completes
+        with every result intact — the kill is visible only in the
+        health counters."""
+        backend = ProcessBackend(2)
+        try:
+            chaos = WorkerChaos({3: mode}, tmp_path)
+            backend.install_chaos(chaos)
+            sq = task_name(_task_square)
+            results = backend.map_calls([(sq, (i,), None) for i in range(8)])
+            assert results == [i * i for i in range(8)]
+            assert chaos.total_fired() == 1
+            health = backend.health()
+            assert health["respawns"] == 1
+            assert health["task_retries"] == 1
+            assert health["quarantines"] == 0
+            assert health["alive"] is True
+        finally:
+            backend.close()
+
+    def test_shared_objects_survive_respawn(self, tmp_path):
+        """The parent keeps every ``ensure_shared`` object; a respawned
+        worker gets them restored without the owning engine re-shipping
+        — a respawn is invisible to shared-state consumers."""
+        backend = ProcessBackend(2)
+        try:
+            backend.ensure_shared("cfg", {"answer": 42})
+            backend.install_chaos(WorkerChaos({0: "exit"}, tmp_path))
+            sq = task_name(_task_square)
+            assert backend.map_calls(
+                [(sq, (i,), None) for i in range(4)]
+            ) == [0, 1, 4, 9]
+            assert backend.health()["respawns"] == 1
+            got = backend.broadcast(task_name(_read_shared), "cfg")
+            assert got == [{"answer": 42}] * backend.num_workers
+        finally:
+            backend.close()
+
+    def test_sticky_routing_survives_respawn(self, tmp_path):
+        """In-place slot replacement keeps ``worker_for`` stable: sticky
+        keys keep resolving to the same slot across a respawn."""
+        backend = ProcessBackend(2)
+        try:
+            key = "tile-(0, 1)"
+            index = backend.worker_for(key)
+            backend.install_chaos(WorkerChaos({0: "exit"}, tmp_path))
+            sq = task_name(_task_square)
+            results = backend.map_calls([(sq, (i,), key) for i in range(4)])
+            assert results == [0, 1, 4, 9]
+            assert backend.worker_for(key) == index
+            assert backend.health()["respawns"] == 1
+        finally:
+            backend.close()
+
+    def test_poison_task_quarantined_batch_survives(self, tmp_path):
+        """A task that kills every worker it lands on exhausts its retry
+        budget and settles as *that call's* failure; its batchmates
+        still return correct results."""
+        backend = ProcessBackend(2)
+        try:
+            chaos = WorkerChaos({2: ("exit", 10)}, tmp_path)
+            backend.install_chaos(chaos)
+            sq = task_name(_task_square)
+            outcomes = backend.map_calls(
+                [(sq, (i,), None) for i in range(6)], settle=True
+            )
+            for i, (ok, value) in enumerate(outcomes):
+                if i == 2:
+                    assert ok is False
+                    assert isinstance(value, WorkerCrashedError)
+                    assert "quarantined" in str(value)
+                else:
+                    assert ok is True and value == i * i
+            # budget = max_task_retries retries → retries + 1 crashes
+            assert chaos.fired(2) == backend.max_task_retries + 1
+            health = backend.health()
+            assert health["quarantines"] == 1
+            assert health["task_retries"] == backend.max_task_retries
+            assert health["respawns"] == backend.max_task_retries + 1
+        finally:
+            backend.close()
+
+    def test_poison_task_raises_typed_and_pool_survives(self, tmp_path):
+        """Without ``settle`` the quarantine surfaces as a typed
+        :class:`WorkerCrashedError` — and the pool stays usable."""
+        backend = ProcessBackend(2)
+        try:
+            backend.install_chaos(WorkerChaos({1: ("sigkill", 10)}, tmp_path))
+            sq = task_name(_task_square)
+            with pytest.raises(WorkerCrashedError, match="quarantined"):
+                backend.map_calls([(sq, (i,), None) for i in range(4)])
+            backend.clear_chaos()
+            assert backend.map_calls([(sq, (5,), None)]) == [25]
+        finally:
+            backend.close()
+
+    def test_deadline_settles_hung_worker(self, tmp_path):
+        """A hung-but-alive worker is the failure mode only deadlines
+        can bound: on expiry it is killed and respawned and the call
+        settles as :class:`WorkerTimeoutError` while its batchmates
+        return normally. Run under a watchdog — before deadlines this
+        blocked forever."""
+        backend = ProcessBackend(2)
+        outcome = {}
+
+        def run():
+            backend.install_chaos(WorkerChaos({1: "hang"}, tmp_path))
+            sq = task_name(_task_square)
+            outcome["result"] = backend.map_calls(
+                [(sq, (i,), None) for i in range(4)],
+                deadline=1.0, settle=True,
+            )
+
+        worker = threading.Thread(target=run, daemon=True)
+        worker.start()
+        worker.join(timeout=60)
+        try:
+            assert not worker.is_alive(), \
+                "deadline failed to bound a hung worker"
+            outcomes = outcome["result"]
+            assert [v for ok, v in outcomes if ok] == [0, 4, 9]
+            assert isinstance(outcomes[1][1], WorkerTimeoutError)
+            assert isinstance(outcomes[1][1], TimeoutError)  # taxonomy
+            health = backend.health()
+            assert health["deadline_kills"] == 1
+            assert health["respawns"] == 1
+        finally:
+            backend.close()
+
+    def test_pool_default_deadline_applies(self, tmp_path):
+        """``default_deadline`` covers calls that pass no per-call
+        deadline; without ``settle`` the timeout is raised typed."""
+        backend = ProcessBackend(2, default_deadline=1.0)
+        outcome = {}
+
+        def run():
+            backend.install_chaos(WorkerChaos({0: "hang"}, tmp_path))
+            sq = task_name(_task_square)
+            try:
+                backend.map_calls([(sq, (i,), None) for i in range(4)])
+            except BaseException as exc:  # noqa: BLE001 - transported
+                outcome["exc"] = exc
+
+        worker = threading.Thread(target=run, daemon=True)
+        worker.start()
+        worker.join(timeout=60)
+        try:
+            assert not worker.is_alive(), \
+                "default deadline failed to bound a hung worker"
+            assert isinstance(outcome["exc"], WorkerTimeoutError)
+            backend.clear_chaos()
+            sq = task_name(_task_square)
+            assert backend.map_calls([(sq, (7,), None)]) == [49]
+        finally:
+            backend.close()
+
+    def test_worker_killed_between_batches_heals_on_next_dispatch(self):
+        """Death while idle (no task in flight): the next dispatch sees
+        the closed pipe or the EOF, replaces the worker, and the batch
+        completes — no caller-visible error."""
+        backend = ProcessBackend(2)
+        try:
+            sq = task_name(_task_square)
+            assert backend.map_calls(
+                [(sq, (i,), None) for i in range(4)]
+            ) == [0, 1, 4, 9]
+            pids = backend.broadcast(task_name(_task_pid))
+            os.kill(pids[0], signal.SIGKILL)
+            giveup = time.monotonic() + 10
+            while (backend._workers[0].process.is_alive()
+                   and time.monotonic() < giveup):
+                time.sleep(0.01)
+            assert backend.map_calls(
+                [(sq, (i,), None) for i in range(4)]
+            ) == [0, 1, 4, 9]
+            assert backend.health()["respawns"] >= 1
+        finally:
+            backend.close()
+
+    def test_health_counters_reset_on_close(self, tmp_path):
+        """Recovery counters describe the current worker set: close()
+        zeroes them (satellite: telemetry lifecycle)."""
+        backend = ProcessBackend(2)
+        try:
+            backend.install_chaos(WorkerChaos({0: "exit"}, tmp_path))
+            sq = task_name(_task_square)
+            backend.map_calls([(sq, (i,), None) for i in range(4)])
+            assert backend.health()["respawns"] == 1
+            backend.close()
+            health = backend.health()
+            assert health["alive"] is False
+            assert health["respawns"] == 0
+            assert health["task_retries"] == 0
+            assert health["quarantines"] == 0
+            assert health["deadline_kills"] == 0
+        finally:
+            backend.close()
+
+
+# -- satellite: zombie reaping ----------------------------------------------
+
+class TestZombieReaping:
+    pytestmark = pytest.mark.skipif(
+        not sys.platform.startswith("linux"),
+        reason="zombie detection reads /proc",
+    )
+
+    def test_abandon_reaps_killed_and_live_workers(self):
+        """Regression: ``_abandon()`` used to terminate() without
+        join(), leaving every abandoned worker a zombie for the life of
+        the parent. It must reap (join) them all — including one that
+        already died on its own."""
+        backend = ProcessBackend(2)
+        backend.ensure_alive()
+        procs = [w.process for w in backend._workers]
+        os.kill(procs[0].pid, signal.SIGKILL)
+        backend._abandon()
+        for proc in procs:
+            assert not proc.is_alive()
+            assert not _is_zombie(proc.pid), \
+                f"worker pid {proc.pid} left a zombie after _abandon()"
+
+    def test_close_reaps_all_workers(self):
+        backend = ProcessBackend(2)
+        backend.ensure_alive()
+        pids = [w.process.pid for w in backend._workers]
+        backend.close()
+        for pid in pids:
+            assert not _is_zombie(pid), \
+                f"worker pid {pid} left a zombie after close()"
+
+
+# -- satellite: pool health through the service -----------------------------
+
+class TestPoolHealthTelemetry:
+    def test_service_stats_surface_pool_health(self, stored, tmp_path):
+        """A worker kill inside a service session shows up in
+        ``RetrievalService.stats()['pool']`` — the operator-facing
+        window into pool recovery."""
+        service = RetrievalService(stored)
+        service.backend = "processes:2"
+        backend = shared_process_backend(2)
+        chaos = WorkerChaos({0: "exit"}, tmp_path)
+        backend.install_chaos(chaos)
+        try:
+            with service.session(
+                "vx", num_workers=2, backend="processes:2"
+            ) as session:
+                session.reconstruct(tolerance=1e-2)
+            pool = service.stats()["pool"]
+            assert pool is not None
+            assert pool["uid"] == backend.uid
+            assert pool["respawns"] >= 1
+            assert pool["task_retries"] >= 1
+            assert chaos.total_fired() == 1
+        finally:
+            backend.clear_chaos()
+            service.close()
+
+    def test_serial_service_reports_no_pool(self, stored):
+        service = RetrievalService(stored)
+        service.backend = "serial"
+        assert service.stats()["pool"] is None
+        service.close()
+
+    def test_stats_track_replacement_pool(self, stored):
+        """Growing the shared backend mid-session replaces the pool;
+        stats() must report the *current* pool (fresh uid, counters
+        reset), not a snapshot of the dead one."""
+        service = RetrievalService(stored)
+        service.backend = "processes:2"
+        before = shared_process_backend(2)
+        with service.session(
+            "vx", num_workers=2, backend="processes:2"
+        ) as session:
+            session.reconstruct(tolerance=1e-1)
+            first = service.stats()["pool"]
+            assert first["uid"] == before.uid
+            grown = shared_process_backend(before.num_workers + 1)
+            assert grown is not before
+            second = service.stats()["pool"]
+            assert second["uid"] == grown.uid
+            assert second["respawns"] == 0
+            session.reconstruct(tolerance=1e-2)  # session still works
+        service.close()

@@ -14,8 +14,14 @@ so failures replay exactly; the retry policies here never sleep.
 import numpy as np
 import pytest
 
+from repro.core.backends import shared_process_backend
 from repro.core.errors import SegmentCorruptionError, TransientStoreError
-from repro.core.faults import FaultInjectingStore, ResilientReader, RetryPolicy
+from repro.core.faults import (
+    FaultInjectingStore,
+    ResilientReader,
+    RetryPolicy,
+    WorkerChaos,
+)
 from repro.core.refactor import refactor
 from repro.core.reconstruct import Reconstructor
 from repro.core.service import RetrievalService
@@ -377,3 +383,168 @@ class TestProcessBackendChaosParity:
             assert a.failed_tiles == b.failed_tiles
             assert a.failed_groups == b.failed_groups
         assert serial[-1].degraded is False
+
+
+class TestWorkerKillChaos:
+    """Process-*level* chaos: seeded worker kills mid-staircase.
+
+    Where :class:`TestProcessBackendChaosParity` injects store faults,
+    these schedules kill the workers themselves (``os._exit``, no
+    cleanup) via :class:`WorkerChaos`. The self-healing pool must make
+    every kill invisible in the data — bit-identical to the serial
+    staircase — and visible *only* in the pool's health counters.
+    Marker files under ``tmp_path`` persist each schedule's fire counts
+    across the kills it causes, so every test also asserts the chaos
+    actually fired (no vacuous pass).
+    """
+
+    pytestmark = pytest.mark.backend
+
+    @pytest.mark.parametrize("seed", CHAOS_SEEDS)
+    def test_eager_staircase_bit_identical_under_worker_kill(
+        self, stored, clean_staircase, tmp_path, seed
+    ):
+        """One seeded kill during the untiled staircase (every step
+        dispatches its per-level decodes as one batch of 3)."""
+        backend = shared_process_backend(2)
+        chaos = WorkerChaos.single_kill(seed, num_tasks=3,
+                                        scratch_dir=tmp_path)
+        backend.install_chaos(chaos)
+        try:
+            before = backend.health()["respawns"]
+            recon = Reconstructor(open_field(stored, "vx"),
+                                  num_workers=2, backend="processes:2")
+            steps = [recon.reconstruct(tolerance=t) for t in STAIRCASE]
+        finally:
+            backend.clear_chaos()
+        assert chaos.total_fired() == 1
+        assert backend.health()["respawns"] >= before + 1
+        for step, ref in zip(steps, clean_staircase):
+            assert step.degraded is False
+            np.testing.assert_array_equal(step.data, ref)
+
+    @pytest.mark.parametrize("seed", CHAOS_SEEDS)
+    def test_tiled_roi_staircase_bit_identical_under_worker_kill(
+        self, tiled_stored, tmp_path, seed
+    ):
+        """One seeded kill during the tiled ROI staircase (8 tiles per
+        step); the killed worker's resident tile sources are rebuilt
+        transparently."""
+        store, tiled = tiled_stored
+        ref = TiledReconstructor(tiled)
+        backend = shared_process_backend(2)
+        chaos = WorkerChaos.single_kill(seed, num_tasks=8,
+                                        scratch_dir=tmp_path)
+        backend.install_chaos(chaos)
+        before = backend.health()["respawns"]
+        recon = TiledReconstructor(open_tiled_field(store, "rho"),
+                                   num_workers=2, backend="processes:2")
+        try:
+            for tol in STAIRCASE:
+                expected = ref.reconstruct(tolerance=tol, region=ROI)
+                got = recon.reconstruct(tolerance=tol, region=ROI)
+                assert got.degraded is False
+                assert got.failed_tiles == []
+                np.testing.assert_array_equal(got.data, expected.data)
+                assert got.error_bound == expected.error_bound
+        finally:
+            backend.clear_chaos()
+            recon.close()
+        assert chaos.total_fired() == 1
+        assert backend.health()["respawns"] >= before + 1
+
+    def test_repeat_kill_rebuilds_worker_resident_state(
+        self, tiled_stored, tmp_path
+    ):
+        """Fail-first-2: the same call index dies in step 1 (tile
+        sources ride along — the in-batch retry heals) *and* in step 2
+        (sources were resident on the killed worker — the retried task
+        reports the loss and the engine re-ships). Both heals must stay
+        bit-identical."""
+        store, tiled = tiled_stored
+        ref = TiledReconstructor(tiled)
+        backend = shared_process_backend(2)
+        chaos = WorkerChaos({1: ("exit", 2)}, tmp_path)
+        backend.install_chaos(chaos)
+        recon = TiledReconstructor(open_tiled_field(store, "rho"),
+                                   num_workers=2, backend="processes:2")
+        try:
+            for tol in STAIRCASE[:3]:
+                expected = ref.reconstruct(tolerance=tol, region=ROI)
+                got = recon.reconstruct(tolerance=tol, region=ROI)
+                assert got.degraded is False
+                np.testing.assert_array_equal(got.data, expected.data)
+        finally:
+            backend.clear_chaos()
+            recon.close()
+        assert chaos.fired(1) == 2
+
+    def test_service_session_staircase_under_worker_kill(
+        self, stored, clean_staircase, tmp_path
+    ):
+        """The full service stack over a pool that loses a worker: the
+        session's staircase stays bit-identical and the recovery is
+        visible through ``RetrievalService.stats()['pool']``."""
+        backend = shared_process_backend(2)
+        before = backend.health()["respawns"]
+        chaos = WorkerChaos({0: "exit"}, tmp_path)
+        backend.install_chaos(chaos)
+        service = RetrievalService(stored)
+        service.backend = "processes:2"
+        try:
+            with service.session(
+                "vx", num_workers=2, backend="processes:2"
+            ) as session:
+                for tol, ref in zip(STAIRCASE, clean_staircase):
+                    step = session.reconstruct(tolerance=tol)
+                    assert step.degraded is False
+                    np.testing.assert_array_equal(step.data, ref)
+            pool = service.stats()["pool"]
+            assert pool is not None
+            assert pool["respawns"] >= before + 1
+        finally:
+            backend.clear_chaos()
+            service.close()
+        assert chaos.total_fired() == 1
+
+    def test_poison_tile_degrades_alone_then_resumes_bit_identical(
+        self, tiled_stored, tmp_path
+    ):
+        """A tile whose decode kills every worker it lands on exhausts
+        its retry budget and is quarantined; ``on_fault="degrade"``
+        reports exactly that tile in ``failed_tiles`` while the other
+        seven return real data. Once the poison clears, the same
+        staircase resumes bit-identically — crash loss heals like
+        store loss."""
+        store, tiled = tiled_stored
+        ref = TiledReconstructor(tiled)
+        ref_steps = [ref.reconstruct(tolerance=t, region=ROI)
+                     for t in STAIRCASE[:2]]
+        backend = shared_process_backend(2)
+        before = backend.health()["quarantines"]
+        chaos = WorkerChaos({1: ("exit", 10)}, tmp_path)
+        backend.install_chaos(chaos)
+        recon = TiledReconstructor(open_tiled_field(store, "rho"),
+                                   num_workers=2, backend="processes:2")
+        try:
+            degraded = recon.reconstruct(tolerance=STAIRCASE[0],
+                                         region=ROI, on_fault="degrade")
+            assert degraded.degraded is True
+            assert len(degraded.failed_tiles) == 1
+            assert backend.health()["quarantines"] == before + 1
+            # the poison fired through its whole budget: initial try
+            # plus max_task_retries consecutive fresh workers
+            assert chaos.fired(1) == backend.max_task_retries + 1
+
+            backend.clear_chaos()  # the poison clears
+            resumed = recon.reconstruct(tolerance=STAIRCASE[0],
+                                        region=ROI)
+            assert resumed.degraded is False
+            assert resumed.failed_tiles == []
+            np.testing.assert_array_equal(resumed.data, ref_steps[0].data)
+            nxt = recon.reconstruct(tolerance=STAIRCASE[1], region=ROI)
+            np.testing.assert_array_equal(nxt.data, ref_steps[1].data)
+            assert nxt.error_bound == ref_steps[1].error_bound
+        finally:
+            backend.clear_chaos()
+            recon.close()
