@@ -17,7 +17,7 @@ byte-identical between the single-pass and reference transposes.
 from __future__ import annotations
 
 import struct
-from dataclasses import dataclass, field
+from dataclasses import dataclass
 
 import numpy as np
 

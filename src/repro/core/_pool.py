@@ -63,7 +63,7 @@ def _shutdown_thread_pools() -> None:
     for pool in list(_LIVE_THREAD_POOLS):
         try:
             pool.shutdown(wait=False, cancel_futures=True)
-        except Exception:
+        except Exception:  # reprolint: disable=R2 -- atexit hook: executor state is arbitrary at interpreter shutdown and raising would mask other exit handlers
             pass
 
 
@@ -169,5 +169,5 @@ class WorkerPoolMixin:
     def __del__(self) -> None:
         try:
             self.close()
-        except Exception:
+        except Exception:  # reprolint: disable=R2 -- GC-time teardown: an exception in __del__ is unactionable and would only print noise
             pass

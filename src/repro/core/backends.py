@@ -250,7 +250,7 @@ def _encode_exc(exc: BaseException) -> tuple:
         payload = pickle.dumps(exc)
         pickle.loads(payload)
         return ("pickle", payload, tb)
-    except Exception:
+    except Exception:  # reprolint: disable=R2 -- exception transport: an unpicklable exception degrades to its repr by design
         return ("repr", f"{type(exc).__name__}: {exc}", tb)
 
 
@@ -305,7 +305,7 @@ def attach_shared_block(
     shm = shared_memory.SharedMemory(name=name)
     try:
         resource_tracker.unregister(shm._name, "shared_memory")
-    except Exception:
+    except Exception:  # reprolint: disable=R2 -- best-effort tracker fixup; attach still works if unregister fails
         pass
     try:
         full = np.ndarray(
@@ -355,11 +355,11 @@ def _worker_main(task_conn, result_conn) -> None:
                 chaos.before_task(seq, name)
             result = _resolve_task(name)(state, *args)
             out = (seq, True, result)
-        except BaseException as exc:
+        except BaseException as exc:  # reprolint: disable=R2 -- worker loop: every failure is encoded and shipped; the host re-raises it typed
             out = (seq, False, _encode_exc(exc))
         try:
             result_conn.send(out)
-        except Exception as exc:
+        except Exception as exc:  # reprolint: disable=R2 -- converted to a transportable RuntimeError below
             try:
                 result_conn.send((
                     seq, False,
@@ -368,12 +368,12 @@ def _worker_main(task_conn, result_conn) -> None:
                         f"{exc}"
                     )),
                 ))
-            except Exception:
+            except Exception:  # reprolint: disable=R2 -- pipe is gone: exit the loop so the host's crash detection takes over
                 break
     try:
         result_conn.close()
         task_conn.close()
-    except Exception:
+    except Exception:  # reprolint: disable=R2 -- worker exit path; the host only observes the process ending
         pass
 
 
@@ -563,7 +563,7 @@ class ProcessBackend:
         for conn in (worker.task_conn, worker.result_conn):
             try:
                 conn.close()
-            except Exception:
+            except Exception:  # reprolint: disable=R2 -- reaping a dead worker; a half-closed pipe is expected here
                 pass
 
     def _respawn(self, index: int) -> _Worker:
@@ -639,7 +639,7 @@ class ProcessBackend:
         for worker in workers:
             try:
                 worker.task_conn.send(None)
-            except Exception:
+            except Exception:  # reprolint: disable=R2 -- a crashed worker cannot take the shutdown sentinel; the join + reap below still runs
                 pass
         for worker in workers:
             worker.process.join(timeout=timeout)
@@ -655,7 +655,7 @@ class ProcessBackend:
     def __del__(self) -> None:
         try:
             self.close(timeout=1.0)
-        except Exception:
+        except Exception:  # reprolint: disable=R2 -- GC-time teardown; atexit + daemon workers are the real safety net
             pass
 
     def ensure_alive(self) -> int:
@@ -761,7 +761,7 @@ class ProcessBackend:
                         # same message on the fresh pipe.
                         self._respawn(index)
                         continue
-                    except Exception as exc:
+                    except Exception as exc:  # reprolint: disable=R2 -- settled as this call's failure; map_calls raises it typed after the batch drains
                         # Unpicklable task arguments: the message never
                         # reached the worker, so settle it locally and
                         # keep the pipes consistent.
@@ -806,7 +806,7 @@ class ProcessBackend:
                 self.deadline_kills += 1
                 try:
                     process.kill()
-                except Exception:
+                except Exception:  # reprolint: disable=R2 -- the process may already be gone; the respawn below restores the slot either way
                     pass
                 self._respawn(index)
                 failures.append((message[0], WorkerTimeoutError(
@@ -972,7 +972,7 @@ class ProcessBackend:
                         self.deadline_kills += 1
                         try:
                             worker.process.kill()
-                        except Exception:
+                        except Exception:  # reprolint: disable=R2 -- the process may already be gone; the WorkerTimeoutError re-raises below
                             pass
                         self._respawn(index)
                         raise
@@ -1021,7 +1021,7 @@ class ProcessBackend:
                 self._shared_tokens.discard(token)
                 self._shared_objects.pop(token, None)
                 self.broadcast(task_name(_task_drop_shared), token)
-        except Exception:
+        except Exception:  # reprolint: disable=R2 -- best-effort release; a failed drop only costs worker memory until respawn
             pass
 
     def install_chaos(self, chaos) -> None:
@@ -1073,7 +1073,7 @@ class ProcessBackend:
                 if self._workers is None:
                     return
                 self.broadcast(task_name(_task_drop_session), token)
-        except Exception:
+        except Exception:  # reprolint: disable=R2 -- best-effort release; stale session state is reclaimed on respawn
             pass
 
     def map_jobs(self, fn: Callable, jobs: Sequence) -> list:
@@ -1095,7 +1095,7 @@ class ProcessBackend:
             return []
         try:
             pickle.dumps(fn)
-        except Exception:
+        except Exception:  # reprolint: disable=R2 -- documented fallback: unpicklable fn runs serially on the host instead of crossing the pipe
             return [fn(job) for job in jobs]
         apply_name = task_name(_task_apply)
         return self.map_calls([(apply_name, (fn, job), None) for job in jobs])
@@ -1151,7 +1151,7 @@ def shutdown_all_backends(timeout: float = 1.0) -> None:
     for backend in list(_LIVE_BACKENDS):
         try:
             backend.close(timeout=timeout)
-        except Exception:
+        except Exception:  # reprolint: disable=R2 -- atexit hook: daemon workers die with the interpreter; raising would mask other exit handlers
             pass
 
 

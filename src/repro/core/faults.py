@@ -410,7 +410,7 @@ class RetryPolicy:
         def runner() -> None:
             try:
                 outcome.set_result(fn(*args))
-            except BaseException as exc:  # delivered via outcome
+            except BaseException as exc:  # reprolint: disable=R2 -- delivered via the outcome future; the waiter re-raises it
                 outcome.set_exception(exc)
 
         thread = threading.Thread(target=runner, daemon=True)

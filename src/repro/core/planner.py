@@ -10,24 +10,10 @@ round, coarse to fine) is provided as the ablation baseline.
 
 from __future__ import annotations
 
-import math
 from dataclasses import dataclass
 
 from repro.core.stream import RefactoredField
-
-
-def _check_tolerance(tolerance: float) -> None:
-    """Reject tolerances no plan can meaningfully satisfy.
-
-    A NaN tolerance previously fell through every ``>`` comparison and
-    silently produced an empty plan (bound ≫ anything the caller
-    wanted); infinities are rejected too so "retrieve nothing" must be
-    asked for explicitly with a finite loose tolerance.
-    """
-    if not math.isfinite(tolerance):
-        raise ValueError(f"tolerance must be finite, got {tolerance}")
-    if tolerance < 0:
-        raise ValueError("tolerance must be >= 0")
+from repro.util.validation import check_tolerance
 
 
 @dataclass
@@ -80,7 +66,7 @@ def plan_greedy(
     best achievable) — callers can compare ``error_bound`` to what they
     asked for.
     """
-    _check_tolerance(tolerance)
+    tolerance = check_tolerance(tolerance)
     groups = list(start) if start is not None else [0] * len(field.levels)
     if len(groups) != len(field.levels):
         raise ValueError("start must have one entry per level")
@@ -125,7 +111,7 @@ def plan_round_robin(
     The simple baseline the greedy planner is measured against in the
     ablation benchmarks.
     """
-    _check_tolerance(tolerance)
+    tolerance = check_tolerance(tolerance)
     groups = list(start) if start is not None else [0] * len(field.levels)
     if len(groups) != len(field.levels):
         raise ValueError("start must have one entry per level")

@@ -15,7 +15,6 @@ does not exceed (tested property).
 
 from __future__ import annotations
 
-import math
 from dataclasses import dataclass
 
 import numpy as np
@@ -34,6 +33,7 @@ from repro.core.errors import ComputeError, StoreError
 from repro.core.planner import RetrievalPlan, plan_full, plan_greedy
 from repro.core.stream import RefactoredField
 from repro.decompose import MultilevelTransform
+from repro.util.validation import check_tolerance
 from repro.lossless.hybrid import CompressedGroup, decompress_groups
 
 
@@ -331,14 +331,7 @@ class Reconstructor(WorkerPoolMixin):
         # to report this step's cold vs. cached split.
         io = getattr(self.field, "io_counters", None)
         io_before = io.snapshot() if io is not None else None
-        requested = None if tolerance is None else float(tolerance)
-        if requested is not None:
-            if not math.isfinite(requested):
-                raise ValueError(
-                    f"tolerance must be finite, got {requested}"
-                )
-            if requested < 0:
-                raise ValueError("tolerance must be >= 0")
+        requested = check_tolerance(tolerance, allow_none=True)
         relative_requested = requested if relative else None
         resolved = requested
         if relative and requested is not None:

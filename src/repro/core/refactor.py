@@ -210,6 +210,7 @@ class Refactorer(WorkerPoolMixin):
             # per-level group compression stays serial here — nesting
             # group tasks inside level tasks on the same pool could
             # deadlock it (ThreadPoolExecutor does not steal work).
+            # reprolint: disable=R3 -- threads-only branch: the processes case above ships module-level tasks instead
             levels = self.map_jobs(encode_one, jobs)
         elif spec.kind == "threads" and spec.workers > 1:
             # Single level: push the pool one layer down instead, so the

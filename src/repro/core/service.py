@@ -200,8 +200,10 @@ class SegmentCache:
     @property
     def hit_rate(self) -> float:
         """Fraction of :meth:`resolve` calls served without a store read."""
-        total = self.hits + self.misses
-        return self.hits / total if total else 0.0
+        with self._lock:
+            hits, misses = self.hits, self.misses
+        total = hits + misses
+        return hits / total if total else 0.0
 
     def clear(self) -> None:
         """Drop every entry (counters are kept)."""
@@ -614,7 +616,7 @@ class RetrievalService(WorkerPoolMixin):
         """
         try:
             self.cache.warm(key)
-        except Exception:
+        except Exception:  # reprolint: disable=R2 -- speculative warm: the resolve path retries and surfaces the real error
             self.prefetch_failures += 1
 
     def drain_prefetch(self) -> None:
@@ -645,6 +647,8 @@ class RetrievalService(WorkerPoolMixin):
         """
         with self._sessions_lock:
             sessions = list(self._sessions)
+        with self._futures_lock:
+            prefetch_requests = self.prefetch_requests
         pool = None
         if self.uses_processes():
             backend = current_process_backend()
@@ -652,7 +656,7 @@ class RetrievalService(WorkerPoolMixin):
                 pool = backend.health()
         return {
             "cache": self.cache.stats(),
-            "prefetch_requests": self.prefetch_requests,
+            "prefetch_requests": prefetch_requests,
             "prefetch_failures": self.prefetch_failures,
             "store_reads": getattr(self.store, "reads", None),
             "store_bytes_read": getattr(self.store, "bytes_read", None),

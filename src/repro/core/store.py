@@ -321,9 +321,11 @@ class DirectoryStore:
         """Modeled read wall-time: per-file latency + transfer time."""
         if bandwidth_gbps <= 0:
             raise ValueError("bandwidth must be > 0")
+        with self._stats_lock:
+            reads, bytes_read = self.reads, self.bytes_read
         return (
-            self.reads * self.file_open_latency_s
-            + self.bytes_read / (bandwidth_gbps * 1e9)
+            reads * self.file_open_latency_s
+            + bytes_read / (bandwidth_gbps * 1e9)
         )
 
 

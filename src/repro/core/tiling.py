@@ -54,7 +54,7 @@ from repro.core.reconstruct import DecodeCounters, Reconstructor
 from repro.core.refactor import RefactorConfig, Refactorer
 from repro.core.stream import IOCounters, RefactoredField
 from repro.decompose import MultilevelTransform
-from repro.util.validation import check_dtype_floating
+from repro.util.validation import check_dtype_floating, check_tolerance
 
 
 @dataclass(frozen=True)
@@ -411,6 +411,7 @@ class TiledRefactorer(WorkerPoolMixin):
                 block, name=tile_name
             )
 
+        # reprolint: disable=R3 -- serial/threads path: map_jobs probes picklability and runs closures host-side under processes
         fields = self.map_jobs(refactor_tile, tiles)
         return TiledField(
             shape=data.shape,
@@ -807,13 +808,8 @@ class TiledReconstructor(WorkerPoolMixin):
                 "relative=True requires a tolerance; near-lossless "
                 "retrieval (tolerance=None) has no value range to scale"
             )
-        tol: float | None = None
-        if tolerance is not None:
-            tol = float(tolerance)
-            if not math.isfinite(tol):
-                raise ValueError(f"tolerance must be finite, got {tol}")
-            if tol < 0:
-                raise ValueError("tolerance must be >= 0")
+        tol = check_tolerance(tolerance, allow_none=True)
+        if tol is not None:
             if relative:
                 if self.tiled.value_range == 0.0:
                     # Constant field: any fraction of a zero range is 0;
@@ -865,6 +861,7 @@ class TiledReconstructor(WorkerPoolMixin):
             # a tile's progressive state lives in exactly one place.
             outcomes = self._decode_tiles_processes(jobs, tol, on_fault)
         else:
+            # reprolint: disable=R3 -- serial/threads path: the processes case above ships _task_decode_tile by name
             outcomes = self.map_jobs(decode_tile, jobs)
         worst = 0.0
         degraded = False
@@ -1023,7 +1020,7 @@ class TiledReconstructor(WorkerPoolMixin):
                 backend.drop_shared(
                     f"tiled-store:{self._session_token}"
                 )
-            except Exception:
+            except Exception:  # reprolint: disable=R2 -- best-effort release of worker state on close; must not mask the caller's teardown
                 pass
             self._shipped.clear()
         super().close()

@@ -6,6 +6,7 @@ broadcast errors surface deep inside kernels.
 
 from __future__ import annotations
 
+import math
 from typing import Any, Sequence
 
 import numpy as np
@@ -21,6 +22,32 @@ def check_positive(name: str, value: float) -> None:
     """Validate that a scalar parameter is strictly positive."""
     if not value > 0:
         raise ValueError(f"{name} must be > 0, got {value!r}")
+
+
+def check_tolerance(
+    tolerance: Any, *, allow_none: bool = False
+) -> float | None:
+    """Validate a retrieval tolerance and return it normalized to float.
+
+    The single gate every ``tolerance`` parameter in the public planner /
+    reconstruct API routes through (enforced by reprolint rule R5). A NaN
+    tolerance previously fell through every ``>`` comparison and silently
+    produced an empty plan; infinities are rejected too so "retrieve
+    nothing" must be asked for explicitly with a finite loose tolerance.
+
+    With ``allow_none=True``, ``None`` passes through (the near-lossless
+    "fetch everything" request); otherwise it is rejected.
+    """
+    if tolerance is None:
+        if allow_none:
+            return None
+        raise ValueError("tolerance must not be None")
+    value = float(tolerance)
+    if not math.isfinite(value):
+        raise ValueError(f"tolerance must be finite, got {value}")
+    if value < 0:
+        raise ValueError("tolerance must be >= 0")
+    return value
 
 
 def check_dtype_floating(arr: np.ndarray) -> None:

@@ -1,0 +1,114 @@
+"""CLI entry point: ``python -m tools.reprolint [paths...]``.
+
+Exit codes: 0 — clean (no non-baselined findings), 1 — new findings or
+unparseable targets, 2 — usage error (unknown rule, missing path, bad
+baseline file).
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+from pathlib import Path
+
+from tools.reprolint import baseline as baseline_mod
+from tools.reprolint.baseline import BaselineError
+from tools.reprolint.core import all_rules, lint_paths
+from tools.reprolint.reporters import render_human, render_json
+
+REPO_ROOT = Path(__file__).resolve().parents[2]
+
+
+def _parse_args(argv: list[str]) -> argparse.Namespace:
+    parser = argparse.ArgumentParser(
+        prog="python -m tools.reprolint",
+        description="Project-specific AST lint for the repro codebase.",
+    )
+    parser.add_argument(
+        "paths", nargs="*", default=["src/repro"],
+        help="files or directories to lint (default: src/repro)",
+    )
+    parser.add_argument(
+        "--rules", metavar="IDS",
+        help="comma-separated rule ids to run (default: all)",
+    )
+    parser.add_argument("--list-rules", action="store_true",
+                        help="list available rules and exit")
+    parser.add_argument("--json", action="store_true", dest="as_json",
+                        help="emit machine-readable JSON")
+    parser.add_argument(
+        "--baseline", metavar="FILE", default=None,
+        help="baseline file (default: tools/reprolint/baseline.json "
+             "when it exists; pass 'none' to disable)",
+    )
+    parser.add_argument(
+        "--update-baseline", action="store_true",
+        help="rewrite the baseline from the current findings and exit 0",
+    )
+    parser.add_argument("--verbose", action="store_true",
+                        help="also print baselined findings")
+    return parser.parse_args(argv)
+
+
+def main(argv: list[str] | None = None) -> int:
+    args = _parse_args(sys.argv[1:] if argv is None else argv)
+    registry = all_rules()
+
+    if args.list_rules:
+        for rule in sorted(registry.values(), key=lambda r: r.id):
+            print(f"{rule.id}  {rule.name}: {rule.description}")
+        return 0
+
+    rules = None
+    if args.rules:
+        wanted = [r.strip() for r in args.rules.split(",") if r.strip()]
+        unknown = [r for r in wanted if r not in registry]
+        if unknown:
+            print(f"error: unknown rule id(s): {', '.join(unknown)}",
+                  file=sys.stderr)
+            return 2
+        rules = [registry[r] for r in wanted]
+
+    if args.baseline and args.baseline.lower() == "none":
+        baseline_path = None
+    elif args.baseline:
+        baseline_path = Path(args.baseline)
+    elif baseline_mod.DEFAULT_BASELINE.exists() or args.update_baseline:
+        baseline_path = baseline_mod.DEFAULT_BASELINE
+    else:
+        baseline_path = None
+
+    try:
+        result = lint_paths(args.paths, REPO_ROOT, rules=rules)
+    except FileNotFoundError as exc:
+        print(f"error: {exc}", file=sys.stderr)
+        return 2
+
+    if args.update_baseline:
+        if baseline_path is None:
+            print("error: --update-baseline needs a baseline path",
+                  file=sys.stderr)
+            return 2
+        baseline_mod.save(baseline_path, result.findings)
+        print(f"baseline written: {baseline_path} "
+              f"({len(result.findings)} finding(s))")
+        return 0
+
+    known: set[str] = set()
+    if baseline_path is not None:
+        try:
+            known = baseline_mod.load(baseline_path)
+        except BaselineError as exc:
+            print(f"error: {exc}", file=sys.stderr)
+            return 2
+
+    split = baseline_mod.apply(result.findings, known)
+    if args.as_json:
+        print(render_json(result, split))
+    else:
+        print(render_human(result, split, verbose=args.verbose))
+    return 1 if (split.new or result.errors) else 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -1,0 +1,80 @@
+"""Checked-in baseline of grandfathered findings.
+
+The baseline stores fingerprints (rule | path | stripped line |
+occurrence index) rather than line numbers, so unrelated edits that
+shift code do not invalidate it.  ``apply`` splits current findings into
+*new* (fail the build) and *baselined* (tolerated), and reports *stale*
+entries whose code has since been fixed so they can be pruned with
+``--update-baseline``.
+"""
+
+from __future__ import annotations
+
+import json
+from dataclasses import dataclass, field
+from pathlib import Path
+from typing import Iterable
+
+from tools.reprolint.core import Finding, fingerprints
+
+BASELINE_VERSION = 1
+DEFAULT_BASELINE = Path(__file__).resolve().parent / "baseline.json"
+
+
+class BaselineError(ValueError):
+    """Raised when a baseline file is malformed."""
+
+
+@dataclass
+class BaselineSplit:
+    new: list[Finding] = field(default_factory=list)
+    baselined: list[Finding] = field(default_factory=list)
+    stale: list[str] = field(default_factory=list)
+
+
+def load(path: Path) -> set[str]:
+    try:
+        data = json.loads(path.read_text(encoding="utf-8"))
+    except OSError as exc:
+        raise BaselineError(f"cannot read baseline {path}: {exc}") from exc
+    except json.JSONDecodeError as exc:
+        raise BaselineError(f"baseline {path} is not valid JSON: {exc}") from exc
+    if not isinstance(data, dict) or data.get("version") != BASELINE_VERSION:
+        raise BaselineError(
+            f"baseline {path} has unsupported format (expected version "
+            f"{BASELINE_VERSION})"
+        )
+    entries = data.get("fingerprints")
+    if not isinstance(entries, list) or not all(
+        isinstance(e, str) for e in entries
+    ):
+        raise BaselineError(f"baseline {path}: 'fingerprints' must be strings")
+    return set(entries)
+
+
+def save(path: Path, findings: Iterable[Finding]) -> None:
+    payload = {
+        "version": BASELINE_VERSION,
+        "comment": (
+            "Grandfathered reprolint findings. Regenerate with "
+            "`python -m tools.reprolint src/repro --update-baseline`. "
+            "Entries under src/repro/core must stay empty."
+        ),
+        "fingerprints": sorted(fingerprints(findings)),
+    }
+    path.write_text(json.dumps(payload, indent=2) + "\n", encoding="utf-8")
+
+
+def apply(findings: list[Finding], baseline: set[str]) -> BaselineSplit:
+    split = BaselineSplit()
+    prints = fingerprints(findings)
+    ordered = sorted(findings, key=lambda f: (f.path, f.line, f.col, f.rule))
+    seen = set()
+    for finding, print_ in zip(ordered, prints):
+        seen.add(print_)
+        if print_ in baseline:
+            split.baselined.append(finding)
+        else:
+            split.new.append(finding)
+    split.stale = sorted(baseline - seen)
+    return split

@@ -1,0 +1,335 @@
+"""Shared framework for reprolint rules.
+
+Every rule operates on a :class:`ModuleContext` — one parsed module plus
+the derived metadata all rules need:
+
+* the repo-relative posix path (used for rule scoping and baselines),
+* an import map so rules can resolve ``Lock`` back to ``threading.Lock``,
+* the ``# reprolint: disable=RULE`` pragma table (parsed from comment
+  tokens, so pragmas inside string literals are ignored),
+* function spans, so a pragma on a ``def`` line suppresses the whole body.
+
+Rules are registered via :func:`register` and produce :class:`Finding`
+objects.  Findings carry a line-number-independent fingerprint — rule id,
+path, the stripped source line, and an occurrence index — so baselines
+survive unrelated edits that shift code up or down.
+"""
+
+from __future__ import annotations
+
+import ast
+import fnmatch
+import io
+import re
+import tokenize
+from dataclasses import dataclass, field
+from pathlib import Path
+from typing import Iterable
+
+_PRAGMA_RE = re.compile(
+    r"#\s*reprolint:\s*disable(?:=(?P<rules>[A-Za-z0-9_,\s]+?))?\s*(?:--.*)?$"
+)
+
+#: Sentinel meaning "suppress every rule on this line".
+ALL_RULES = "*"
+
+
+@dataclass(frozen=True)
+class Finding:
+    """One rule violation at a specific source location."""
+
+    rule: str
+    path: str
+    line: int
+    col: int
+    message: str
+    snippet: str
+
+    def location(self) -> str:
+        return f"{self.path}:{self.line}:{self.col + 1}"
+
+
+def fingerprint(finding: Finding, occurrence: int) -> str:
+    """Line-number independent identity used by the baseline.
+
+    ``occurrence`` disambiguates identical snippets flagged by the same
+    rule in the same file (k-th occurrence in line order).
+    """
+
+    return f"{finding.rule}|{finding.path}|{finding.snippet}|{occurrence}"
+
+
+def fingerprints(findings: Iterable[Finding]) -> list[str]:
+    counts: dict[tuple[str, str, str], int] = {}
+    out = []
+    for f in sorted(findings, key=lambda f: (f.path, f.line, f.col, f.rule)):
+        key = (f.rule, f.path, f.snippet)
+        occurrence = counts.get(key, 0)
+        counts[key] = occurrence + 1
+        out.append(fingerprint(f, occurrence))
+    return out
+
+
+class ModuleContext:
+    """A parsed module plus the metadata shared by all rules."""
+
+    def __init__(self, source: str, path: str):
+        self.source = source
+        self.path = Path(path).as_posix()
+        self.lines = source.splitlines()
+        self.tree = ast.parse(source, filename=path)
+        self.pragmas = self._parse_pragmas(source)
+        self.imports = self._collect_imports(self.tree)
+        self._function_spans = self._collect_function_spans(self.tree)
+
+    # -- construction helpers -------------------------------------------
+
+    @staticmethod
+    def _parse_pragmas(source: str) -> dict[int, set[str]]:
+        """Map line number -> set of suppressed rule ids (or ALL_RULES)."""
+
+        pragmas: dict[int, set[str]] = {}
+        try:
+            tokens = tokenize.generate_tokens(io.StringIO(source).readline)
+            comments = [
+                (tok.start[0], tok.string)
+                for tok in tokens
+                if tok.type == tokenize.COMMENT
+            ]
+        except (tokenize.TokenError, IndentationError, SyntaxError):
+            # Fall back to a plain line scan; good enough for fixtures.
+            comments = [
+                (i, line[line.index("#"):])
+                for i, line in enumerate(source.splitlines(), start=1)
+                if "#" in line
+            ]
+        for lineno, text in comments:
+            match = _PRAGMA_RE.search(text)
+            if not match:
+                continue
+            rules = match.group("rules")
+            if rules is None:
+                pragmas.setdefault(lineno, set()).add(ALL_RULES)
+            else:
+                names = {r.strip() for r in rules.split(",") if r.strip()}
+                pragmas.setdefault(lineno, set()).update(names)
+        return pragmas
+
+    @staticmethod
+    def _collect_imports(tree: ast.Module) -> dict[str, str]:
+        """Alias -> fully qualified name (``np`` -> ``numpy``)."""
+
+        imports: dict[str, str] = {}
+        for node in ast.walk(tree):
+            if isinstance(node, ast.Import):
+                for alias in node.names:
+                    imports[alias.asname or alias.name.split(".")[0]] = (
+                        alias.name if alias.asname else alias.name.split(".")[0]
+                    )
+                    if alias.asname:
+                        imports[alias.asname] = alias.name
+            elif isinstance(node, ast.ImportFrom) and node.module and not node.level:
+                for alias in node.names:
+                    imports[alias.asname or alias.name] = (
+                        f"{node.module}.{alias.name}"
+                    )
+        return imports
+
+    @staticmethod
+    def _collect_function_spans(tree: ast.Module) -> list[tuple[int, int]]:
+        spans = []
+        for node in ast.walk(tree):
+            if isinstance(node, (ast.FunctionDef, ast.AsyncFunctionDef)):
+                spans.append((node.lineno, node.end_lineno or node.lineno))
+        return spans
+
+    # -- services for rules ---------------------------------------------
+
+    def qualified_name(self, node: ast.AST) -> str | None:
+        """Resolve a Name/Attribute chain to a dotted name via imports.
+
+        ``Random`` (from ``from random import Random``) resolves to
+        ``random.Random``; ``np.random.default_rng`` resolves to
+        ``numpy.random.default_rng``.  Returns None for non-name nodes.
+        """
+
+        parts: list[str] = []
+        while isinstance(node, ast.Attribute):
+            parts.append(node.attr)
+            node = node.value
+        if not isinstance(node, ast.Name):
+            return None
+        root = self.imports.get(node.id, node.id)
+        parts.append(root)
+        return ".".join(reversed(parts))
+
+    def snippet(self, lineno: int) -> str:
+        if 1 <= lineno <= len(self.lines):
+            return self.lines[lineno - 1].strip()
+        return ""
+
+    def finding(
+        self, rule: str, node: ast.AST, message: str
+    ) -> Finding:
+        lineno = getattr(node, "lineno", 1)
+        col = getattr(node, "col_offset", 0)
+        return Finding(
+            rule=rule,
+            path=self.path,
+            line=lineno,
+            col=col,
+            message=message,
+            snippet=self.snippet(lineno),
+        )
+
+    def is_suppressed(self, finding: Finding) -> bool:
+        """True when a pragma covers the finding.
+
+        A pragma suppresses a finding when it sits on the flagged line,
+        on a comment-only line immediately above it, or on the ``def``
+        line (or comment line above it) of any enclosing function.
+        """
+
+        if self._pragma_matches(finding.rule, finding.line):
+            return True
+        if self._comment_pragma_matches(finding.rule, finding.line - 1):
+            return True
+        for start, end in self._function_spans:
+            if start <= finding.line <= end:
+                if self._pragma_matches(finding.rule, start):
+                    return True
+                if self._comment_pragma_matches(finding.rule, start - 1):
+                    return True
+        return False
+
+    def _pragma_matches(self, rule: str, lineno: int) -> bool:
+        rules = self.pragmas.get(lineno)
+        return bool(rules) and (rule in rules or ALL_RULES in rules)
+
+    def _comment_pragma_matches(self, rule: str, lineno: int) -> bool:
+        if not self._pragma_matches(rule, lineno):
+            return False
+        if not (1 <= lineno <= len(self.lines)):
+            return False
+        return self.lines[lineno - 1].lstrip().startswith("#")
+
+
+class Rule:
+    """Base class for reprolint rules.
+
+    ``scopes`` is a list of fnmatch patterns over repo-relative posix
+    paths; ``None`` means the rule applies everywhere.  Subclasses
+    implement :meth:`check`.
+    """
+
+    id: str = ""
+    name: str = ""
+    description: str = ""
+    scopes: list[str] | None = None
+
+    def applies_to(self, path: str) -> bool:
+        if self.scopes is None:
+            return True
+        posix = Path(path).as_posix()
+        return any(fnmatch.fnmatch(posix, pat) for pat in self.scopes)
+
+    def check(self, ctx: ModuleContext) -> list[Finding]:
+        raise NotImplementedError
+
+
+_REGISTRY: dict[str, Rule] = {}
+
+
+def register(rule_cls: type[Rule]) -> type[Rule]:
+    rule = rule_cls()
+    if not rule.id:
+        raise ValueError(f"rule {rule_cls.__name__} has no id")
+    if rule.id in _REGISTRY:
+        raise ValueError(f"duplicate rule id {rule.id!r}")
+    _REGISTRY[rule.id] = rule
+    return rule_cls
+
+
+def all_rules() -> dict[str, Rule]:
+    # Import for side effects: rule modules self-register on import.
+    from tools.reprolint import rules  # noqa: F401
+
+    return dict(_REGISTRY)
+
+
+@dataclass
+class LintResult:
+    """Findings for a set of files, split by suppression state."""
+
+    findings: list[Finding] = field(default_factory=list)
+    suppressed: list[Finding] = field(default_factory=list)
+    errors: list[str] = field(default_factory=list)
+
+
+def lint_source(
+    source: str,
+    path: str,
+    rules: Iterable[Rule] | None = None,
+    respect_scopes: bool = True,
+) -> LintResult:
+    """Lint one in-memory module.  The entry point used by the tests."""
+
+    result = LintResult()
+    try:
+        ctx = ModuleContext(source, path)
+    except SyntaxError as exc:
+        result.errors.append(f"{path}: syntax error: {exc.msg} (line {exc.lineno})")
+        return result
+    selected = list(rules) if rules is not None else list(all_rules().values())
+    for rule in selected:
+        if respect_scopes and not rule.applies_to(ctx.path):
+            continue
+        for finding in rule.check(ctx):
+            if ctx.is_suppressed(finding):
+                result.suppressed.append(finding)
+            else:
+                result.findings.append(finding)
+    result.findings.sort(key=lambda f: (f.path, f.line, f.col, f.rule))
+    result.suppressed.sort(key=lambda f: (f.path, f.line, f.col, f.rule))
+    return result
+
+
+def iter_python_files(paths: Iterable[str], root: Path) -> list[Path]:
+    files: list[Path] = []
+    for raw in paths:
+        p = Path(raw)
+        if not p.is_absolute():
+            p = root / p
+        if p.is_dir():
+            files.extend(sorted(p.rglob("*.py")))
+        elif p.suffix == ".py" and p.exists():
+            files.append(p)
+        else:
+            raise FileNotFoundError(f"no such file or directory: {raw}")
+    return files
+
+
+def lint_paths(
+    paths: Iterable[str],
+    root: Path,
+    rules: Iterable[Rule] | None = None,
+) -> LintResult:
+    """Lint files/directories; paths in findings are relative to ``root``."""
+
+    combined = LintResult()
+    for file in iter_python_files(paths, root):
+        try:
+            rel = file.resolve().relative_to(root.resolve()).as_posix()
+        except ValueError:
+            rel = file.as_posix()
+        try:
+            source = file.read_text(encoding="utf-8")
+        except OSError as exc:
+            combined.errors.append(f"{rel}: unreadable: {exc}")
+            continue
+        result = lint_source(source, rel, rules=rules)
+        combined.findings.extend(result.findings)
+        combined.suppressed.extend(result.suppressed)
+        combined.errors.extend(result.errors)
+    combined.findings.sort(key=lambda f: (f.path, f.line, f.col, f.rule))
+    return combined

@@ -1,0 +1,60 @@
+"""Human-readable and JSON output for lint runs."""
+
+from __future__ import annotations
+
+import json
+
+from tools.reprolint.baseline import BaselineSplit
+from tools.reprolint.core import Finding, LintResult
+
+
+def _finding_dict(finding: Finding) -> dict:
+    return {
+        "rule": finding.rule,
+        "path": finding.path,
+        "line": finding.line,
+        "col": finding.col + 1,
+        "message": finding.message,
+        "snippet": finding.snippet,
+    }
+
+
+def render_json(result: LintResult, split: BaselineSplit) -> str:
+    payload = {
+        "findings": [_finding_dict(f) for f in split.new],
+        "baselined": [_finding_dict(f) for f in split.baselined],
+        "suppressed": len(result.suppressed),
+        "stale_baseline_entries": split.stale,
+        "errors": result.errors,
+        "summary": {
+            "new": len(split.new),
+            "baselined": len(split.baselined),
+            "suppressed": len(result.suppressed),
+        },
+    }
+    return json.dumps(payload, indent=2)
+
+
+def render_human(result: LintResult, split: BaselineSplit, verbose: bool) -> str:
+    out: list[str] = []
+    for err in result.errors:
+        out.append(f"error: {err}")
+    for finding in split.new:
+        out.append(f"{finding.location()}: {finding.rule}: {finding.message}")
+        out.append(f"    {finding.snippet}")
+    if verbose and split.baselined:
+        out.append(f"-- {len(split.baselined)} baselined finding(s):")
+        for finding in split.baselined:
+            out.append(f"   {finding.location()}: {finding.rule}: {finding.message}")
+    if split.stale:
+        out.append(
+            f"note: {len(split.stale)} stale baseline entr"
+            f"{'y' if len(split.stale) == 1 else 'ies'} "
+            "(fixed in code; prune with --update-baseline)"
+        )
+    summary = (
+        f"reprolint: {len(split.new)} new, {len(split.baselined)} baselined, "
+        f"{len(result.suppressed)} pragma-suppressed"
+    )
+    out.append(summary)
+    return "\n".join(out)

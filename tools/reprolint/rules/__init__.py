@@ -1,0 +1,9 @@
+"""Rule plugins; importing this package registers every rule."""
+
+from tools.reprolint.rules import (  # noqa: F401
+    r1_lock_discipline,
+    r2_error_taxonomy,
+    r3_pickle_boundary,
+    r4_determinism,
+    r5_api_validation,
+)

@@ -1,0 +1,351 @@
+"""R1: attributes guarded by an instance lock must be accessed under it.
+
+For every class that owns a ``threading.Lock``/``RLock`` instance
+attribute, the rule infers the *guarded set* per lock: attributes that
+are written (assigned, aug-assigned, subscript-assigned, or mutated via
+a known container method) while that lock is held.  Any read or write of
+a guarded attribute without the lock is flagged.
+
+"Held" is inferred three ways, in increasing order of reach:
+
+1. textual containment inside ``with self.<lock>:`` (nested functions
+   defined inside the block inherit it — they run on the dispatching
+   side in this codebase);
+2. methods that call ``self.<lock>.acquire(...)`` anywhere are treated
+   as holding that lock for their whole body (manual acquire/release
+   protocols such as ``ProcessBackend.close`` are too irregular to track
+   precisely);
+3. caller-holds fixpoint: a private helper (``_name``, not dunder) whose
+   every intra-class call site holds the lock is itself treated as
+   holding it (``SegmentCache._insert``, ``ProcessBackend._ensure``).
+
+``__init__``/``__new__``/``__del__``/``__getstate__``/``__setstate__``/
+``__post_init__`` are exempt: construction, teardown, and pickling run
+before/after the object is shared.
+"""
+
+from __future__ import annotations
+
+import ast
+from dataclasses import dataclass, field
+
+from tools.reprolint.core import Finding, ModuleContext, Rule, register
+
+LOCK_FACTORIES = {"threading.Lock", "threading.RLock"}
+
+# Container/collection methods that mutate their receiver in place.
+MUTATOR_METHODS = {
+    "add", "append", "appendleft", "clear", "discard", "extend",
+    "insert", "move_to_end", "pop", "popitem", "popleft", "remove",
+    "setdefault", "update",
+}
+
+EXEMPT_METHODS = {
+    "__init__", "__new__", "__del__", "__getstate__", "__setstate__",
+    "__post_init__",
+}
+
+
+@dataclass
+class _Event:
+    attr: str
+    kind: str  # "read" | "write"
+    held: frozenset[str]
+    method: str
+    node: ast.AST
+
+
+@dataclass
+class _MethodInfo:
+    name: str
+    exempt: bool
+    events: list[_Event] = field(default_factory=list)
+    # (callee method name, locks textually held at the call site)
+    calls: list[tuple[str, frozenset[str]]] = field(default_factory=list)
+    acquires: set[str] = field(default_factory=set)
+
+
+class _MethodScanner(ast.NodeVisitor):
+    """Collects self-attribute events for one method body."""
+
+    def __init__(self, locks: set[str], info: _MethodInfo,
+                 method_names: set[str], property_names: set[str]):
+        self.locks = locks
+        self.info = info
+        self.method_names = method_names
+        self.property_names = property_names
+        self.held: frozenset[str] = frozenset()
+
+    # -- helpers --------------------------------------------------------
+
+    @staticmethod
+    def _self_attr(node: ast.AST) -> str | None:
+        if (
+            isinstance(node, ast.Attribute)
+            and isinstance(node.value, ast.Name)
+            and node.value.id == "self"
+        ):
+            return node.attr
+        return None
+
+    def _record(self, attr: str, kind: str, node: ast.AST) -> None:
+        self.info.events.append(
+            _Event(attr=attr, kind=kind, held=self.held,
+                   method=self.info.name, node=node)
+        )
+
+    def _record_write_target(self, target: ast.AST) -> None:
+        attr = self._self_attr(target)
+        if attr is not None:
+            self._record(attr, "write", target)
+            return
+        if isinstance(target, ast.Subscript):
+            base = self._self_attr(target.value)
+            if base is not None:
+                self._record(base, "write", target)
+            else:
+                self.visit(target.value)
+            self.visit(target.slice)
+            return
+        if isinstance(target, (ast.Tuple, ast.List)):
+            for elt in target.elts:
+                self._record_write_target(elt)
+            return
+        if isinstance(target, ast.Starred):
+            self._record_write_target(target.value)
+            return
+        self.visit(target)
+
+    # -- statements -----------------------------------------------------
+
+    def visit_Assign(self, node: ast.Assign) -> None:
+        for target in node.targets:
+            self._record_write_target(target)
+        self.visit(node.value)
+
+    def visit_AugAssign(self, node: ast.AugAssign) -> None:
+        attr = self._self_attr(node.target)
+        if attr is not None:
+            self._record(attr, "write", node.target)
+        else:
+            self._record_write_target(node.target)
+        self.visit(node.value)
+
+    def visit_AnnAssign(self, node: ast.AnnAssign) -> None:
+        if node.value is not None:
+            self._record_write_target(node.target)
+            self.visit(node.value)
+
+    def visit_Delete(self, node: ast.Delete) -> None:
+        for target in node.targets:
+            self._record_write_target(target)
+
+    def visit_With(self, node: ast.With) -> None:
+        acquired = set()
+        for item in node.items:
+            attr = self._self_attr(item.context_expr)
+            if attr in self.locks:
+                acquired.add(attr)
+            else:
+                self.visit(item.context_expr)
+        previous = self.held
+        self.held = self.held | frozenset(acquired)
+        for stmt in node.body:
+            self.visit(stmt)
+        self.held = previous
+
+    visit_AsyncWith = visit_With
+
+    def visit_Call(self, node: ast.Call) -> None:
+        func = node.func
+        if isinstance(func, ast.Attribute):
+            receiver_attr = self._self_attr(func.value)
+            if receiver_attr is not None:
+                if receiver_attr in self.locks and func.attr == "acquire":
+                    self.info.acquires.add(receiver_attr)
+                elif receiver_attr in self.locks:
+                    pass  # lock.release()/locked() — not a data access
+                elif func.attr in MUTATOR_METHODS:
+                    self._record(receiver_attr, "write", func.value)
+                else:
+                    self._record(receiver_attr, "read", func.value)
+            else:
+                self.visit(func.value)
+            method = self._self_attr(func)
+            if method is not None and method in self.method_names:
+                self.info.calls.append((method, self.held))
+        elif isinstance(func, ast.Name) and func.id == "self":
+            pass
+        else:
+            self.visit(func)
+        for arg in node.args:
+            self.visit(arg)
+        for kw in node.keywords:
+            self.visit(kw.value)
+
+    def visit_Attribute(self, node: ast.Attribute) -> None:
+        attr = self._self_attr(node)
+        if attr is not None:
+            if attr in self.property_names:
+                # Property access executes here: a call site for the
+                # caller-holds inference.
+                self.info.calls.append((attr, self.held))
+            elif attr in self.method_names:
+                # Bound-method reference — execution is deferred (e.g.
+                # pool.submit(self._fn)), so it is NOT a lock-held call
+                # site and not a data access either.
+                pass
+            elif attr not in self.locks:
+                self._record(attr, "read", node)
+            return
+        self.visit(node.value)
+
+    def visit_FunctionDef(self, node: ast.FunctionDef) -> None:
+        # Nested functions keep the textual lock context (they execute on
+        # the dispatching side while the lock is held in this codebase).
+        for stmt in node.body:
+            self.visit(stmt)
+
+    visit_AsyncFunctionDef = visit_FunctionDef
+
+    def visit_Lambda(self, node: ast.Lambda) -> None:
+        self.visit(node.body)
+
+
+def _class_lock_attrs(cls: ast.ClassDef, ctx: ModuleContext) -> set[str]:
+    locks: set[str] = set()
+    for node in ast.walk(cls):
+        if not isinstance(node, ast.Assign):
+            continue
+        if not isinstance(node.value, ast.Call):
+            continue
+        qual = ctx.qualified_name(node.value.func)
+        if qual not in LOCK_FACTORIES:
+            continue
+        for target in node.targets:
+            if (
+                isinstance(target, ast.Attribute)
+                and isinstance(target.value, ast.Name)
+                and target.value.id == "self"
+            ):
+                locks.add(target.attr)
+    return locks
+
+
+def _inferred_held(methods: dict[str, _MethodInfo],
+                   locks: set[str]) -> dict[str, frozenset[str]]:
+    """Caller-holds fixpoint over private helper methods."""
+
+    inferred = {name: frozenset() for name in methods}
+    candidates = [
+        name for name in methods
+        if name.startswith("_") and not name.startswith("__")
+    ]
+    for _ in range(len(methods) + 1):
+        changed = False
+        for name in candidates:
+            sites: list[frozenset[str]] = []
+            for caller in methods.values():
+                if caller.exempt:
+                    continue
+                for callee, held in caller.calls:
+                    if callee == name:
+                        effective = held | frozenset(caller.acquires)
+                        effective |= inferred[caller.name]
+                        sites.append(frozenset(l for l in effective
+                                               if l in locks))
+            if not sites:
+                continue
+            meet = frozenset.intersection(*sites)
+            if meet != inferred[name]:
+                inferred[name] = meet
+                changed = True
+        if not changed:
+            break
+    return inferred
+
+
+@register
+class LockDisciplineRule(Rule):
+    id = "R1"
+    name = "lock-discipline"
+    description = (
+        "attributes written under an instance lock must always be "
+        "accessed while holding it"
+    )
+    scopes = None  # any class owning an instance lock, anywhere
+
+    def check(self, ctx: ModuleContext) -> list[Finding]:
+        findings: list[Finding] = []
+        for node in ast.walk(ctx.tree):
+            if isinstance(node, ast.ClassDef):
+                findings.extend(self._check_class(node, ctx))
+        return findings
+
+    def _check_class(self, cls: ast.ClassDef,
+                     ctx: ModuleContext) -> list[Finding]:
+        locks = _class_lock_attrs(cls, ctx)
+        if not locks:
+            return []
+
+        method_nodes = [
+            stmt for stmt in cls.body
+            if isinstance(stmt, (ast.FunctionDef, ast.AsyncFunctionDef))
+        ]
+        method_names = {m.name for m in method_nodes}
+        property_names = {
+            m.name for m in method_nodes
+            if any(
+                (isinstance(d, ast.Name) and d.id == "property")
+                or (isinstance(d, ast.Attribute)
+                    and d.attr in ("cached_property", "property", "setter",
+                                   "getter"))
+                for d in m.decorator_list
+            )
+        }
+        methods: dict[str, _MethodInfo] = {}
+        for m in method_nodes:
+            info = _MethodInfo(name=m.name, exempt=m.name in EXEMPT_METHODS)
+            scanner = _MethodScanner(locks, info, method_names,
+                                     property_names)
+            for stmt in m.body:
+                scanner.visit(stmt)
+            methods[m.name] = info
+
+        inferred = _inferred_held(methods, locks)
+
+        def effective_held(event: _Event) -> frozenset[str]:
+            info = methods[event.method]
+            return (event.held | frozenset(info.acquires)
+                    | inferred[event.method])
+
+        guarded: dict[str, set[str]] = {lock: set() for lock in locks}
+        for info in methods.values():
+            if info.exempt:
+                continue
+            for event in info.events:
+                if event.kind != "write":
+                    continue
+                for lock in effective_held(event):
+                    if event.attr not in locks:
+                        guarded[lock].add(event.attr)
+
+        findings: list[Finding] = []
+        for info in methods.values():
+            if info.exempt:
+                continue
+            for event in info.events:
+                guards = {l for l, attrs in guarded.items()
+                          if event.attr in attrs}
+                if not guards:
+                    continue
+                if guards & effective_held(event):
+                    continue
+                lock_desc = " or ".join(f"self.{l}" for l in sorted(guards))
+                findings.append(ctx.finding(
+                    self.id, event.node,
+                    f"'{cls.name}.{event.attr}' is written under "
+                    f"{lock_desc} elsewhere but {event.kind} here without "
+                    f"holding it",
+                ))
+        return findings

@@ -1,0 +1,94 @@
+"""R4: codec, chaos-schedule, and decode logic must be seed-deterministic.
+
+The differential byte-identity suites compare outputs across backends;
+any unseeded randomness or wall-clock dependence in those paths makes a
+mismatch unreproducible.  Flags, inside the scoped modules:
+
+* ``random.Random()`` / ``random.SystemRandom()`` with no seed argument,
+* bare module-level ``random.random()/randint/...`` calls (implicitly
+  the unseeded global RNG),
+* ``numpy.random.default_rng()`` with no seed, and legacy
+  ``numpy.random.<dist>()`` calls on the global generator,
+* ``time.time()`` — wall-clock values feeding logic.  (``monotonic`` /
+  ``perf_counter`` are fine: they are used for deadlines and metrics,
+  never for data-dependent decisions.)
+"""
+
+from __future__ import annotations
+
+import ast
+
+from tools.reprolint.core import Finding, ModuleContext, Rule, register
+
+GLOBAL_RANDOM_FUNCS = {
+    "random.random", "random.randint", "random.randrange", "random.choice",
+    "random.shuffle", "random.uniform", "random.sample", "random.gauss",
+    "random.getrandbits",
+}
+SEEDED_FACTORIES = {"random.Random", "random.SystemRandom"}
+NUMPY_GLOBAL_PREFIX = "numpy.random."
+NUMPY_FACTORY = "numpy.random.default_rng"
+WALL_CLOCK = {"time.time", "time.time_ns"}
+
+
+@register
+class DeterminismRule(Rule):
+    id = "R4"
+    name = "determinism"
+    description = (
+        "no unseeded RNGs or wall-clock dependence in codec, chaos, and "
+        "decode modules"
+    )
+    scopes = [
+        "src/repro/lossless/*.py",
+        "src/repro/bitplane/*.py",
+        "src/repro/core/faults.py",
+        "src/repro/core/reconstruct.py",
+        "src/repro/core/tiling.py",
+    ]
+
+    def check(self, ctx: ModuleContext) -> list[Finding]:
+        findings: list[Finding] = []
+        for node in ast.walk(ctx.tree):
+            if not isinstance(node, ast.Call):
+                continue
+            qual = ctx.qualified_name(node.func)
+            if qual is None:
+                continue
+            has_args = bool(node.args or node.keywords)
+            if qual in SEEDED_FACTORIES and not has_args:
+                findings.append(ctx.finding(
+                    self.id, node,
+                    f"{qual}() without a seed is nondeterministic; derive "
+                    "the seed from the configured chaos/codec seed",
+                ))
+            elif qual == NUMPY_FACTORY and not has_args:
+                findings.append(ctx.finding(
+                    self.id, node,
+                    "numpy.random.default_rng() without a seed is "
+                    "nondeterministic; thread the experiment seed through",
+                ))
+            elif qual in GLOBAL_RANDOM_FUNCS:
+                findings.append(ctx.finding(
+                    self.id, node,
+                    f"{qual}() uses the process-global unseeded RNG; use a "
+                    "random.Random(seed) instance instead",
+                ))
+            elif (
+                qual.startswith(NUMPY_GLOBAL_PREFIX)
+                and qual != NUMPY_FACTORY
+                and qual.rsplit(".", 1)[-1][0:1].islower()
+            ):
+                findings.append(ctx.finding(
+                    self.id, node,
+                    f"{qual}() draws from numpy's global generator; use a "
+                    "seeded default_rng(seed) instance instead",
+                ))
+            elif qual in WALL_CLOCK:
+                findings.append(ctx.finding(
+                    self.id, node,
+                    f"{qual}() wall-clock value in a determinism-scoped "
+                    "module; use monotonic clocks for timing and seeds for "
+                    "variability",
+                ))
+        return findings

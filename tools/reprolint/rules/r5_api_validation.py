@@ -1,0 +1,93 @@
+"""R5: ``tolerance`` parameters route through the validation helper.
+
+PR 4's planner accepted non-finite tolerances and produced nonsense
+plans; validation now lives in ``repro.util.validation.check_tolerance``.
+Any public entry point (or underscore-free method) in the scoped modules
+that takes a ``tolerance`` parameter must either call the validator or
+delegate the parameter wholesale to another call (which is then itself
+subject to this rule).
+
+Conversions like ``float(tolerance)`` or ``math.isfinite(tolerance)``
+are *not* delegation — that is exactly the inline re-implementation this
+rule exists to flag.
+"""
+
+from __future__ import annotations
+
+import ast
+
+from tools.reprolint.core import Finding, ModuleContext, Rule, register
+
+VALIDATOR_NAMES = {"check_tolerance", "_check_tolerance"}
+PARAM = "tolerance"
+
+#: Calls that transform rather than consume the parameter — passing
+#: ``tolerance`` to these does not count as delegation.
+NON_DELEGATING = {
+    "float", "int", "bool", "str", "abs", "repr", "isinstance", "type",
+    "math.isfinite", "math.isnan", "math.isinf",
+}
+
+
+@register
+class ApiValidationRule(Rule):
+    id = "R5"
+    name = "api-validation"
+    description = (
+        "entry points taking a tolerance parameter must route it through "
+        "check_tolerance (or delegate it to a callee that does)"
+    )
+    scopes = [
+        "src/repro/core/planner.py",
+        "src/repro/core/reconstruct.py",
+        "src/repro/core/tiling.py",
+        "src/repro/core/service.py",
+    ]
+
+    def check(self, ctx: ModuleContext) -> list[Finding]:
+        findings: list[Finding] = []
+        for node in ast.walk(ctx.tree):
+            if not isinstance(node, (ast.FunctionDef, ast.AsyncFunctionDef)):
+                continue
+            if node.name.startswith("_"):
+                continue  # private helpers receive validated values
+            params = {
+                a.arg
+                for a in (node.args.posonlyargs + node.args.args
+                          + node.args.kwonlyargs)
+            }
+            if PARAM not in params:
+                continue
+            if not self._validates_or_delegates(node, ctx):
+                findings.append(ctx.finding(
+                    self.id, node,
+                    f"'{node.name}' takes a '{PARAM}' parameter but "
+                    "neither calls check_tolerance nor delegates it",
+                ))
+        return findings
+
+    def _validates_or_delegates(self, func: ast.FunctionDef,
+                                ctx: ModuleContext) -> bool:
+        for node in ast.walk(func):
+            if not isinstance(node, ast.Call):
+                continue
+            callee = node.func
+            name = (
+                callee.attr if isinstance(callee, ast.Attribute)
+                else callee.id if isinstance(callee, ast.Name) else None
+            )
+            if name in VALIDATOR_NAMES:
+                return True
+            qual = ctx.qualified_name(callee) or name or ""
+            if qual in NON_DELEGATING or name in NON_DELEGATING:
+                continue
+            passed = any(
+                isinstance(a, ast.Name) and a.id == PARAM
+                for a in node.args
+            ) or any(
+                isinstance(kw.value, ast.Name) and kw.value.id == PARAM
+                for kw in node.keywords
+            )
+            if passed:
+                return True
+        return False
