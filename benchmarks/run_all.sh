@@ -2,12 +2,17 @@
 # Run the benchmark suites and refresh the repo-root perf baselines.
 #
 #   benchmarks/run_all.sh            # hot-path + refactor + service +
-#                                    # progressive + tiles + resilience
-#                                    # suites (refresh
+#                                    # progressive + tiles + resilience +
+#                                    # pipeline suites (refresh
 #                                    #  BENCH_hotpaths.json, BENCH_refactor.json,
 #                                    #  BENCH_service.json, BENCH_progressive.json,
-#                                    #  BENCH_tiles.json, BENCH_resilience.json)
+#                                    #  BENCH_tiles.json, BENCH_resilience.json,
+#                                    #  BENCH_pipeline.json)
 #   benchmarks/run_all.sh --figures  # additionally re-run the per-figure paper harnesses
+#   benchmarks/run_all.sh --smoke    # every suite in --smoke mode plus the
+#                                    # Fig. 9 pipeline-model harness — the CI
+#                                    # pass (tiny sizes, correctness
+#                                    # assertions only, nothing written)
 #
 # Each bench script also takes --smoke (tiny sizes, correctness
 # assertions only, nothing written) — CI runs that mode on every PR so
@@ -27,6 +32,19 @@ REPO_ROOT=$(CDPATH= cd -- "$(dirname -- "$0")/.." && pwd)
 cd "$REPO_ROOT"
 PYTHONPATH="$REPO_ROOT/src${PYTHONPATH:+:$PYTHONPATH}"
 export PYTHONPATH
+
+if [ "${1:-}" = "--smoke" ]; then
+    for suite in hotpaths refactor_store service progressive tiles \
+                 resilience pipeline; do
+        echo "== bench_$suite --smoke =="
+        python "benchmarks/bench_$suite.py" --smoke
+    done
+    echo "== Fig. 9 pipeline-model harness =="
+    # `-o addopts=` clears the default `-m "not bench"` filter; the
+    # harness's speedup-band assertions are the smoke check.
+    python -m pytest benchmarks/bench_fig9_pipeline.py -o addopts= -q
+    exit 0
+fi
 
 SNAPSHOT_DIR=$(mktemp -d)
 trap 'rm -rf "$SNAPSHOT_DIR"' EXIT
@@ -48,6 +66,7 @@ snapshot BENCH_service.json
 snapshot BENCH_progressive.json
 snapshot BENCH_tiles.json
 snapshot BENCH_resilience.json
+snapshot BENCH_pipeline.json
 
 echo "== hot-path suite (writes BENCH_hotpaths.json) =="
 python benchmarks/bench_hotpaths.py
@@ -72,6 +91,10 @@ check BENCH_tiles.json
 echo "== resilience suite (writes BENCH_resilience.json) =="
 python benchmarks/bench_resilience.py
 check BENCH_resilience.json
+
+echo "== pipelined-retrieval suite (writes BENCH_pipeline.json) =="
+python benchmarks/bench_pipeline.py
+check BENCH_pipeline.json
 
 if [ "${1:-}" = "--figures" ]; then
     echo "== per-figure harnesses =="

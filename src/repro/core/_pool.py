@@ -70,6 +70,16 @@ def _shutdown_thread_pools() -> None:
 atexit.register(_shutdown_thread_pools)
 
 
+def track_thread_pool(pool: ThreadPoolExecutor) -> None:
+    """Register an externally-owned pool for exit-time shutdown.
+
+    Hosts outside this module (the pipelined-retrieval fetch pool)
+    get the same leaked-pool guarantee as :class:`WorkerPoolMixin`
+    pools: interpreter exit shuts them down without waiting.
+    """
+    _LIVE_THREAD_POOLS.add(pool)
+
+
 class WorkerPoolMixin:
     """Lazy, instance-shared worker pool with deterministic teardown."""
 

@@ -87,6 +87,34 @@ class ReconstructionResult:
 
 
 @dataclass
+class StepPlan:
+    """One progressive step's resolved plan, before any decode work.
+
+    Produced by :meth:`Reconstructor.plan_step` from pure metadata
+    (tolerance resolution + planner output merged with the session's
+    committed fetch progress); consumed by
+    :meth:`Reconstructor.fetch_step` (which resolves exactly the
+    segments the step needs, in the sequential path's access order) and
+    :meth:`Reconstructor.decode_step` (which runs the decode pass and
+    commits). Splitting the phases is what lets the pipelined runtime
+    (:mod:`repro.pipeline.retrieval`) overlap one tile's fetch with
+    another's decode while staying bit-identical to
+    :meth:`Reconstructor.reconstruct`, which is now literally
+    ``plan_step`` + ``decode_step``.
+
+    ``io_before`` snapshots the field's I/O counters at plan time, so a
+    step whose fetch stage ran ahead on another thread still reports
+    the whole step's cold/cached traffic in its result.
+    """
+
+    tolerance: float | None  # resolved absolute tolerance (None = all)
+    relative_tolerance: float | None  # requested fraction, if any
+    groups: list[int]  # per-level targets, merged with fetch progress
+    incremental_bytes: int  # payload bytes the step newly requires
+    io_before: object | None = None  # IOCounters snapshot at plan time
+
+
+@dataclass
 class DecodeCounters:
     """Cumulative decode-work accounting of one :class:`Reconstructor`.
 
@@ -326,6 +354,24 @@ class Reconstructor(WorkerPoolMixin):
             raise ValueError(
                 f"on_fault must be 'raise' or 'degrade', got {on_fault!r}"
             )
+        step = self.plan_step(tolerance, relative=relative, plan=plan)
+        return self.decode_step(step, on_fault=on_fault)
+
+    def plan_step(
+        self,
+        tolerance: float | None = None,
+        relative: bool = False,
+        plan: RetrievalPlan | None = None,
+    ) -> StepPlan:
+        """Resolve one step's tolerance and per-level group targets.
+
+        Pure metadata: tolerance resolution, planning, and the merge
+        with the session's committed fetch progress touch no segment
+        payloads (lazy fields plan from :class:`~repro.core.stream.
+        SegmentRef` sizes alone). The returned :class:`StepPlan` feeds
+        :meth:`fetch_step`/:meth:`decode_step`; calling
+        :meth:`decode_step` directly is exactly :meth:`reconstruct`.
+        """
         # Store-backed lazy fields track actual segment traffic; snapshot
         # before planning (a pre-metadata index can force fetches there)
         # to report this step's cold vs. cached split.
@@ -357,6 +403,95 @@ class Reconstructor(WorkerPoolMixin):
             lv.bytes_for_groups(g) - lv.bytes_for_groups(have)
             for lv, g, have in zip(self.field.levels, groups, self._fetched)
         )
+        return StepPlan(
+            tolerance=resolved,
+            relative_tolerance=relative_requested,
+            groups=groups,
+            incremental_bytes=incremental,
+            io_before=io_before,
+        )
+
+    def fetch_level_groups(self, idx: int, want: int) -> None:
+        """Resolve level *idx*'s segments up to *want* groups.
+
+        Touches the (possibly lazy) group sequence in ascending group
+        order over ``[committed, want)`` — exactly the order and key
+        set the sequential decode pass resolves, and stopping at the
+        first :class:`~repro.core.errors.StoreError` exactly where it
+        would. Successful fetches memoize on the field, so the decode
+        stage later finds them resident without touching the store;
+        a partial fetch before a fault stays memoized, matching the
+        sequential path's partial progress. Eager in-memory fields
+        no-op (plain list indexing).
+        """
+        groups = self.field.levels[idx].groups
+        for g in range(self._fetched[idx], want):
+            groups[g]  # memoizing touch; lazy sequences fetch here
+
+    def fetch_step(self, step: StepPlan) -> None:
+        """Fetch stage of one step: resolve every segment it needs.
+
+        Walks levels ascending, groups ascending within each — the
+        sequential decode order — so a seeded fault schedule
+        (:class:`~repro.core.faults.FaultInjectingStore` keys its
+        deterministic draws on per-key access counts) replays
+        identically whether fetch runs inline or on a pipeline's fetch
+        stage. Raises :class:`~repro.core.errors.StoreError` at the
+        first failing segment; the caller hands that error to
+        :meth:`decode_step` (as ``fetch_error``) rather than retrying,
+        which would shift access counts.
+        """
+        for idx, want in enumerate(step.groups):
+            self.fetch_level_groups(idx, want)
+
+    def step_segment_keys(self, step: StepPlan) -> list[str]:
+        """Store keys :meth:`fetch_step` would resolve, in fetch order.
+
+        Empty for eager fields (no store behind them). The service
+        layer uses this to cancel queued speculative prefetches the
+        pipeline window is about to fetch inline anyway.
+        """
+        keys: list[str] = []
+        for idx, want in enumerate(step.groups):
+            refs = getattr(self.field.levels[idx], "refs", None)
+            if refs is None:
+                continue
+            for g in range(self._fetched[idx], want):
+                keys.append(refs[g].key)
+        return keys
+
+    def decode_step(
+        self,
+        step: StepPlan,
+        on_fault: str = "raise",
+        fetch_error: BaseException | None = None,
+        level_runner=None,
+    ) -> ReconstructionResult:
+        """Decode/recompose/commit one planned step.
+
+        The decode phase of :meth:`reconstruct`: runs the per-level
+        decode pass over ``step.groups`` (any segment not already
+        memoized by :meth:`fetch_step` is fetched here, exactly as the
+        sequential path does), assembles and recomposes, and commits
+        session state. ``fetch_error`` is a
+        :class:`~repro.core.errors.StoreError` captured by a separated
+        fetch stage: it is re-raised at decode time so ``on_fault``
+        handles it exactly like an inline fetch fault — ``"degrade"``
+        falls back to the committed refinement without touching the
+        store. ``level_runner(jobs, decode_level)``, when given,
+        replaces the backend fan-out for the first decode attempt (the
+        pipelined level window); the degrade fallback always runs the
+        plain local pass, which is store-free by construction.
+        """
+        if on_fault not in ("raise", "degrade"):
+            raise ValueError(
+                f"on_fault must be 'raise' or 'degrade', got {on_fault!r}"
+            )
+        resolved = step.tolerance
+        relative_requested = step.relative_tolerance
+        io_before = step.io_before
+        groups = list(step.groups)
+        incremental = step.incremental_bytes
 
         decode_level = (
             self._decode_level_incremental if self.incremental
@@ -365,7 +500,9 @@ class Reconstructor(WorkerPoolMixin):
         spec = self._backend_spec()
         use_processes = spec.kind == "processes" and spec.workers > 1
 
-        def run_step(jobs: list[tuple]) -> list[tuple]:
+        def run_step(jobs: list[tuple], runner=None) -> list[tuple]:
+            if runner is not None:
+                return runner(jobs, decode_level)
             if use_processes and len(jobs) > 1:
                 return self._decode_levels_processes(jobs)
             return self.map_jobs(decode_level, jobs)
@@ -377,7 +514,9 @@ class Reconstructor(WorkerPoolMixin):
         degraded = False
         failed_groups: list[int] | None = None
         try:
-            outcomes = run_step(jobs)
+            if fetch_error is not None:
+                raise fetch_error
+            outcomes = run_step(jobs, level_runner)
         except (StoreError, ComputeError):
             if on_fault != "degrade":
                 raise

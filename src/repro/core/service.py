@@ -29,7 +29,7 @@ import threading
 import weakref
 import zlib
 from collections import OrderedDict
-from concurrent.futures import Future
+from concurrent.futures import CancelledError, Future
 
 from collections.abc import Sequence
 
@@ -238,6 +238,15 @@ class ServiceSession:
     :class:`SegmentCache`. After each step the service may prefetch the
     next planned plane group per level in the background, so a client
     walking a tolerance staircase finds its next increment already warm.
+
+    ``pipelined=True`` (the service default over latency-bearing
+    stores) runs each step's segment fetches one level ahead of decode
+    through a bounded :class:`~repro.pipeline.retrieval
+    .RetrievalPipeline` window — generalizing the service's
+    fire-and-forget next-group prefetch into a scheduled window within
+    the step. Results, counters, and fault semantics are bit-identical
+    to the sequential path. Inert under the ``processes`` decode
+    backend (level decodes must route through the worker pool whole).
     """
 
     def __init__(
@@ -246,11 +255,52 @@ class ServiceSession:
         field: LazyRefactoredField,
         num_workers: int = 0,
         backend: str | None = None,
+        pipelined: bool = False,
+        pipeline_window: int = 4,
+        fetch_workers: int = 2,
     ) -> None:
+        if pipeline_window < 1:
+            raise ValueError("pipeline_window must be >= 1")
+        if fetch_workers < 1:
+            raise ValueError("fetch_workers must be >= 1")
         self.service = service
         self.field = field
         self.reconstructor = Reconstructor(
             field, num_workers=num_workers, backend=backend
+        )
+        self.pipelined = bool(pipelined)
+        self._pipeline_window = int(pipeline_window)
+        self._fetch_workers = int(fetch_workers)
+        self._pipeline = None
+
+    def _reconstruct_pipelined(
+        self, tolerance, relative, plan, on_fault
+    ) -> ReconstructionResult:
+        """One step with fetch running a level ahead of decode.
+
+        Queued service prefetches for exactly the segments this step is
+        about to fetch are cancelled first — the pipeline window
+        supersedes them (already-landed prefetches still pay off as
+        cache hits).
+        """
+        from repro.pipeline.retrieval import RetrievalPipeline
+
+        if on_fault not in ("raise", "degrade"):
+            raise ValueError(
+                f"on_fault must be 'raise' or 'degrade', got {on_fault!r}"
+            )
+        if self._pipeline is None:
+            self._pipeline = RetrievalPipeline(
+                window=self._pipeline_window,
+                fetch_workers=self._fetch_workers,
+            )
+        recon = self.reconstructor
+        step = recon.plan_step(tolerance, relative=relative, plan=plan)
+        self.service.cancel_stale_prefetches(recon.step_segment_keys(step))
+        return recon.decode_step(
+            step,
+            on_fault=on_fault,
+            level_runner=self._pipeline.level_runner(recon),
         )
 
     def reconstruct(
@@ -259,6 +309,7 @@ class ServiceSession:
         relative: bool = False,
         plan: RetrievalPlan | None = None,
         on_fault: str = "raise",
+        pipelined: bool | None = None,
     ) -> ReconstructionResult:
         """One progressive step — see :meth:`Reconstructor.reconstruct`.
 
@@ -266,11 +317,22 @@ class ServiceSession:
         refinement when the backing store faults mid-step (the result
         reports ``degraded=True`` and ``failed_groups``); a later call
         at the same tolerance resumes exactly the failed increment.
+
+        ``pipelined`` overrides the session's setting for this call
+        (``None`` keeps it).
         """
-        result = self.reconstructor.reconstruct(
-            tolerance=tolerance, relative=relative, plan=plan,
-            on_fault=on_fault,
+        use_pipeline = (
+            self.pipelined if pipelined is None else bool(pipelined)
         )
+        if use_pipeline and not self.reconstructor.uses_processes():
+            result = self._reconstruct_pipelined(
+                tolerance, relative, plan, on_fault
+            )
+        else:
+            result = self.reconstructor.reconstruct(
+                tolerance=tolerance, relative=relative, plan=plan,
+                on_fault=on_fault,
+            )
         self.service._schedule_prefetch(
             self.field, self.reconstructor.fetched_groups
         )
@@ -317,6 +379,9 @@ class ServiceSession:
         """Tear down the session's decode worker pool (idempotent)."""
         with self.service._sessions_lock:
             self.service._sessions.discard(self)
+        pipeline, self._pipeline = self._pipeline, None
+        if pipeline is not None:
+            pipeline.close()
         self.reconstructor.close()
 
     def __enter__(self) -> "ServiceSession":
@@ -345,12 +410,18 @@ class TiledServiceSession:
         tiled: LazyTiledField,
         num_workers: int = 0,
         backend: str | None = None,
+        pipelined: bool = False,
+        pipeline_window: int = 4,
+        fetch_workers: int = 2,
     ) -> None:
         self.service = service
         self.tiled = tiled
         self.reconstructor = TiledReconstructor(
-            tiled, num_workers=num_workers, backend=backend
+            tiled, num_workers=num_workers, backend=backend,
+            pipelined=pipelined, pipeline_window=pipeline_window,
+            fetch_workers=fetch_workers,
         )
+        self._last_prefetch_keys: list[str] = []
 
     def reconstruct(
         self,
@@ -358,6 +429,7 @@ class TiledServiceSession:
         relative: bool = False,
         region: Sequence | None = None,
         on_fault: str = "raise",
+        pipelined: bool | None = None,
     ) -> TiledReconstructionResult:
         """One progressive step — see
         :meth:`~repro.core.tiling.TiledReconstructor.reconstruct`.
@@ -366,10 +438,24 @@ class TiledServiceSession:
         committed refinement (zeros if never opened); the result's
         ``degraded``/``failed_tiles`` report what fell back, and a later
         call at the same tolerance retries only the failed increments.
+
+        ``pipelined`` overrides the session's setting for this call
+        (``None`` keeps it); a pipelined step first cancels any
+        still-queued service prefetches from the previous step — its
+        own fetch window supersedes them (prefetches that already
+        landed still pay off as cache hits).
         """
+        use_pipeline = (
+            self.reconstructor.pipelined
+            if pipelined is None
+            else bool(pipelined)
+        )
+        if use_pipeline and self._last_prefetch_keys:
+            self.service.cancel_stale_prefetches(self._last_prefetch_keys)
+            self._last_prefetch_keys = []
         out = self.reconstructor.reconstruct(
             tolerance=tolerance, relative=relative, region=region,
-            on_fault=on_fault,
+            on_fault=on_fault, pipelined=pipelined,
         )
         if self.service.prefetch:
             # Batch every touched tile's next-group keys into one
@@ -381,6 +467,7 @@ class TiledServiceSession:
                     recon.field, recon.fetched_groups
                 ))
             self.service._enqueue_prefetch(keys)
+            self._last_prefetch_keys = keys
         return out
 
     def progressive(
@@ -445,6 +532,60 @@ class TiledServiceSession:
         self.close()
 
 
+def _store_bears_latency(store) -> bool:
+    """True when *store* charges per-access latency worth pipelining.
+
+    Checks the store itself and — through wrapper ``__getattr__``
+    passthrough (:class:`~repro.core.faults.FaultInjectingStore`,
+    :class:`~repro.core.faults.ResilientReader`) — whatever it fronts:
+    injected ``latency_s`` or a :class:`~repro.core.store
+    .DirectoryStore`-style ``file_open_latency_s``. In-memory stores
+    have neither, and a pipelined session over them would pay window
+    bookkeeping for nothing.
+    """
+    for attr in ("latency_s", "file_open_latency_s"):
+        value = getattr(store, attr, None)
+        if isinstance(value, (int, float)) and value > 0:
+            return True
+    return False
+
+
+class _PrefetchAwareCache:
+    """Shared-cache facade that attributes hits to landed prefetches.
+
+    Duck-types the :class:`SegmentCache` surface that
+    :func:`~repro.core.store.open_field` uses (``resolve``/``get``/
+    ``warm``/``register_checksums``/``__contains__``), delegating
+    everything to the service's shared cache; on a warm ``resolve`` it
+    additionally credits the service's ``prefetch_hits`` counter when a
+    background prefetch is what made the key resident. Sessions read
+    through this facade; the prefetch pool warms the shared cache
+    directly (a prefetch must not count itself as its own hit).
+    """
+
+    def __init__(self, service: "RetrievalService") -> None:
+        self._service = service
+        self._cache = service.cache
+
+    def resolve(self, key: str) -> tuple[bytes, bool]:
+        blob, cold = self._cache.resolve(key)
+        if not cold:
+            self._service._note_prefetch_hit(key)
+        return blob, cold
+
+    def get(self, key: str) -> bytes:
+        return self.resolve(key)[0]
+
+    def warm(self, key: str) -> None:
+        self._cache.warm(key)
+
+    def register_checksums(self, checksums: dict[str, int]) -> None:
+        self._cache.register_checksums(checksums)
+
+    def __contains__(self, key: str) -> bool:
+        return key in self._cache
+
+
 class RetrievalService(WorkerPoolMixin):
     """Multiplex progressive retrieval sessions over one segment cache.
 
@@ -483,8 +624,17 @@ class RetrievalService(WorkerPoolMixin):
         self.num_workers = int(num_workers)
         self.prefetch_requests = 0
         self.prefetch_failures = 0
+        self.prefetch_hits = 0
+        self.prefetch_cancelled = 0
+        self.prefetch_skipped = 0
         self._prefetch_futures: list = []
+        # Queued-but-unfinished warms by key (cancellation targets) and
+        # keys a prefetch actually pulled cold (hit-attribution set) —
+        # both guarded, with the counters above, by the futures lock.
+        self._prefetch_pending: dict[str, Future] = {}
+        self._prefetch_landed: set[str] = set()
         self._futures_lock = threading.Lock()
+        self._session_cache = _PrefetchAwareCache(self)
         # Live sessions, tracked weakly so abandoned sessions (never
         # close()d) don't leak; stats() reports their retained
         # decode-state residency. The lock covers add/discard/iteration
@@ -502,10 +652,16 @@ class RetrievalService(WorkerPoolMixin):
         Each call returns a fresh field (sessions must not share
         progressive state); the segment bytes behind them are shared.
         """
-        return open_field(self.store, name, cache=self.cache)
+        return open_field(self.store, name, cache=self._session_cache)
 
     def session(
-        self, name: str, num_workers: int = 0, backend: str | None = None
+        self,
+        name: str,
+        num_workers: int = 0,
+        backend: str | None = None,
+        pipelined: bool | None = None,
+        pipeline_window: int = 4,
+        fetch_workers: int = 2,
     ) -> ServiceSession:
         """Start a progressive session over variable *name*.
 
@@ -515,10 +671,19 @@ class RetrievalService(WorkerPoolMixin):
         prefetch pool. Under the ``processes`` backend segment fetches
         still happen parent-side through the shared cache (workers do
         compute only), so caching and prefetch behave identically.
+
+        ``pipelined=None`` (the default) turns the pipelined fetch
+        window on exactly when the backing store bears per-access
+        latency (injected ``latency_s`` or directory-store file-open
+        latency) — the case where overlapping fetch with decode pays;
+        pass ``True``/``False`` to force it.
         """
+        if pipelined is None:
+            pipelined = _store_bears_latency(self.store)
         session = ServiceSession(
             self, self.open(name), num_workers=num_workers,
-            backend=backend,
+            backend=backend, pipelined=pipelined,
+            pipeline_window=pipeline_window, fetch_workers=fetch_workers,
         )
         with self._sessions_lock:
             self._sessions.add(session)
@@ -532,10 +697,16 @@ class RetrievalService(WorkerPoolMixin):
         shared through the service cache — two sessions touching the
         same tile pay the backing store once.
         """
-        return open_tiled_field(self.store, name, cache=self.cache)
+        return open_tiled_field(self.store, name, cache=self._session_cache)
 
     def tiled_session(
-        self, name: str, num_workers: int = 0, backend: str | None = None
+        self,
+        name: str,
+        num_workers: int = 0,
+        backend: str | None = None,
+        pipelined: bool | None = None,
+        pipeline_window: int = 4,
+        fetch_workers: int = 2,
     ) -> TiledServiceSession:
         """Start a progressive session over tiled variable *name*.
 
@@ -547,10 +718,17 @@ class RetrievalService(WorkerPoolMixin):
         tiles decode in worker processes that read the store directly —
         bypassing the service's shared cache and prefetch (which are
         naturally inert: no parent-side reconstructors exist to walk).
+
+        ``pipelined=None`` (the default) turns the per-tile pipelined
+        fetch/decode overlap on exactly when the backing store bears
+        per-access latency; pass ``True``/``False`` to force it.
         """
+        if pipelined is None:
+            pipelined = _store_bears_latency(self.store)
         session = TiledServiceSession(
             self, self.open_tiled(name), num_workers=num_workers,
-            backend=backend,
+            backend=backend, pipelined=pipelined,
+            pipeline_window=pipeline_window, fetch_workers=fetch_workers,
         )
         with self._sessions_lock:
             self._sessions.add(session)
@@ -603,32 +781,80 @@ class RetrievalService(WorkerPoolMixin):
             ]
             for key in keys:
                 self.prefetch_requests += 1
-                self._prefetch_futures.append(
-                    pool.submit(self._safe_warm, key)
-                )
+                future = pool.submit(self._safe_warm, key)
+                self._prefetch_pending[key] = future
+                self._prefetch_futures.append(future)
 
     def _safe_warm(self, key: str) -> None:
         """Speculative cache warm: failures are counted, never raised.
 
         A prefetched segment the client never asked for must not crash
         anything; if the client *does* ask for it later, the resolve
-        retries the store and surfaces the real error then.
+        retries the store and surfaces the real error then. A key that
+        became resident since it was queued (a session's own fetch beat
+        the prefetch pool to it) is skipped without touching the cache
+        counters; a key this warm actually pulled cold is remembered so
+        a later session read can be credited as a ``prefetch_hit``.
         """
+        with self._futures_lock:
+            self._prefetch_pending.pop(key, None)
         try:
-            self.cache.warm(key)
+            if key in self.cache:
+                with self._futures_lock:
+                    self.prefetch_skipped += 1
+                return
+            _, cold = self.cache.resolve(key)
+            if cold:
+                with self._futures_lock:
+                    self._prefetch_landed.add(key)
         except Exception:  # reprolint: disable=R2 -- speculative warm: the resolve path retries and surfaces the real error
             self.prefetch_failures += 1
+
+    def cancel_stale_prefetches(self, keys) -> int:
+        """Cancel still-queued prefetch warms for *keys*; return count.
+
+        The pipelined sessions call this with the segment keys their
+        next window is about to fetch anyway: a warm that has not
+        started yet would only duplicate scheduling work, so it is
+        pulled from the queue (``prefetch_cancelled``). Warms already
+        running — or already landed — are left alone; landed ones still
+        pay off as cache hits.
+        """
+        cancelled = 0
+        with self._futures_lock:
+            for key in keys:
+                future = self._prefetch_pending.pop(key, None)
+                if future is not None and future.cancel():
+                    cancelled += 1
+                    self.prefetch_cancelled += 1
+        return cancelled
+
+    def _note_prefetch_hit(self, key: str) -> None:
+        """Credit a warm session read to the prefetch that landed it.
+
+        Called by the sessions' cache facade on every non-cold resolve;
+        each landed prefetch is credited at most once (the first read
+        that found it resident is the latency actually hidden).
+        """
+        with self._futures_lock:
+            if key in self._prefetch_landed:
+                self._prefetch_landed.discard(key)
+                self.prefetch_hits += 1
 
     def drain_prefetch(self) -> None:
         """Block until every scheduled prefetch has settled.
 
-        Prefetch failures never raise here (they are speculative); see
-        ``prefetch_failures``.
+        Prefetch failures never raise here (they are speculative), and
+        warms cancelled by :meth:`cancel_stale_prefetches` are simply
+        skipped; see ``prefetch_failures``/``prefetch_cancelled``.
         """
         with self._futures_lock:
             futures, self._prefetch_futures = self._prefetch_futures, []
         for f in futures:
-            f.result()
+            try:
+                f.result()
+            except CancelledError:
+                pass
 
     def stats(self) -> dict:
         """Cache counters plus backing-store read accounting, JSON-ready.
@@ -649,6 +875,9 @@ class RetrievalService(WorkerPoolMixin):
             sessions = list(self._sessions)
         with self._futures_lock:
             prefetch_requests = self.prefetch_requests
+            prefetch_hits = self.prefetch_hits
+            prefetch_cancelled = self.prefetch_cancelled
+            prefetch_skipped = self.prefetch_skipped
         pool = None
         if self.uses_processes():
             backend = current_process_backend()
@@ -658,6 +887,9 @@ class RetrievalService(WorkerPoolMixin):
             "cache": self.cache.stats(),
             "prefetch_requests": prefetch_requests,
             "prefetch_failures": self.prefetch_failures,
+            "prefetch_hits": prefetch_hits,
+            "prefetch_cancelled": prefetch_cancelled,
+            "prefetch_skipped": prefetch_skipped,
             "store_reads": getattr(self.store, "reads", None),
             "store_bytes_read": getattr(self.store, "bytes_read", None),
             "pool": pool,

@@ -32,6 +32,7 @@ Three behaviours make tiling the production path rather than a toy:
 
 from __future__ import annotations
 
+import functools
 import math
 import threading
 import uuid
@@ -610,6 +611,18 @@ class TiledReconstructor(WorkerPoolMixin):
     the instance's shared thread pool. Per-tile reconstructors are kept
     serial (their own ``num_workers=0``) so tile jobs never nest pool
     work inside pool work.
+
+    ``pipelined=True`` overlaps each tile's segment *fetch* with other
+    tiles' *decode* through a bounded
+    :class:`~repro.pipeline.retrieval.RetrievalPipeline` window — the
+    paper's Fig. 4 stage overlap on the real retrieval stack. On a
+    latency-bearing store a staircase step then pays ≈max(fetch,
+    decode) instead of their sum, with bit-identical results, counters,
+    and fault semantics (each tile's store accesses stay one sequential
+    chain in the sequential path's exact order). The process backend
+    ignores the flag: its worker-resident sessions already overlap
+    store I/O across workers, and tile state must live in exactly one
+    place.
     """
 
     def __init__(
@@ -618,15 +631,26 @@ class TiledReconstructor(WorkerPoolMixin):
         num_workers: int = 0,
         incremental: bool = True,
         backend: str | None = None,
+        pipelined: bool = False,
+        pipeline_window: int = 4,
+        fetch_workers: int = 2,
     ) -> None:
         if num_workers < 0:
             raise ValueError("num_workers must be >= 0")
+        if pipeline_window < 1:
+            raise ValueError("pipeline_window must be >= 1")
+        if fetch_workers < 1:
+            raise ValueError("fetch_workers must be >= 1")
         self.tiled = tiled
         self.num_workers = int(num_workers)
         self.incremental = bool(incremental)
         if backend is not None:
             parse_backend_spec(backend)  # validates, raises on junk
         self.backend = backend
+        self.pipelined = bool(pipelined)
+        self.pipeline_window = int(pipeline_window)
+        self.fetch_workers = int(fetch_workers)
+        self._pipeline = None
         self._recons: dict[int, Reconstructor] = {}
         self._transforms: dict[tuple, MultilevelTransform] = {}
         self._state_lock = threading.Lock()
@@ -762,12 +786,27 @@ class TiledReconstructor(WorkerPoolMixin):
                 parts.append(IOCounters(*shadow["io"]))
         return IOCounters.total(parts)
 
+    def _retrieval_pipeline(self):
+        """The instance's lazily-built retrieval pipeline runtime."""
+        # Local import: repro.pipeline hosts optional accelerator
+        # modules; core must not import it at module load.
+        from repro.pipeline.retrieval import RetrievalPipeline
+
+        with self._state_lock:
+            if self._pipeline is None:
+                self._pipeline = RetrievalPipeline(
+                    window=self.pipeline_window,
+                    fetch_workers=self.fetch_workers,
+                )
+            return self._pipeline
+
     def reconstruct(
         self,
         tolerance: float | None = None,
         relative: bool = False,
         region: Sequence | None = None,
         on_fault: str = "raise",
+        pipelined: bool | None = None,
     ) -> "TiledReconstructionResult":
         """(stitched data, achieved global L∞ bound) at *tolerance*.
 
@@ -798,6 +837,13 @@ class TiledReconstructor(WorkerPoolMixin):
         usual ``(data, error_bound)`` pair and records ``degraded`` /
         ``failed_tiles`` / ``failed_groups``; a later call at the same
         tolerance retries exactly the failed increments.
+
+        ``pipelined`` overrides the instance's ``pipelined`` flag for
+        this call (``None`` keeps the instance setting): fetch/decode/
+        commit overlap through the bounded pipeline window, with
+        results, counters, and fault handling bit-identical to the
+        sequential path. Inert under the process backend and for
+        single-tile steps.
         """
         if on_fault not in ("raise", "degrade"):
             raise ValueError(
@@ -854,12 +900,22 @@ class TiledReconstructor(WorkerPoolMixin):
                 result.failed_groups,
             )
 
+        use_pipeline = self.pipelined if pipelined is None else bool(
+            pipelined
+        )
         spec = self._backend_spec()
         if spec.kind == "processes" and spec.workers > 1:
             # Worker-resident tile state: always route through the
             # backend once resolved to it (even single-tile steps), so
             # a tile's progressive state lives in exactly one place.
+            # ``pipelined`` is inert here — the workers already fetch
+            # their own segments store-side, overlapping I/O across the
+            # pool, and tile state must live in exactly one place.
             outcomes = self._decode_tiles_processes(jobs, tol, on_fault)
+        elif use_pipeline and len(jobs) > 1:
+            outcomes = self._decode_tiles_pipelined(
+                jobs, tol, on_fault, spec, out
+            )
         else:
             # reprolint: disable=R3 -- serial/threads path: the processes case above ships _task_decode_tile by name
             outcomes = self.map_jobs(decode_tile, jobs)
@@ -871,7 +927,8 @@ class TiledReconstructor(WorkerPoolMixin):
             position, region_local, block, bound, tile_degraded, groups = (
                 outcome
             )
-            out[region_local] = block
+            if block is not None:  # pipelined commits wrote in-stream
+                out[region_local] = block
             worst = max(worst, bound)
             if tile_degraded:
                 degraded = True
@@ -884,6 +941,112 @@ class TiledReconstructor(WorkerPoolMixin):
             failed_tiles=failed_tiles,
             failed_groups=failed_groups,
         )
+
+    def _decode_tiles_pipelined(
+        self,
+        jobs: list[tuple],
+        tol: float | None,
+        on_fault: str,
+        spec,
+        out: np.ndarray,
+    ) -> list[tuple]:
+        """One step of the selected tiles with stage overlap (Fig. 4).
+
+        Fetch (store I/O through the tile's lazy resolver, on the
+        pipeline's fetch pool) runs up to ``pipeline_window`` tiles
+        ahead of decode (plane-group decompress + inject, on the caller
+        thread or — under the threads backend — the instance's worker
+        pool); each decoded block commits into the stitched output
+        in-stream, on the caller thread, and is released immediately so
+        resident decoded-but-unstitched data stays O(window). Results
+        are bit-identical to the sequential fan-out: each tile's store
+        accesses remain one sequential chain in the same key order, and
+        a stage failure drains the window, then surfaces (or degrades)
+        exactly where the sequential path would.
+        """
+        pipeline = self._retrieval_pipeline()
+        decode_pool = None
+        decode_workers = 1
+        if spec.kind == "threads" and spec.workers > 1:
+            decode_pool = self._worker_pool()
+            decode_workers = spec.workers
+        fetch = functools.partial(
+            self._pipeline_fetch_tile, tol=tol, on_fault=on_fault
+        )
+        decode = functools.partial(self._pipeline_decode_tile,
+                                   on_fault=on_fault)
+        commit = functools.partial(self._pipeline_commit_tile, out=out)
+        return pipeline.run(
+            jobs,
+            fetch,
+            decode,
+            commit=commit,
+            decode_pool=decode_pool,
+            decode_workers=decode_workers,
+        )
+
+    def _pipeline_fetch_tile(self, job, tol, on_fault):
+        """Fetch stage: first-touch open + plan + segment resolution.
+
+        Returns ``(reconstructor, step, fault)``. Expected store faults
+        are *captured*, not raised, so they surface at decode time in
+        tile order — matching the sequential fan-out's failure choice —
+        and so the faulted fetch is never retried (a retry would shift
+        per-key access counts and desynchronize seeded fault
+        schedules). A fault before the tile ever opened returns
+        ``(None, None, exc)`` under ``degrade`` (the zeros/inf tile);
+        plan-time faults always raise, as they do sequentially.
+        """
+        position = job[0]
+        try:
+            recon = self._reconstructor_for(position)
+        except StoreError as exc:
+            if on_fault != "degrade":
+                raise
+            return None, None, exc
+        step = recon.plan_step(tol)
+        try:
+            recon.fetch_step(step)
+        except StoreError as exc:
+            return recon, step, exc
+        return recon, step, None
+
+    def _pipeline_decode_tile(self, job, fetched, on_fault):
+        """Decode stage: one tile's plane-group decompress + commit.
+
+        Same outcome shape as the sequential ``decode_tile``; a fetch
+        fault captured upstream replays through ``decode_step`` so the
+        ``on_fault`` policy (raise, or degrade to the last committed
+        refinement) is decided by exactly the code the sequential path
+        runs.
+        """
+        position, (tile_local, region_local) = job
+        recon, step, fault = fetched
+        if recon is None:
+            # The tile never opened: nothing is committed, so there is
+            # no stale answer to fall back on — zeros, unbounded error.
+            shape = tuple(loc.stop - loc.start for loc in tile_local)
+            block = np.zeros(shape, dtype=self.tiled.dtype)
+            return position, region_local, block, math.inf, True, None
+        result = recon.decode_step(
+            step, on_fault=on_fault, fetch_error=fault
+        )
+        return (
+            position,
+            region_local,
+            result.data[tile_local],
+            result.error_bound,
+            result.degraded,
+            result.failed_groups,
+        )
+
+    def _pipeline_commit_tile(self, job, outcome, out):
+        """Commit stage: stitch the block, then drop it (O(window))."""
+        position, region_local, block, bound, tile_degraded, groups = (
+            outcome
+        )
+        out[region_local] = block
+        return position, region_local, None, bound, tile_degraded, groups
 
     def _decode_tiles_processes(
         self, jobs: list[tuple], tol: float | None, on_fault: str
@@ -1013,6 +1176,10 @@ class TiledReconstructor(WorkerPoolMixin):
 
     def close(self) -> None:
         """Release worker-resident session state, then the local pool."""
+        with self._state_lock:
+            pipeline, self._pipeline = self._pipeline, None
+        if pipeline is not None:
+            pipeline.close()
         if self._shipped:
             try:
                 backend = self._process_backend()

@@ -13,7 +13,11 @@ stages correct. This package provides:
   DAG order while accounting simulated time (results are real, timing
   is modeled);
 * :mod:`~repro.pipeline.multigpu` — single-node weak scaling with host
-  link contention and barrier overhead (Fig. 10, Fig. 14).
+  link contention and barrier overhead (Fig. 10, Fig. 14);
+* :mod:`~repro.pipeline.retrieval` — the Fig. 4 stage discipline run on
+  the *real* retrieval stack: bounded-window fetch/decode/recompose
+  overlap for tiled and untiled progressive steps, bit-identical to the
+  sequential paths.
 """
 
 from repro.pipeline.dag import (
@@ -27,6 +31,10 @@ from repro.pipeline.multigpu import (
     TALAPAS_NODE,
     NodeSpec,
     weak_scaling,
+)
+from repro.pipeline.retrieval import (
+    RetrievalPipeline,
+    pipelined_reconstruct,
 )
 from repro.pipeline.scheduler import (
     StageCosts,
@@ -44,6 +52,8 @@ __all__ = [
     "reconstruct_stage_costs",
     "pipeline_speedup",
     "PipelinedExecutor",
+    "RetrievalPipeline",
+    "pipelined_reconstruct",
     "NodeSpec",
     "TALAPAS_NODE",
     "FRONTIER_NODE",

@@ -1,0 +1,304 @@
+"""Staged pipeline runtime for real progressive retrieval (Fig. 4).
+
+The seed :mod:`repro.pipeline.dag`/:mod:`~repro.pipeline.scheduler`
+modules model the paper's reconstruction pipeline — per sub-domain
+``I_i → X_i → R_i → O_i`` with the pipelined dependencies
+``X_{i-1} → I_i`` (prefetch delayed past the exclusive lossless stage)
+and ``X_{i+1} → O_i`` — on simulated HDEM engines. This module runs the
+same discipline on the *actual* retrieval stack, where the stages map
+onto host-side resources instead of DMA engines:
+
+=================  ====================================================
+Fig. 4 stage       Retrieval runtime stage
+=================  ====================================================
+``I`` (input)      segment fetch: store I/O through the lazy field's
+                   resolver (:class:`~repro.core.service.SegmentCache`,
+                   :class:`~repro.core.faults.ResilientReader`), run on
+                   this pipeline's small fetch thread pool
+``X`` (lossless)   plane-group decompress + bitplane injection, on the
+                   caller thread or the host's
+                   :class:`~repro.core._pool.WorkerPoolMixin` pool
+                   (the ``ExecutionBackend`` seam)
+``R``/``O``        recompose + commit of the decoded block into the
+                   stitched output, on the caller thread
+=================  ====================================================
+
+The window rules implement the DAG edges: a work item's fetch may start
+while earlier items decode (``X_{i-1} → I_i`` — the fetch stage runs at
+most ``window`` items ahead, bounding resident fetched-but-undecoded
+data at O(window)), and commits retire in order as decodes complete
+(``X_{i+1} → O_i``). The runtime never reorders *store accesses* within
+a work item: each item's fetch is one sequential chain in the
+sequential path's exact key order, so seeded fault schedules
+(:class:`~repro.core.faults.FaultInjectingStore` draws are keyed on
+per-key access counts) replay identically pipelined or not — the
+foundation of the chaos-parity guarantee. A stage failure drains the
+in-flight window and then surfaces on the earliest item, exactly where
+the sequential fan-out would have raised it.
+"""
+
+from __future__ import annotations
+
+import threading
+from collections import deque
+from concurrent.futures import ThreadPoolExecutor
+from queue import Empty, Queue
+
+from repro.core._pool import track_thread_pool
+from repro.core.errors import StoreError
+
+
+def _fetch_level_chain(reconstructor, jobs, ready) -> None:
+    """Fetch stage of one untiled step: a single sequential chain.
+
+    Walks the step's levels ascending (groups ascending within each) —
+    the sequential decode pass's exact store-access order — reporting
+    each level's completion into the bounded *ready* queue, whose
+    ``maxsize`` keeps the chain at most ``window`` levels ahead of the
+    decode stage. A :class:`~repro.core.errors.StoreError` truncates
+    the chain exactly where the sequential path would stop and travels
+    to the decode loop as that level's outcome, so ``on_fault``
+    semantics (and per-key store access counts) are unchanged.
+    """
+    for job in jobs:
+        idx = job[0]
+        try:
+            reconstructor.fetch_level_groups(idx, job[2])
+        except StoreError as exc:
+            ready.put((idx, exc))
+            return
+        ready.put((idx, None))
+
+
+class _LevelWindowRunner:
+    """``level_runner`` for :meth:`Reconstructor.decode_step`.
+
+    Drives one untiled step with its fetch chain on the pipeline's
+    fetch pool while the caller thread decodes levels in order as their
+    segments land — the ``X_{i-1} → I_i`` overlap within a step,
+    generalizing the service's fire-and-forget next-group prefetch
+    into a scheduled window.
+    """
+
+    def __init__(self, pipeline: "RetrievalPipeline", reconstructor):
+        self._pipeline = pipeline
+        self._reconstructor = reconstructor
+
+    def __call__(self, jobs, decode_level):
+        ready: Queue = Queue(maxsize=self._pipeline.window)
+        chain = self._pipeline._fetch_executor().submit(
+            _fetch_level_chain, self._reconstructor, jobs, ready
+        )
+        fetched: dict[int, BaseException | None] = {}
+        try:
+            outcomes = []
+            for job in jobs:
+                idx = job[0]
+                while idx not in fetched:
+                    i, err = ready.get()
+                    fetched[i] = err
+                err = fetched[idx]
+                if err is not None:
+                    # Raise at the level the sequential pass would have
+                    # faulted on; decode_step's on_fault policy takes
+                    # over (degrade re-runs the committed, store-free
+                    # refinement). Levels decoded before this point did
+                    # no harm: nothing commits until the step succeeds.
+                    raise err
+                outcomes.append(decode_level(job))
+            return outcomes
+        finally:
+            # Drain: the chain must not outlive the step. It can be
+            # blocked on the bounded queue, so keep consuming until it
+            # settles; its exception (if any) is retrieved to keep the
+            # executor quiet — StoreErrors already travel via `ready`.
+            while not chain.done():
+                try:
+                    entry = ready.get(timeout=0.05)
+                    fetched[entry[0]] = entry[1]
+                except Empty:
+                    pass
+            chain.exception()
+
+
+class RetrievalPipeline:
+    """Bounded-window fetch/decode/commit driver for retrieval steps.
+
+    Owns a small dedicated fetch thread pool (store I/O blocks on the
+    network/disk and releases the GIL, so a couple of fetch workers
+    overlap many tiles' latency) and the in-flight window bound.
+    Decode placement follows the host's execution backend: the caller
+    thread (serial) or the host's worker pool (threads); the process
+    backend keeps its own worker-resident overlap and does not route
+    through this class.
+
+    One instance is reusable across steps and sessions;
+    :meth:`close` tears the fetch pool down (idempotent). Thread
+    safety: the fetch pool handle is guarded by the instance lock;
+    ``window``/``fetch_workers`` are immutable after construction.
+    """
+
+    def __init__(self, window: int = 4, fetch_workers: int = 2) -> None:
+        if window < 1:
+            raise ValueError("window must be >= 1")
+        if fetch_workers < 1:
+            raise ValueError("fetch_workers must be >= 1")
+        self.window = int(window)
+        self.fetch_workers = int(fetch_workers)
+        self._lock = threading.Lock()
+        self._fetch_pool: ThreadPoolExecutor | None = None
+
+    def _fetch_executor(self) -> ThreadPoolExecutor:
+        with self._lock:
+            if self._fetch_pool is None:
+                pool = ThreadPoolExecutor(max_workers=self.fetch_workers)
+                track_thread_pool(pool)
+                self._fetch_pool = pool
+            return self._fetch_pool
+
+    def level_runner(self, reconstructor) -> _LevelWindowRunner:
+        """A ``decode_step`` level runner bound to this pipeline."""
+        return _LevelWindowRunner(self, reconstructor)
+
+    def run(
+        self,
+        items,
+        fetch,
+        decode,
+        commit=None,
+        decode_pool=None,
+        decode_workers: int = 1,
+    ) -> list:
+        """Stream *items* through ``fetch → decode → commit``.
+
+        ``fetch(item)`` runs on this pipeline's fetch pool, at most
+        ``window`` items in flight (fetched or decoding, not yet
+        committed) — stage contract: capture expected store faults in
+        the returned outcome rather than raising, so they surface in
+        item order at decode time. ``decode(item, fetched)`` runs on
+        the caller thread, or on *decode_pool* with up to
+        *decode_workers* concurrent decodes when given. ``commit(item,
+        decoded)`` always runs on the caller thread (output writes stay
+        single-threaded); its return value, when a commit hook is
+        given, replaces the stored result — letting the caller retire
+        bulky decoded blocks immediately instead of retaining them.
+
+        Results keep item order. An exception from any stage stops new
+        work, drains the in-flight window, and propagates — because
+        items are retired strictly in item order, the first exception
+        raised is the earliest item's failure, matching the sequential
+        fan-out's failure choice.
+        """
+        items = list(items)
+        results: list = [None] * len(items)
+        pool = self._fetch_executor()
+        fetches: deque = deque()  # (index, future), item order
+        decodes: deque = deque()  # (index, future), item order
+        cursor = 0
+        held = 0  # head popped off `fetches`, decoding on this thread
+        if decode_pool is None:
+            decode_workers = 1
+
+        def refill() -> None:
+            nonlocal cursor
+            while (
+                cursor < len(items)
+                and len(fetches) + len(decodes) + held < self.window
+            ):
+                fetches.append((cursor, pool.submit(fetch, items[cursor])))
+                cursor += 1
+
+        def retire(index: int, value) -> None:
+            if commit is not None:
+                value = commit(items[index], value)
+            results[index] = value
+
+        try:
+            refill()
+            while fetches:
+                index, fut = fetches.popleft()
+                fetched = fut.result()
+                if decode_pool is None:
+                    held = 1
+                    refill()  # fetch ahead while this item decodes
+                    retire(index, decode(items[index], fetched))
+                    held = 0
+                    refill()  # window == 1: no fetch-ahead slot existed
+                    continue
+                decodes.append(
+                    (index, decode_pool.submit(decode, items[index], fetched))
+                )
+                refill()
+                while decodes and (
+                    decodes[0][1].done() or len(decodes) >= decode_workers
+                ):
+                    i, dfut = decodes.popleft()
+                    retire(i, dfut.result())
+                    refill()
+            while decodes:
+                i, dfut = decodes.popleft()
+                retire(i, dfut.result())
+        except BaseException:
+            # Drain the window before propagating: no stage may outlive
+            # the step (a fetch landing after the caller moved on would
+            # race the session's next step).
+            for _, fut in fetches:
+                fut.cancel()
+            for _, fut in fetches:
+                try:
+                    fut.result()
+                except BaseException:
+                    pass  # drained failures surface via the primary error
+            for _, dfut in decodes:
+                try:
+                    dfut.result()
+                except BaseException:
+                    pass  # drained failures surface via the primary error
+            raise
+        return results
+
+    def close(self) -> None:
+        """Shut down the fetch pool (idempotent)."""
+        with self._lock:
+            pool, self._fetch_pool = self._fetch_pool, None
+        if pool is not None:
+            pool.shutdown(wait=True)
+
+    def __enter__(self) -> "RetrievalPipeline":
+        return self
+
+    def __exit__(self, *exc) -> None:
+        self.close()
+
+
+def pipelined_reconstruct(
+    reconstructor,
+    pipeline: RetrievalPipeline,
+    tolerance: float | None = None,
+    relative: bool = False,
+    plan=None,
+    on_fault: str = "raise",
+):
+    """One pipelined progressive step on an untiled ``Reconstructor``.
+
+    Equivalent to ``reconstructor.reconstruct(...)`` — bit-identical
+    results, counters, and fault semantics — with the step's segment
+    fetches running one level ahead of decode through *pipeline*'s
+    window (see :class:`_LevelWindowRunner`).
+    """
+    if on_fault not in ("raise", "degrade"):
+        raise ValueError(
+            f"on_fault must be 'raise' or 'degrade', got {on_fault!r}"
+        )
+    step = reconstructor.plan_step(tolerance, relative=relative, plan=plan)
+    return reconstructor.decode_step(
+        step,
+        on_fault=on_fault,
+        level_runner=pipeline.level_runner(reconstructor),
+    )
+
+
+__all__ = [
+    "RetrievalPipeline",
+    "pipelined_reconstruct",
+]

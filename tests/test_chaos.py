@@ -385,6 +385,143 @@ class TestProcessBackendChaosParity:
         assert serial[-1].degraded is False
 
 
+class TestPipelinedChaos:
+    """The pipelined retrieval paths under the same chaos schedules.
+
+    Fault decisions are pure functions of ``(seed, key, nth-access)``
+    and the pipelined runtime keeps each work item's store accesses in
+    the sequential path's exact key order, so every schedule here must
+    replay *identically* with ``pipelined=True``: same healed data,
+    same injected-fault counts, same degraded/failed-tile sets.
+    """
+
+    @pytest.mark.parametrize("seed", CHAOS_SEEDS)
+    def test_untiled_transient_staircase_parity(self, stored,
+                                                clean_staircase, seed):
+        from repro.pipeline.retrieval import (
+            RetrievalPipeline,
+            pipelined_reconstruct,
+        )
+
+        def run(pipelined):
+            flaky, reader = _resilient(stored, seed)
+            recon = Reconstructor(open_field(reader, "vx"))
+            pipe = (RetrievalPipeline(window=3, fetch_workers=2)
+                    if pipelined else None)
+            steps = [
+                pipelined_reconstruct(recon, pipe, tolerance=t)
+                if pipelined else recon.reconstruct(tolerance=t)
+                for t in STAIRCASE
+            ]
+            if pipe is not None:
+                pipe.close()
+            return steps, flaky.injected_transients, flaky.reads
+
+        (serial, s_faults, s_reads) = run(False)
+        (piped, p_faults, p_reads) = run(True)
+        assert s_faults == p_faults
+        assert s_reads == p_reads
+        for clean, a, b in zip(clean_staircase, serial, piped):
+            np.testing.assert_array_equal(a.data, b.data)
+            np.testing.assert_array_equal(b.data, clean)
+            assert a.error_bound == b.error_bound
+            assert b.degraded is False
+
+    @pytest.mark.parametrize("seed", CHAOS_SEEDS)
+    def test_tiled_roi_transient_staircase_parity(self, tiled_stored,
+                                                  seed):
+        store, _ = tiled_stored
+
+        def run(pipelined):
+            flaky, reader = _resilient(store, seed)
+            recon = TiledReconstructor(
+                open_tiled_field(reader, "rho"), num_workers=2,
+                backend="threads:2", pipelined=pipelined,
+                pipeline_window=3, fetch_workers=2,
+            )
+            steps = [recon.reconstruct(tolerance=t, region=ROI)
+                     for t in STAIRCASE]
+            io = recon.aggregate_io_counters().snapshot()
+            recon.close()
+            return steps, flaky.injected_transients, io
+
+        (s_steps, s_faults, s_io) = run(False)
+        (p_steps, p_faults, p_io) = run(True)
+        assert s_faults == p_faults
+        assert s_io == p_io
+        for a, b in zip(s_steps, p_steps):
+            np.testing.assert_array_equal(a.data, b.data)
+            assert a.error_bound == b.error_bound
+            assert a.degraded is b.degraded is False
+            assert a.failed_tiles == b.failed_tiles == []
+
+    def test_tiled_fail_first_degrade_schedule_parity(self, tiled_stored):
+        """Pre-programmed hard faults (no retry headroom): the pipelined
+        staircase must produce the *same* degraded steps — identical
+        ``failed_tiles``/``failed_groups`` — and the same clean
+        resume."""
+        store, _ = tiled_stored
+        schedule = {
+            "rho.T0_0_0.index": 1,
+            "rho.T0_1_0.L0.G0": 1,
+        }
+
+        def run(pipelined):
+            flaky = FaultInjectingStore(store, fail_first=dict(schedule),
+                                        sleep=_noop_sleep)
+            recon = TiledReconstructor(
+                open_tiled_field(flaky, "rho"), backend="serial",
+                pipelined=pipelined, pipeline_window=3, fetch_workers=2,
+            )
+            steps = [recon.reconstruct(tolerance=t, region=ROI,
+                                       on_fault="degrade")
+                     for t in STAIRCASE[:3]]
+            recon.close()
+            return steps
+
+        serial, piped = run(False), run(True)
+        assert any(s.degraded for s in serial)
+        for a, b in zip(serial, piped):
+            np.testing.assert_array_equal(a.data, b.data)
+            assert a.degraded == b.degraded
+            assert a.failed_tiles == b.failed_tiles
+            assert a.failed_groups == b.failed_groups
+        assert serial[-1].degraded is False
+
+    @pytest.mark.backend
+    @pytest.mark.parametrize("seed", CHAOS_SEEDS[:2])
+    def test_tiled_worker_kill_with_pipelined_flag(self, tiled_stored,
+                                                   tmp_path, seed):
+        """Under ``processes:2`` the pipelined flag is inert (workers
+        already overlap their own store I/O) — but it must stay
+        *harmlessly* inert through seeded worker kills: the healed
+        staircase is still bit-identical to the clean reference."""
+        store, tiled = tiled_stored
+        ref = TiledReconstructor(tiled)
+        backend = shared_process_backend(2)
+        chaos = WorkerChaos.single_kill(seed, num_tasks=8,
+                                        scratch_dir=tmp_path)
+        backend.install_chaos(chaos)
+        before = backend.health()["respawns"]
+        recon = TiledReconstructor(
+            open_tiled_field(store, "rho"), num_workers=2,
+            backend="processes:2", pipelined=True,
+        )
+        try:
+            for tol in STAIRCASE:
+                expected = ref.reconstruct(tolerance=tol, region=ROI)
+                got = recon.reconstruct(tolerance=tol, region=ROI)
+                assert got.degraded is False
+                assert got.failed_tiles == []
+                np.testing.assert_array_equal(got.data, expected.data)
+                assert got.error_bound == expected.error_bound
+        finally:
+            backend.clear_chaos()
+            recon.close()
+        assert chaos.total_fired() == 1
+        assert backend.health()["respawns"] >= before + 1
+
+
 class TestWorkerKillChaos:
     """Process-*level* chaos: seeded worker kills mid-staircase.
 

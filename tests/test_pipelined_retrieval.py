@@ -1,0 +1,438 @@
+"""Pipelined progressive retrieval: differential + runtime tests.
+
+The pipelined paths (``repro.pipeline.retrieval`` and its wiring into
+``TiledReconstructor``/``ServiceSession``/``TiledServiceSession``) claim
+*bit-identical* results, counters, and fault semantics versus the
+sequential paths — only wall-clock may differ. This suite proves the
+claim differentially, `test_backends.py`-style: same inputs through both
+paths, byte-for-byte comparison of data and accounting, across decode
+backends and under seeded store faults. Runtime-level tests cover the
+bounded window, in-order commits, and failure draining directly.
+"""
+
+from __future__ import annotations
+
+import threading
+
+import numpy as np
+import pytest
+
+from repro.core.faults import FaultInjectingStore
+from repro.core.refactor import refactor
+from repro.core.reconstruct import Reconstructor
+from repro.core.service import RetrievalService, _store_bears_latency
+from repro.core.store import (
+    DirectoryStore,
+    MemoryStore,
+    open_field,
+    open_tiled_field,
+    store_field,
+    store_tiled_field,
+)
+from repro.core.tiling import TiledReconstructor, TiledRefactorer
+from repro.data import generators as gen
+from repro.pipeline.retrieval import RetrievalPipeline, pipelined_reconstruct
+
+pytestmark = pytest.mark.backend
+
+STAIRCASE = [1e-1, 3e-2, 1e-2, 3e-3, None]
+ROI = (slice(4, 30), slice(2, 26), None)
+
+
+@pytest.fixture(scope="module")
+def data():
+    return gen.gaussian_random_field((36, 36, 36), -2.0, seed=17,
+                                     dtype=np.float32)
+
+
+@pytest.fixture(scope="module")
+def reference_field(data):
+    return refactor(data, name="vx")
+
+
+@pytest.fixture(scope="module")
+def reference_tiled(data):
+    return TiledRefactorer((12, 12, 12)).refactor(data, name="rho")
+
+
+def _fresh_store(reference_field):
+    store = MemoryStore()
+    store_field(store, reference_field)
+    return store
+
+
+def _fresh_tiled_store(reference_tiled):
+    store = MemoryStore()
+    store_tiled_field(store, reference_tiled)
+    return store
+
+
+def _result_stats(result):
+    return (
+        result.fetched_bytes, result.incremental_bytes, result.cold_bytes,
+        result.cache_hit_bytes, result.decoded_groups,
+        result.decoded_planes, result.error_bound, result.degraded,
+        tuple(result.failed_groups or ()),
+    )
+
+
+def _tiled_stats(recon):
+    io = recon.aggregate_io_counters()
+    dc = recon.aggregate_decode_counters()
+    return (
+        recon.fetched_bytes, io.segment_reads, io.cold_bytes,
+        io.cache_hit_bytes, dc.groups_decoded, dc.planes_decoded,
+        dc.level_decodes, dc.level_reuses,
+    )
+
+
+# -- runtime unit tests -----------------------------------------------------
+
+class TestRetrievalPipelineRuntime:
+    @pytest.mark.parametrize("kwargs", [
+        {"window": 0}, {"window": -1},
+        {"fetch_workers": 0}, {"fetch_workers": -2},
+    ])
+    def test_rejects_bad_parameters(self, kwargs):
+        with pytest.raises(ValueError):
+            RetrievalPipeline(**kwargs)
+
+    def test_results_keep_item_order(self):
+        with RetrievalPipeline(window=3, fetch_workers=2) as pipe:
+            out = pipe.run(
+                range(10), fetch=lambda i: i * 10,
+                decode=lambda i, f: f + i,
+            )
+        assert out == [i * 11 for i in range(10)]
+
+    def test_commit_return_value_replaces_result(self):
+        sink = []
+        with RetrievalPipeline(window=2) as pipe:
+            out = pipe.run(
+                range(5), fetch=lambda i: i, decode=lambda i, f: f * 2,
+                commit=lambda i, v: sink.append(v),
+            )
+        assert sink == [0, 2, 4, 6, 8]  # committed in item order
+        assert out == [None] * 5  # bulky blocks retired, not retained
+
+    def test_window_bounds_fetched_but_undecoded(self):
+        lock = threading.Lock()
+        inflight = {"now": 0, "max": 0}
+
+        def fetch(i):
+            with lock:
+                inflight["now"] += 1
+                inflight["max"] = max(inflight["max"], inflight["now"])
+            return i
+
+        def decode(i, fetched):
+            with lock:
+                inflight["now"] -= 1
+            return fetched
+
+        with RetrievalPipeline(window=3, fetch_workers=3) as pipe:
+            pipe.run(range(20), fetch=fetch, decode=decode)
+        assert inflight["max"] <= 3
+
+    def test_earliest_failure_wins_and_window_drains(self):
+        committed = []
+
+        def fetch(i):
+            if i == 4:
+                raise RuntimeError("fetch 4")
+            return i
+
+        def decode(i, fetched):
+            if i == 2:
+                raise RuntimeError("decode 2")
+            return fetched
+
+        with RetrievalPipeline(window=4, fetch_workers=2) as pipe:
+            with pytest.raises(RuntimeError, match="decode 2"):
+                pipe.run(range(8), fetch=fetch, decode=decode,
+                         commit=lambda i, v: committed.append(i) or v)
+        assert committed == [0, 1]  # strictly in-order up to the fault
+
+    def test_close_is_idempotent_and_pipeline_reusable_until_closed(self):
+        pipe = RetrievalPipeline(window=2)
+        assert pipe.run([1, 2], fetch=lambda i: i,
+                        decode=lambda i, f: f) == [1, 2]
+        assert pipe.run([3], fetch=lambda i: i,
+                        decode=lambda i, f: f) == [3]
+        pipe.close()
+        pipe.close()
+
+
+# -- untiled differential ---------------------------------------------------
+
+class TestUntiledPipelinedParity:
+    def test_staircase_bit_identical_with_counters(self, reference_field):
+        seq = Reconstructor(open_field(_fresh_store(reference_field), "vx"))
+        ref = [seq.reconstruct(tolerance=t) for t in STAIRCASE]
+        pip = Reconstructor(open_field(_fresh_store(reference_field), "vx"))
+        with RetrievalPipeline(window=3, fetch_workers=2) as pipe:
+            got = [pipelined_reconstruct(pip, pipe, tolerance=t)
+                   for t in STAIRCASE]
+        for a, b in zip(ref, got):
+            assert np.array_equal(a.data, b.data)
+            assert _result_stats(a) == _result_stats(b)
+
+    @pytest.mark.parent_store_mutation
+    @pytest.mark.parametrize("seed", [3, 11, 29])
+    def test_degrade_resume_parity_under_faults(self, reference_field,
+                                                seed):
+        def staircase(pipelined):
+            flaky = FaultInjectingStore(
+                _fresh_store(reference_field), transient_rate=0.0,
+                seed=seed,
+            )
+            recon = Reconstructor(open_field(flaky, "vx"))
+            flaky.transient_rate = 0.30  # index read stays clean
+            pipe = (RetrievalPipeline(window=3, fetch_workers=2)
+                    if pipelined else None)
+            out = []
+            for t in STAIRCASE:
+                if pipelined:
+                    res = pipelined_reconstruct(recon, pipe, tolerance=t,
+                                                on_fault="degrade")
+                else:
+                    res = recon.reconstruct(tolerance=t,
+                                            on_fault="degrade")
+                out.append((res.data.copy(), _result_stats(res)))
+            flaky.transient_rate = 0.0  # store recovers: resume cleanly
+            final = recon.reconstruct()
+            out.append((final.data.copy(), _result_stats(final)))
+            if pipe is not None:
+                pipe.close()
+            return out
+
+        for (da, sa), (db, sb) in zip(staircase(False), staircase(True)):
+            assert np.array_equal(da, db)
+            assert sa == sb
+
+
+# -- tiled differential -----------------------------------------------------
+
+class TestTiledPipelinedParity:
+    @pytest.mark.parametrize("backend,workers", [
+        ("serial", 0), ("threads:2", 2), ("processes:2", 2),
+    ])
+    def test_roi_staircase_bit_identical(self, reference_tiled, backend,
+                                         workers):
+        def staircase(pipelined):
+            recon = TiledReconstructor(
+                open_tiled_field(_fresh_tiled_store(reference_tiled),
+                                 "rho"),
+                num_workers=workers, backend=backend,
+                pipelined=pipelined, pipeline_window=3, fetch_workers=2,
+            )
+            out = [recon.reconstruct(tolerance=t, region=ROI)
+                   for t in STAIRCASE]
+            stats = _tiled_stats(recon)
+            recon.close()
+            return out, stats
+
+        (ref, ref_stats), (got, got_stats) = (staircase(False),
+                                              staircase(True))
+        for a, b in zip(ref, got):
+            assert np.array_equal(a.data, b.data)
+            assert a.error_bound == b.error_bound
+        assert ref_stats == got_stats
+
+    def test_single_tile_step_stays_sequential(self, reference_tiled):
+        # One-tile regions bypass the window (nothing to overlap) but
+        # must still return the exact sequential answer.
+        recon = TiledReconstructor(
+            open_tiled_field(_fresh_tiled_store(reference_tiled), "rho"),
+            pipelined=True,
+        )
+        seq = TiledReconstructor(
+            open_tiled_field(_fresh_tiled_store(reference_tiled), "rho"),
+        )
+        one_tile = (slice(0, 8), slice(0, 8), slice(0, 8))
+        a = recon.reconstruct(tolerance=1e-2, region=one_tile)
+        b = seq.reconstruct(tolerance=1e-2, region=one_tile)
+        assert np.array_equal(a.data, b.data)
+        recon.close()
+        seq.close()
+
+    def test_per_call_override_beats_instance_flag(self, reference_tiled):
+        recon = TiledReconstructor(
+            open_tiled_field(_fresh_tiled_store(reference_tiled), "rho"),
+            pipelined=False,
+        )
+        seq = TiledReconstructor(
+            open_tiled_field(_fresh_tiled_store(reference_tiled), "rho"),
+        )
+        a = recon.reconstruct(tolerance=1e-2, pipelined=True)
+        b = seq.reconstruct(tolerance=1e-2)
+        assert np.array_equal(a.data, b.data)
+        assert _tiled_stats(recon) == _tiled_stats(seq)
+        recon.close()
+        seq.close()
+
+    @pytest.mark.parametrize("kwargs", [
+        {"pipeline_window": 0}, {"fetch_workers": 0},
+    ])
+    def test_rejects_bad_pipeline_parameters(self, reference_tiled,
+                                             kwargs):
+        with pytest.raises(ValueError):
+            TiledReconstructor(
+                open_tiled_field(_fresh_tiled_store(reference_tiled),
+                                 "rho"),
+                pipelined=True, **kwargs,
+            )
+
+    @pytest.mark.parent_store_mutation
+    @pytest.mark.parametrize("seed", [5, 23])
+    def test_degrade_parity_identical_failed_tiles(self, reference_tiled,
+                                                   seed):
+        def staircase(pipelined):
+            flaky = FaultInjectingStore(
+                _fresh_tiled_store(reference_tiled), transient_rate=0.0,
+                seed=seed,
+            )
+            recon = TiledReconstructor(
+                open_tiled_field(flaky, "rho"), pipelined=pipelined,
+                pipeline_window=3, fetch_workers=2,
+            )
+            flaky.transient_rate = 0.25  # index reads stay clean
+            out = []
+            for t in STAIRCASE:
+                res = recon.reconstruct(tolerance=t, region=ROI,
+                                        on_fault="degrade")
+                out.append((res.data.copy(), res.error_bound,
+                            res.degraded, res.failed_tiles,
+                            res.failed_groups))
+            flaky.transient_rate = 0.0
+            final = recon.reconstruct(region=ROI)
+            out.append((final.data.copy(), final.error_bound,
+                        final.degraded, final.failed_tiles,
+                        final.failed_groups))
+            stats = _tiled_stats(recon)
+            recon.close()
+            return out, stats
+
+        (ref, ref_stats), (got, got_stats) = (staircase(False),
+                                              staircase(True))
+        for a, b in zip(ref, got):
+            assert np.array_equal(a[0], b[0])
+            assert a[1:] == b[1:]  # bound + degraded/failed-tile sets
+        assert ref_stats == got_stats
+
+
+# -- service wiring ---------------------------------------------------------
+
+class TestServicePipelined:
+    def test_latency_detection_picks_the_default(self, tmp_path):
+        assert _store_bears_latency(DirectoryStore(tmp_path / "s"))
+        assert not _store_bears_latency(MemoryStore())
+        assert _store_bears_latency(
+            FaultInjectingStore(MemoryStore(), latency_s=0.01)
+        )
+        # wrapper passthrough: a fault layer over a latency-bearing
+        # store still reads as latency-bearing
+        assert _store_bears_latency(
+            FaultInjectingStore(DirectoryStore(tmp_path / "t"))
+        )
+
+    def test_session_defaults_follow_store(self, reference_field,
+                                           reference_tiled, tmp_path):
+        store = DirectoryStore(tmp_path / "store")
+        store_field(store, reference_field)
+        store_tiled_field(store, reference_tiled)
+        svc = RetrievalService(store)
+        assert svc.session("vx").pipelined
+        assert svc.tiled_session("rho").reconstructor.pipelined
+        mem_svc = RetrievalService(_fresh_store(reference_field))
+        assert not mem_svc.session("vx").pipelined
+        assert not mem_svc.session("vx", pipelined=True).pipelined is False
+        svc.close()
+        mem_svc.close()
+
+    def test_pipelined_session_parity_with_cache_counters(
+        self, reference_field
+    ):
+        seq_svc = RetrievalService(_fresh_store(reference_field))
+        pip_svc = RetrievalService(_fresh_store(reference_field))
+        seq = seq_svc.session("vx", pipelined=False)
+        pip = pip_svc.session("vx", pipelined=True)
+        for t in STAIRCASE:
+            a = seq.reconstruct(tolerance=t)
+            b = pip.reconstruct(tolerance=t)
+            assert np.array_equal(a.data, b.data)
+            assert _result_stats(a) == _result_stats(b)
+        assert (seq_svc.cache.stats()["misses"]
+                == pip_svc.cache.stats()["misses"])
+        seq_svc.close()
+        pip_svc.close()
+
+    def test_prefetch_hits_are_counted(self, reference_field):
+        svc = RetrievalService(_fresh_store(reference_field),
+                               prefetch=True, num_workers=1)
+        session = svc.session("vx", pipelined=False)
+        session.reconstruct(tolerance=STAIRCASE[0])
+        svc.drain_prefetch()  # let the next-group warms land
+        session.reconstruct(tolerance=STAIRCASE[2])
+        stats = svc.stats()
+        assert stats["prefetch_hits"] >= 1
+        assert stats["prefetch_hits"] <= stats["prefetch_requests"]
+        svc.close()
+
+    def test_resident_keys_are_skipped_not_refetched(self,
+                                                     reference_field):
+        svc = RetrievalService(_fresh_store(reference_field),
+                               prefetch=True, num_workers=1)
+        session = svc.session("vx", pipelined=False)
+        session.reconstruct(tolerance=STAIRCASE[0])
+        svc.drain_prefetch()
+        # Re-enqueue a key that is already resident: the warm must
+        # skip it without touching the cache hit/miss counters.
+        key = next(iter(svc.cache._entries))
+        before = svc.cache.stats()
+        svc._enqueue_prefetch([key])
+        svc.drain_prefetch()
+        after = svc.cache.stats()
+        assert svc.stats()["prefetch_skipped"] >= 1
+        assert (before["hits"], before["misses"]) == (after["hits"],
+                                                      after["misses"])
+        svc.close()
+
+    def test_cancel_stale_prefetches_pulls_queued_warms(
+        self, reference_field
+    ):
+        svc = RetrievalService(_fresh_store(reference_field),
+                               prefetch=True, num_workers=1)
+        gate = threading.Event()
+        # Occupy the only prefetch worker so queued warms cannot start.
+        blocker = svc._worker_pool().submit(gate.wait)
+        svc._enqueue_prefetch(["vx/stale/0", "vx/stale/1"])
+        cancelled = svc.cancel_stale_prefetches(
+            ["vx/stale/0", "vx/stale/1", "vx/never/queued"]
+        )
+        gate.set()
+        blocker.result()
+        assert cancelled == 2
+        stats = svc.stats()
+        assert stats["prefetch_cancelled"] == 2
+        assert stats["prefetch_failures"] == 0  # cancelled ≠ failed
+        svc.drain_prefetch()  # cancelled futures must not raise here
+        svc.close()
+
+    def test_tiled_session_pipelined_parity(self, reference_tiled):
+        seq_svc = RetrievalService(_fresh_tiled_store(reference_tiled),
+                                   prefetch=True, num_workers=1)
+        pip_svc = RetrievalService(_fresh_tiled_store(reference_tiled),
+                                   prefetch=True, num_workers=1)
+        seq = seq_svc.tiled_session("rho", pipelined=False)
+        pip = pip_svc.tiled_session("rho", pipelined=True)
+        for t in STAIRCASE:
+            a = seq.reconstruct(tolerance=t, region=ROI)
+            b = pip.reconstruct(tolerance=t, region=ROI)
+            assert np.array_equal(a.data, b.data)
+            assert a.error_bound == b.error_bound
+        seq_svc.drain_prefetch()
+        pip_svc.drain_prefetch()
+        assert seq.stats() == pip.stats()
+        seq_svc.close()
+        pip_svc.close()

@@ -265,6 +265,104 @@ def test_r3_accepts_module_level_and_bound_callables():
     assert result.findings == []
 
 
+# -- pipelined-retrieval runtime fixtures (R1 + R3) -------------------------
+#
+# The pipeline window shares state between the fetch pool and the caller
+# thread, so `pipeline/retrieval.py` is exactly the shape R1 and R3
+# exist for. These fixtures model its hazards; the final test holds the
+# real module to both rules with an empty baseline.
+
+PIPELINE_PATH = "src/repro/pipeline/retrieval_fixture.py"
+
+
+def test_r1_flags_pipeline_pool_handle_touched_unguarded():
+    result = run("""
+        import threading
+
+        class Window:
+            def __init__(self):
+                self._lock = threading.Lock()
+                self._pool = None
+
+            def executor(self):
+                with self._lock:
+                    if self._pool is None:
+                        self._pool = object()
+                    return self._pool
+
+            def close(self):
+                self._pool = None  # races a fetch thread in executor()
+    """, "R1", path=PIPELINE_PATH)
+    assert len(result.findings) == 1
+    assert "_pool" in result.findings[0].message
+
+
+def test_r1_accepts_pipeline_pool_handle_guarded_everywhere():
+    result = run("""
+        import threading
+
+        class Window:
+            def __init__(self):
+                self._lock = threading.Lock()
+                self._pool = None
+
+            def executor(self):
+                with self._lock:
+                    if self._pool is None:
+                        self._pool = object()
+                    return self._pool
+
+            def close(self):
+                with self._lock:
+                    pool, self._pool = self._pool, None
+                return pool
+    """, "R1", path=PIPELINE_PATH)
+    assert result.findings == []
+
+
+def test_r3_flags_closure_submitted_to_fetch_pool():
+    result = run("""
+        class Window:
+            def run(self, pool, reconstructor, jobs):
+                def chain():
+                    for job in jobs:
+                        reconstructor.fetch_level_groups(job[0], job[2])
+                return pool.submit(chain)
+    """, "R3", path=PIPELINE_PATH)
+    assert len(result.findings) == 1
+    assert "chain" in result.findings[0].message
+
+
+def test_r3_accepts_module_chain_function_and_partial():
+    result = run("""
+        import functools
+
+        def _fetch_chain(reconstructor, jobs, ready):
+            for job in jobs:
+                reconstructor.fetch_level_groups(job[0], job[2])
+                ready.put(job[0])
+
+        class Window:
+            def run(self, pool, reconstructor, jobs, ready):
+                fetch = functools.partial(self.fetch_tile, jobs)
+                pool.submit(_fetch_chain, reconstructor, jobs, ready)
+                return pool.submit(fetch, 0)
+
+            def fetch_tile(self, jobs, index):
+                return jobs[index]
+    """, "R3", path=PIPELINE_PATH)
+    assert result.findings == []
+
+
+def test_real_pipeline_retrieval_module_is_r1_r3_clean():
+    source = (REPO_ROOT / "src/repro/pipeline/retrieval.py").read_text()
+    rules = [all_rules()["R1"], all_rules()["R3"]]
+    result = lint_source(source, "src/repro/pipeline/retrieval.py",
+                         rules=rules)
+    assert result.findings == []
+    assert result.suppressed == []  # clean outright, not via pragmas
+
+
 # -- R4 determinism --------------------------------------------------------
 
 
